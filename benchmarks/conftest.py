@@ -1,0 +1,42 @@
+"""Shared benchmark scales.
+
+Every benchmark regenerates one paper table/figure at a laptop scale
+(pedantic single-round timing: these are experiment harnesses, not
+micro-benchmarks).  EXPERIMENTS.md documents the paper-scale knobs.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Characterization-side scale: all 15 modules, 2 banks."""
+    return ExperimentScale(rows_per_bank=1024, banks=(1, 4), seed=0)
+
+
+@pytest.fixture(scope="session")
+def feature_scale():
+    """Feature-analysis scale (bit semantics need the 2K-row bank)."""
+    return ExperimentScale(rows_per_bank=2048, banks=(1, 4), seed=0)
+
+
+@pytest.fixture(scope="session")
+def perf_scale():
+    """Performance-side scale: reduced Fig 12 grid."""
+    return ExperimentScale(
+        rows_per_bank=1024,
+        banks=(1, 4),
+        n_mixes=1,
+        requests_per_core=2500,
+        hc_first_values=(4096, 256, 64),
+        svard_profiles=("S0",),
+        seed=0,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Bench: the Svärd bin-count ablation (DESIGN.md design choice)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablation_bins
+from repro.experiments.common import ExperimentScale
+
+
+def test_bench_ablation_bins(benchmark):
+    scale = ExperimentScale(
+        rows_per_bank=1024, banks=(1, 4), requests_per_core=2500, seed=0
+    )
+    result = run_once(benchmark, ablation_bins.run, scale)
+    print()
+    print(result.render())
+    speedups = result.speedup_by_bins
+    # One bin collapses to the worst-case threshold; 16 bins must beat it.
+    assert speedups[16] > speedups[1]
+    # The 4-bit choice: going beyond 16 bins would buy almost nothing,
+    # and most of the benefit arrives by 8 bins.
+    assert result.saturation_bins(tolerance=0.05) <= 16

@@ -1,0 +1,16 @@
+"""Bench E-sec64: regenerate the Section 6.4 hardware-cost estimates."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import sec64_hardware_cost
+
+
+def test_bench_sec64(benchmark):
+    result = run_once(benchmark, sec64_hardware_cost.run)
+    print()
+    print(result.render())
+    model = result.model
+    assert model.table_area_per_bank_mm2() == pytest.approx(0.056)
+    assert model.cpu_area_overhead_fraction() == pytest.approx(0.0086, rel=0.02)
+    assert model.lookup_hidden_under_activation()

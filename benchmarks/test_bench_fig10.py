@@ -1,0 +1,15 @@
+"""Bench E-fig10: regenerate Fig 10 (aging before/after scatter)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_aging
+from repro.experiments.common import ExperimentScale
+
+
+def test_bench_fig10(benchmark):
+    scale = ExperimentScale(rows_per_bank=16384, banks=(1,), seed=0)
+    result = run_once(benchmark, fig10_aging.run, scale)
+    print()
+    print(result.render())
+    # Obsv 12: some rows weaken; Obsv 13: none strengthen.
+    assert result.study.weakened_fraction() > 0
+    assert all(a <= b for b, a in zip(result.study.before, result.study.after))

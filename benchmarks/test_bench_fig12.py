@@ -1,0 +1,33 @@
+"""Bench E-fig12: regenerate Fig 12 (Svärd performance evaluation).
+
+The headline result: Svärd improves the weighted speedup of all five
+defenses, most for the throttling/swap-based ones and least for Hydra
+(Obsv 14), with overheads growing as the worst-case HC_first shrinks.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_performance
+
+
+def test_bench_fig12(benchmark, perf_scale):
+    result = run_once(benchmark, fig12_performance.run, perf_scale)
+    print()
+    print(result.render())
+
+    # Paper ordering of no-Svärd overheads at HC_first = 64:
+    # BlockHammer worst, then RRS, PARA, AQUA, Hydra (Fig 12).
+    at_64 = {
+        name: result.weighted_speedup(name, "No Svärd", 64)
+        for name in ("AQUA", "BlockHammer", "Hydra", "PARA", "RRS")
+    }
+    assert at_64["BlockHammer"] < at_64["RRS"] < at_64["PARA"]
+    assert at_64["PARA"] < at_64["AQUA"] < at_64["Hydra"]
+
+    # Takeaway 8: Svärd improves every defense at HC_first = 64 ...
+    for name in at_64:
+        assert result.improvement(name, "Svärd-S0", 64) > 1.0
+    # ... and helps Hydra least (Obsv 14).
+    improvements = {
+        name: result.improvement(name, "Svärd-S0", 64) for name in at_64
+    }
+    assert improvements["Hydra"] == min(improvements.values())

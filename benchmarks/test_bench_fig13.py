@@ -1,0 +1,19 @@
+"""Bench E-fig13: regenerate Fig 13 (adversarial access patterns)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_adversarial
+from repro.experiments.common import ExperimentScale
+
+
+def test_bench_fig13(benchmark):
+    scale = ExperimentScale(
+        rows_per_bank=1024, banks=(1, 4), requests_per_core=12000, seed=0
+    )
+    result = run_once(benchmark, fig13_adversarial.run, scale)
+    print()
+    print(result.render())
+    # Takeaway 9: Svärd mitigates both adversarial patterns.
+    for defense in ("Hydra", "RRS"):
+        for (d, config), value in result.normalized_slowdown.items():
+            if d == defense and config != "No Svärd":
+                assert value < 1.0

@@ -1,0 +1,14 @@
+"""Bench E-fig3: regenerate Fig 3 (BER distribution across rows/banks)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_ber_distribution
+
+
+def test_bench_fig3(benchmark, bench_scale):
+    result = run_once(benchmark, fig3_ber_distribution.run, bench_scale)
+    print()
+    print(result.render())
+    # Obsv 2: banks agree within a module.
+    assert all(ratio < 1.05 for ratio in result.bank_agreement.values())
+    # Obsv 1: rows vary; the most-varying module is M1 (8.08% CV).
+    assert max(result.cv_pct, key=result.cv_pct.get) == "M1"

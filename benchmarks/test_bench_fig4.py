@@ -1,0 +1,12 @@
+"""Bench E-fig4: regenerate Fig 4 (BER vs relative row location)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_ber_location
+
+
+def test_bench_fig4(benchmark, bench_scale):
+    result = run_once(benchmark, fig4_ber_location.run, bench_scale)
+    print()
+    print(result.render())
+    # Takeaway 2: repeating spatial patterns exist in every module.
+    assert all(c.peak_to_trough() > 1.005 for c in result.curves.values())

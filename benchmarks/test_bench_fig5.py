@@ -1,0 +1,13 @@
+"""Bench E-fig5: regenerate Fig 5 (HC_first distribution)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_hcfirst_distribution
+
+
+def test_bench_fig5(benchmark, bench_scale):
+    result = run_once(benchmark, fig5_hcfirst_distribution.run, bench_scale)
+    print()
+    print(result.render())
+    # The measured minimum never undercuts Table 5's published minimum.
+    for label, minimum in result.minima.items():
+        assert minimum >= result.paper_minima[label]

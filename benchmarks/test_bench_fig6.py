@@ -1,0 +1,14 @@
+"""Bench E-fig6: regenerate Fig 6 (HC_first vs location, irregular)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_hcfirst_location
+
+
+def test_bench_fig6(benchmark, bench_scale):
+    result = run_once(benchmark, fig6_hcfirst_location.run, bench_scale)
+    print()
+    print(result.render())
+    # Obsv 9: H-module HC_first shows no regular location trend.
+    assert abs(result.autocorrelation["H4"]) < 0.2
+    # Obsv 8: large spread across rows.
+    assert result.spread["H0"] >= 4.0

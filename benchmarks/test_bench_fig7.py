@@ -1,0 +1,13 @@
+"""Bench E-fig7: regenerate Fig 7 (RowPress tAggOn sweep)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_rowpress
+
+
+def test_bench_fig7(benchmark, bench_scale):
+    result = run_once(benchmark, fig7_rowpress.run, bench_scale)
+    print()
+    print(result.render())
+    # Takeaway 5: HC_first drops roughly an order of magnitude by 2 us.
+    for mfr in ("H", "M", "S"):
+        assert 4.0 < result.reduction_factor(mfr) < 20.0

@@ -1,0 +1,18 @@
+"""Bench E-fig8: regenerate Fig 8 (subarray silhouette sweep)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_subarray_silhouette
+from repro.experiments.common import ExperimentScale
+
+
+def test_bench_fig8(benchmark):
+    scale = ExperimentScale(rows_per_bank=1024, banks=(0,), seed=0)
+    result = run_once(
+        benchmark, fig8_subarray_silhouette.run, scale,
+        modules=("S0", "S3", "S4"),
+    )
+    print()
+    print(result.render())
+    # The silhouette peak recovers the true subarray count.
+    for label, inference in result.inferences.items():
+        assert inference.inferred_k == result.true_subarrays[label]

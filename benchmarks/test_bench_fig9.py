@@ -1,0 +1,17 @@
+"""Bench E-fig9: regenerate Fig 9 (spatial features vs F1 threshold)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_spatial_features
+from repro.faults.modules import FEATURE_CORRELATED_MODULES
+
+
+def test_bench_fig9(benchmark, feature_scale):
+    result = run_once(benchmark, fig9_spatial_features.run, feature_scale)
+    print()
+    print(result.render())
+    # Takeaway 6: exactly S0/S1/S3/S4 keep features above F1 = 0.7.
+    assert set(result.modules_with_strong_features()) == set(
+        FEATURE_CORRELATED_MODULES
+    )
+    # No feature exceeds 0.8.
+    assert result.max_f1() <= 0.80

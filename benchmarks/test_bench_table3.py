@@ -1,0 +1,13 @@
+"""Bench E-tab3: regenerate Table 3 (features with F1 > 0.7)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_features
+from repro.faults.modules import FEATURE_CORRELATED_MODULES
+
+
+def test_bench_table3(benchmark, feature_scale):
+    result = run_once(benchmark, table3_features.run, feature_scale)
+    print()
+    print(result.render())
+    with_strong = {label for label, f in result.strong.items() if f}
+    assert with_strong == set(FEATURE_CORRELATED_MODULES)

@@ -1,0 +1,14 @@
+"""Bench E-tab5: regenerate Tables 1/5 (tested module registry)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5_modules
+
+
+def test_bench_table5(benchmark, bench_scale):
+    result = run_once(benchmark, table5_modules.run, bench_scale)
+    print()
+    print(result.render())
+    assert len(result.rows) == 15
+    for row in result.rows.values():
+        assert row.measured_min >= row.paper_min
+        assert abs(row.measured_avg - row.paper_avg) / row.paper_avg < 0.15

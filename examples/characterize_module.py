@@ -1,0 +1,57 @@
+"""Characterize a module with the paper's Algorithm 1.
+
+Runs the full test loop (WCDP search at 128K, hammer-count sweep,
+four representative banks) on one module and prints the spatial
+variation statistics behind Takeaways 1-4, plus a RowPress sweep.
+
+Run:  python examples/characterize_module.py [module-label]
+"""
+
+import sys
+
+from repro.characterization import (
+    CharacterizationConfig,
+    CharacterizationRunner,
+    RowPressStudy,
+    box_stats,
+    coefficient_of_variation_pct,
+    hc_first_histogram,
+)
+from repro.faults import module_by_label
+from repro.faults.variation import HC_GRID
+
+
+def main(label: str = "H1") -> None:
+    spec = module_by_label(label)
+    config = CharacterizationConfig(rows_per_bank=2048, banks=(1, 4, 10, 15))
+    print(f"Characterizing {label} ({spec.manufacturer.display_name}, "
+          f"{spec.density_gb}Gb die rev {spec.die_revision}, "
+          f"{config.rows_per_bank} rows/bank) ...")
+
+    result = CharacterizationRunner(spec, config).run()
+
+    ber = result.all_ber()
+    print(f"\nBER @ 128K hammers across {len(ber)} rows:")
+    stats = box_stats(ber)
+    print(f"  mean {stats.mean:.3e}, IQR [{stats.q1:.3e}, {stats.q3:.3e}]")
+    print(f"  CV {coefficient_of_variation_pct(ber):.2f}% "
+          f"(paper: {spec.ber_cv_pct:.2f}%)")
+
+    measured = result.all_hc_first()
+    print(f"\nHC_first distribution (min {measured.min() // 1024}K, "
+          f"paper min {spec.hc_min // 1024}K):")
+    for value, fraction in sorted(hc_first_histogram(measured, HC_GRID).items()):
+        if fraction > 0:
+            bar = "#" * max(1, int(fraction * 50))
+            print(f"  {value // 1024:>4}K {fraction * 100:5.1f}% {bar}")
+
+    print("\nRowPress sweep (HC_first means):")
+    study = RowPressStudy(spec, config)
+    sweeps = study.run()
+    for t_on, boxes in RowPressStudy.hc_first_boxes(sweeps).items():
+        print(f"  tAggOn {t_on:>7.0f} ns -> mean HC_first "
+              f"{boxes.mean / 1024:.1f}K")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "H1")

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The sandboxed environment has an older setuptools without the wheel
+package, so editable installs need the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,34 @@
+"""repro: reproduction of "Spatial Variation-Aware Read Disturbance
+Defenses" (Svärd, HPCA 2024).
+
+The library has four layers:
+
+1. **Substrates** -- :mod:`repro.dram` (a behavioural DDR4 device
+   model) and :mod:`repro.faults` (a read-disturbance fault model
+   calibrated to the paper's published measurements).
+2. **Characterization** -- :mod:`repro.bender` (a DRAM Bender-style
+   testing platform), :mod:`repro.characterization` (Algorithm 1),
+   :mod:`repro.reveng` and :mod:`repro.analysis` (subarray reverse
+   engineering and spatial-feature statistics).
+3. **Svärd and defenses** -- :mod:`repro.core` (the Svärd mechanism)
+   and :mod:`repro.defenses` (PARA, BlockHammer, Hydra, AQUA, RRS).
+4. **Evaluation** -- :mod:`repro.sim` (an event-driven DDR4 memory
+   system simulator), :mod:`repro.workloads`, and
+   :mod:`repro.experiments` (one module per paper figure/table).
+"""
+
+__version__ = "1.0.0"
+
+from repro.dram import DramDevice, DramGeometry, TimingParameters
+from repro.faults import DisturbanceModel, ModuleSpec, MODULES, module_by_label
+
+__all__ = [
+    "__version__",
+    "DramDevice",
+    "DramGeometry",
+    "TimingParameters",
+    "DisturbanceModel",
+    "ModuleSpec",
+    "MODULES",
+    "module_by_label",
+]

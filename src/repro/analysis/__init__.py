@@ -1,0 +1,39 @@
+"""Statistical analysis: clustering, spatial features, correlation.
+
+* :mod:`repro.analysis.clustering` -- k-means (Lloyd's algorithm) and
+  silhouette scoring used by the subarray reverse engineering (Fig 8).
+* :mod:`repro.analysis.features` -- bit-level spatial feature
+  extraction (bank/row/subarray address bits, distance to the sense
+  amplifiers) per Section 5.4.
+* :mod:`repro.analysis.correlation` -- per-feature HC_first
+  prediction, confusion matrices, and F1 scores (Fig 9, Table 3).
+"""
+
+from repro.analysis.clustering import kmeans_1d, silhouette_score_1d, sweep_k
+from repro.analysis.features import SpatialFeature, extract_features
+from repro.analysis.correlation import (
+    FeatureCorrelation,
+    f1_score_weighted,
+    f1_micro,
+    binarize_measured,
+    confusion_matrix,
+    correlate_features,
+    fraction_above_threshold,
+    strong_features,
+)
+
+__all__ = [
+    "kmeans_1d",
+    "silhouette_score_1d",
+    "sweep_k",
+    "SpatialFeature",
+    "extract_features",
+    "FeatureCorrelation",
+    "f1_score_weighted",
+    "f1_micro",
+    "binarize_measured",
+    "confusion_matrix",
+    "correlate_features",
+    "fraction_above_threshold",
+    "strong_features",
+]

@@ -1,0 +1,26 @@
+"""DRAM Bender-style testing platform simulator.
+
+The paper characterizes chips with an FPGA board running DRAM Bender,
+a host machine, heater pads, and a PID temperature controller.  This
+package is the software stand-in: :class:`TestPlatform` executes the
+paper's test programs against the behavioural device model with the
+fault model attached, and :class:`TemperatureController` reproduces
+the +/-0.5 C thermal regulation the paper reports.
+"""
+
+from repro.bender.infrastructure import TestPlatform
+from repro.bender.temperature import TemperatureController, ThermalPlant
+from repro.bender.programs import (
+    hammer_doublesided_program,
+    row_initialization_program,
+    rowclone_program,
+)
+
+__all__ = [
+    "TestPlatform",
+    "TemperatureController",
+    "ThermalPlant",
+    "hammer_doublesided_program",
+    "row_initialization_program",
+    "rowclone_program",
+]

@@ -1,0 +1,252 @@
+"""The assembled testing platform (DRAM Bender analogue).
+
+:class:`TestPlatform` plays the role of the FPGA board + host machine:
+it owns a device under test (with the module's fault model attached),
+a temperature controller, and implements the measurement primitives of
+the paper's Algorithm 1 -- ``measure_BER`` and double-sided hammering
+-- plus the single-sided and RowClone probes the reverse-engineering
+methodology needs.
+
+Interference elimination (Section 4.1) is the default configuration:
+periodic refresh is disabled, test programs are bounded to the refresh
+window, and the device has no ECC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bender.programs import rowclone_program
+from repro.bender.temperature import TemperatureController
+from repro.dram.cells import count_mismatched_bits
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.dram.mapping import RowScrambler
+from repro.faults.datapatterns import DataPattern, bitwise_inverse
+from repro.faults.disturbance import DisturbanceModel
+from repro.faults.modules import ModuleSpec
+
+
+class RefreshWindowExceeded(RuntimeError):
+    """A test program ran longer than the refresh window allows.
+
+    The paper strictly bounds test programs within ``tREFW`` so that
+    retention failures cannot be mistaken for read disturbance.
+    """
+
+
+@dataclass
+class BerMeasurement:
+    """Result of one ``measure_BER`` invocation."""
+
+    victim_row: int
+    pattern: DataPattern
+    hammer_count: int
+    t_agg_on_ns: float
+    bitflips: int
+    row_bits: int
+
+    @property
+    def ber(self) -> float:
+        return self.bitflips / self.row_bits
+
+
+class TestPlatform:
+    """Executes characterization test programs against one module."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        spec: ModuleSpec,
+        *,
+        rows_per_bank: Optional[int] = None,
+        seed: int = 0,
+        temperature_c: float = 80.0,
+        enforce_refresh_window: bool = False,
+        regulate_temperature: bool = False,
+    ) -> None:
+        self.spec = spec
+        rows = rows_per_bank or spec.rows_per_bank
+        params = spec.variation_params(rows)
+        self.geometry = DramGeometry(
+            rows_per_bank=rows,
+            subarray_rows=params.subarray_rows,
+            columns_per_row=1024,
+        )
+        self.model = DisturbanceModel(
+            spec,
+            rows_per_bank=rows,
+            row_bits=self.geometry.row_bytes * 8,
+            seed=seed,
+            temperature_c=temperature_c,
+        )
+        self.device = DramDevice(
+            geometry=self.geometry,
+            timing=spec.timing,
+            scrambler=RowScrambler(rows_per_bank=rows, scheme=spec.scrambling),
+            observer=self.model,
+            refresh_enabled=False,
+            seed=seed,
+        )
+        self.enforce_refresh_window = enforce_refresh_window
+        self.temperature = TemperatureController(setpoint_c=temperature_c, seed=seed)
+        if regulate_temperature:
+            self.temperature.settle()
+        else:
+            self.temperature.plant.temperature_c = temperature_c
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 primitives
+    # ------------------------------------------------------------------
+
+    def aggressor_rows_for(self, victim_row: int) -> Tuple[int, int]:
+        """Logical addresses of the victim's physical neighbours.
+
+        This is the reverse-engineered mapping step of Section 4.2: a
+        double-sided hammer must target the rows that are *physically*
+        adjacent, which scrambling hides from the interface addresses.
+        """
+        return self.device.scrambler.physical_neighbors(victim_row)
+
+    def initialize_victim(self, bank: int, victim_row: int, pattern: DataPattern) -> None:
+        """Write victim and aggressors with opposite fills (Algorithm 1)."""
+        below, above = self.aggressor_rows_for(victim_row)
+        self.device.write_row(bank, victim_row, pattern.victim_fill)
+        for aggressor in {below, above}:
+            self.device.write_row(bank, aggressor, pattern.aggressor_fill)
+        physical = self.device.scrambler.to_physical(victim_row)
+        self.model.set_pattern_hint(bank, physical, pattern)
+
+    def hammer_doublesided(
+        self,
+        bank: int,
+        victim_row: int,
+        hammer_count: int,
+        t_agg_on_ns: float = 36.0,
+    ) -> None:
+        """Alternately activate the two aggressors ``hammer_count`` times."""
+        below, above = self.aggressor_rows_for(victim_row)
+        start = self.device.clock_ns
+        self.device.hammer(bank, [below, above], hammer_count, t_agg_on_ns)
+        self._check_refresh_window(self.device.clock_ns - start)
+
+    def measure_ber(
+        self,
+        bank: int,
+        victim_row: int,
+        pattern: DataPattern,
+        hammer_count: int,
+        t_agg_on_ns: float = 36.0,
+    ) -> BerMeasurement:
+        """The paper's ``measure_BER``: initialize, hammer, compare."""
+        self.initialize_victim(bank, victim_row, pattern)
+        expected = np.full(
+            self.geometry.row_bytes, pattern.victim_fill, dtype=np.uint8
+        )
+        self.hammer_doublesided(bank, victim_row, hammer_count, t_agg_on_ns)
+        observed = self.device.read_row(bank, victim_row)
+        bitflips = count_mismatched_bits(observed, expected)
+        return BerMeasurement(
+            victim_row=victim_row,
+            pattern=pattern,
+            hammer_count=hammer_count,
+            t_agg_on_ns=t_agg_on_ns,
+            bitflips=bitflips,
+            row_bits=self.geometry.row_bytes * 8,
+        )
+
+    # ------------------------------------------------------------------
+    # Reverse-engineering probes
+    # ------------------------------------------------------------------
+
+    def single_sided_disturb_footprint(
+        self,
+        bank: int,
+        aggressor_row: int,
+        hammer_count: int,
+        radius: int = 3,
+    ) -> List[int]:
+        """Rows (logical) that flip when single-sided hammering one row.
+
+        The subarray reverse engineering (Key Insight 1) counts how
+        many rows a single-sided hammer disturbs: boundary rows disturb
+        fewer neighbours because the subarray isolates one side.
+        """
+        candidates = [
+            row
+            for offset in range(-radius, radius + 1)
+            if offset != 0
+            and self.geometry.valid_row(row := aggressor_row + offset)
+        ]
+        pattern = DataPattern.ROW_STRIPE
+        for row in candidates:
+            self.device.write_row(bank, row, pattern.victim_fill)
+        self.device.write_row(bank, aggressor_row, pattern.aggressor_fill)
+        self.device.hammer(bank, [aggressor_row], hammer_count)
+        expected = np.full(
+            self.geometry.row_bytes, pattern.victim_fill, dtype=np.uint8
+        )
+        disturbed = []
+        for row in candidates:
+            observed = self.device.read_row(bank, row)
+            if count_mismatched_bits(observed, expected) > 0:
+                disturbed.append(row)
+        return disturbed
+
+    def single_sided_disturbs(
+        self,
+        bank: int,
+        aggressor_row: int,
+        victim_row: int,
+        hammer_count: int,
+    ) -> bool:
+        """Does single-sided hammering of one row flip bits in another?
+
+        Both addresses are logical; callers probing *physical*
+        adjacency (the subarray reverse engineering) translate through
+        the reverse-engineered row mapping first.
+        """
+        pattern = DataPattern.ROW_STRIPE
+        self.device.write_row(bank, victim_row, pattern.victim_fill)
+        self.device.write_row(bank, aggressor_row, pattern.aggressor_fill)
+        self.device.hammer(bank, [aggressor_row], hammer_count)
+        expected = np.full(
+            self.geometry.row_bytes, pattern.victim_fill, dtype=np.uint8
+        )
+        observed = self.device.read_row(bank, victim_row)
+        return count_mismatched_bits(observed, expected) > 0
+
+    def try_rowclone(self, bank: int, src_row: int, dst_row: int) -> bool:
+        """Attempt an intra-subarray RowClone; True if data was copied.
+
+        A successful copy proves the two rows share a subarray (Key
+        Insight 2); a failed copy proves nothing.
+        """
+        marker = 0xC3
+        self.device.write_row(bank, src_row, marker)
+        self.device.write_row(bank, dst_row, bitwise_inverse(marker))
+        self.device.execute(rowclone_program(bank, src_row, dst_row), strict=False)
+        observed = self.device.read_row(bank, dst_row)
+        return bool(np.all(observed == marker))
+
+    # ------------------------------------------------------------------
+
+    def elapsed_test_ns(self) -> float:
+        return self.device.clock_ns
+
+    def _check_refresh_window(self, duration_ns: float) -> None:
+        if not self.enforce_refresh_window:
+            return
+        window = self.device.timing.derate_for_temperature(
+            self.temperature.setpoint_c
+        ).tREFW
+        if duration_ns > window:
+            raise RefreshWindowExceeded(
+                f"test program ran {duration_ns / 1e6:.1f} ms, beyond the "
+                f"{window / 1e6:.1f} ms refresh window; split the test"
+            )

@@ -1,0 +1,62 @@
+"""Test-program builders: explicit DDR4 command sequences.
+
+These builders produce the literal command streams of the paper's
+Algorithm 1 so they can be inspected, unit-tested, and executed
+command-by-command.  The :class:`repro.bender.TestPlatform` uses the
+device's bulk fast paths for large hammer counts, which are verified
+equivalent to these streams in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dram.commands import Command, act, pre, wait
+from repro.dram.timing import TimingParameters
+
+
+def hammer_doublesided_program(
+    bank: int,
+    aggressor_rows: Sequence[int],
+    hammer_count: int,
+    t_agg_on_ns: float,
+    timing: TimingParameters,
+) -> List[Command]:
+    """The paper's ``hammer_doublesided`` loop as a command list.
+
+    One iteration issues, for each aggressor:
+    ``ACT(row); WAIT(tAggOn); PRE; WAIT(tRP)`` -- alternating between
+    the two aggressors, exactly as in Algorithm 1.
+    """
+    if hammer_count < 0:
+        raise ValueError("hammer count must be non-negative")
+    hold = max(0.0, t_agg_on_ns - timing.tRAS)
+    program: List[Command] = []
+    for _ in range(hammer_count):
+        for row in aggressor_rows:
+            program.append(act(bank, row))
+            if hold > 0:
+                program.append(wait(hold))
+            program.append(pre(bank))
+    return program
+
+
+def row_initialization_program(
+    bank: int, row: int, timing: TimingParameters
+) -> List[Command]:
+    """ACT + PRE wrapper around a full-row write.
+
+    The column writes themselves go through the platform's bulk write
+    (writing 1024 columns as commands adds nothing to the model); this
+    program documents the activation cost around them.
+    """
+    return [act(bank, row), wait(timing.tRCD), pre(bank)]
+
+
+def rowclone_program(bank: int, src_row: int, dst_row: int) -> List[Command]:
+    """ACT(src) -> PRE -> ACT(dst) with deliberately violated timing.
+
+    Executing this with ``strict=False`` triggers the device's
+    intra-subarray RowClone behaviour (ComputeDRAM-style).
+    """
+    return [act(bank, src_row), pre(bank), act(bank, dst_row), pre(bank)]

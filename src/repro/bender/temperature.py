@@ -1,0 +1,120 @@
+"""Thermal regulation: heater pads plus a PID controller.
+
+The paper presses heater pads against the chips and regulates their
+temperature with a MaxWell FT200 PID controller to within +/-0.5 C.
+We model a first-order thermal plant (heat capacity + loss to ambient)
+driven by a clamped PID loop with sensor noise, and verify the same
+stability property in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class ThermalPlant:
+    """First-order lumped thermal model of DIMM + heater pads.
+
+    ``dT/dt = (heater_watts - loss_w_per_c * (T - ambient)) / capacity``
+    """
+
+    ambient_c: float = 25.0
+    capacity_j_per_c: float = 40.0
+    loss_w_per_c: float = 0.8
+    temperature_c: float = 25.0
+
+    def step(self, heater_watts: float, dt_s: float) -> float:
+        """Advance the plant by ``dt_s`` seconds; returns temperature."""
+        if dt_s <= 0:
+            raise ValueError("time step must be positive")
+        if heater_watts < 0:
+            raise ValueError("heater power cannot be negative")
+        loss = self.loss_w_per_c * (self.temperature_c - self.ambient_c)
+        self.temperature_c += (heater_watts - loss) / self.capacity_j_per_c * dt_s
+        return self.temperature_c
+
+    def steady_state_power(self, target_c: float) -> float:
+        """Heater power that holds ``target_c`` indefinitely."""
+        return max(0.0, self.loss_w_per_c * (target_c - self.ambient_c))
+
+
+@dataclass
+class TemperatureController:
+    """Clamped PID loop driving the heater pads (FT200 analogue)."""
+
+    setpoint_c: float = 80.0
+    kp: float = 18.0
+    ki: float = 0.9
+    kd: float = 4.0
+    max_power_w: float = 120.0
+    sensor_noise_c: float = 0.05
+    seed: int = 0
+
+    plant: ThermalPlant = field(default_factory=ThermalPlant)
+
+    def __post_init__(self) -> None:
+        self._integral = 0.0
+        self._previous_error = 0.0
+        self._rng = np.random.default_rng(self.seed)
+        self.history: List[float] = []
+
+    def measure(self) -> float:
+        """Thermocouple reading: plant temperature plus sensor noise."""
+        return self.plant.temperature_c + float(
+            self._rng.normal(0.0, self.sensor_noise_c)
+        )
+
+    def step(self, dt_s: float = 1.0) -> float:
+        """One control period: measure, compute PID output, heat."""
+        measured = self.measure()
+        error = self.setpoint_c - measured
+        self._integral += error * dt_s
+        # Anti-windup: bound the integral to what the heater can act on.
+        bound = self.max_power_w / max(self.ki, 1e-9)
+        self._integral = float(np.clip(self._integral, -bound, bound))
+        derivative = (error - self._previous_error) / dt_s
+        self._previous_error = error
+        power = self.kp * error + self.ki * self._integral + self.kd * derivative
+        power = float(np.clip(power, 0.0, self.max_power_w))
+        temperature = self.plant.step(power, dt_s)
+        self.history.append(temperature)
+        return temperature
+
+    def run(self, seconds: float, dt_s: float = 1.0) -> np.ndarray:
+        """Run the loop for a duration; returns the temperature trace."""
+        steps = max(1, int(round(seconds / dt_s)))
+        return np.array([self.step(dt_s) for _ in range(steps)])
+
+    def settle(self, tolerance_c: float = 0.5, max_seconds: float = 3600.0) -> float:
+        """Run until the plant holds the setpoint within ``tolerance_c``.
+
+        Returns the settling time in seconds.  Raises ``RuntimeError``
+        if the loop cannot settle within ``max_seconds`` (a sign of a
+        misconfigured plant or gains).
+        """
+        window: List[float] = []
+        elapsed = 0.0
+        while elapsed < max_seconds:
+            temperature = self.step(1.0)
+            elapsed += 1.0
+            window.append(temperature)
+            window = window[-60:]
+            if len(window) == 60 and all(
+                abs(t - self.setpoint_c) <= tolerance_c for t in window
+            ):
+                return elapsed
+        raise RuntimeError(
+            f"temperature failed to settle within {max_seconds} s "
+            f"(last reading {self.plant.temperature_c:.2f} C)"
+        )
+
+    def stability_band_c(self, last_n: int = 300) -> float:
+        """Half-width of the recent temperature excursion band."""
+        if not self.history:
+            return float("inf")
+        recent = np.asarray(self.history[-last_n:])
+        return float(np.max(np.abs(recent - self.setpoint_c)))

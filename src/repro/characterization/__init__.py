@@ -1,0 +1,43 @@
+"""Characterization pipeline: the paper's Algorithm 1 and analyses.
+
+* :mod:`repro.characterization.metrics` -- BER/HC_first statistics
+  (box-and-whisker stats, coefficient of variation, histograms).
+* :mod:`repro.characterization.runner` -- the Algorithm 1 test loop in
+  two equivalent modes: ``platform`` (command-accurate, against the
+  bender simulator) and ``analytic`` (closed-form fast path for
+  full-bank sweeps).
+* :mod:`repro.characterization.rowpress` -- the tAggOn sweeps of
+  Section 5.3.
+* :mod:`repro.characterization.aging_study` -- the Section 5.5 re-
+  characterization after stress.
+"""
+
+from repro.characterization.metrics import (
+    BoxStats,
+    box_stats,
+    coefficient_of_variation_pct,
+    hc_first_histogram,
+)
+from repro.characterization.runner import (
+    BankProfile,
+    CharacterizationConfig,
+    CharacterizationRunner,
+    ModuleCharacterization,
+)
+from repro.characterization.rowpress import RowPressStudy, T_AGG_ON_SWEEP_NS
+from repro.characterization.aging_study import AgingStudy, AgingStudyResult
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "coefficient_of_variation_pct",
+    "hc_first_histogram",
+    "BankProfile",
+    "CharacterizationConfig",
+    "CharacterizationRunner",
+    "ModuleCharacterization",
+    "RowPressStudy",
+    "T_AGG_ON_SWEEP_NS",
+    "AgingStudy",
+    "AgingStudyResult",
+]

@@ -1,0 +1,97 @@
+"""Statistics used throughout the paper's figures.
+
+The box-and-whisker convention follows the paper's footnote 10: the
+box spans the first to third quartile, whiskers mark the central
+1.5*IQR range, and the mean is reported separately (the white circles
+in Figs 3 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Summary of a distribution as drawn in the paper's box plots."""
+
+    mean: float
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def box_stats(values: np.ndarray) -> BoxStats:
+    """Compute box-plot statistics (paper footnote 10 conventions)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty distribution")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    low_candidates = arr[arr >= q1 - 1.5 * iqr]
+    high_candidates = arr[arr <= q3 + 1.5 * iqr]
+    return BoxStats(
+        mean=float(arr.mean()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        whisker_low=float(low_candidates.min()),
+        whisker_high=float(high_candidates.max()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def coefficient_of_variation_pct(values: np.ndarray) -> float:
+    """CV in percent: stddev normalized to the mean (footnote 11)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty distribution")
+    mean = arr.mean()
+    if mean == 0:
+        raise ValueError("CV undefined for zero-mean data")
+    return float(100.0 * arr.std() / mean)
+
+
+def hc_first_histogram(
+    measured: np.ndarray, grid: Sequence[int]
+) -> Dict[int, float]:
+    """Fraction of rows at each grid HC_first value (Fig 5's y-axis)."""
+    arr = np.asarray(measured, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty distribution")
+    total = arr.size
+    return {int(g): float(np.mean(arr == g)) for g in sorted(grid)}
+
+
+def normalize_to_minimum(values: np.ndarray) -> np.ndarray:
+    """Normalize a positive array to its minimum (Figs 4 and 6)."""
+    arr = np.asarray(values, dtype=np.float64)
+    minimum = arr.min()
+    if minimum <= 0:
+        raise ValueError("normalization requires positive values")
+    return arr / minimum
+
+
+def bank_agreement_ratio(per_bank_means: Mapping[int, float]) -> float:
+    """Max/min ratio of per-bank means (Obsvs 2 and 6: close to 1)."""
+    means = list(per_bank_means.values())
+    if not means:
+        raise ValueError("no banks given")
+    low = min(means)
+    if low <= 0:
+        raise ValueError("bank means must be positive")
+    return max(means) / low

@@ -1,0 +1,273 @@
+"""The Algorithm 1 test loop.
+
+:class:`CharacterizationRunner` profiles the spatial variation of read
+disturbance for one module, in either of two modes:
+
+* ``platform`` -- executes the real measurement sequence against the
+  :class:`repro.bender.TestPlatform` (initialize rows, double-sided
+  hammer, read back, compare), per row and per hammer count.  This is
+  command-faithful but slow, so it is meant for small banks and for
+  validating the fast path.
+* ``analytic`` -- evaluates the fault model's closed forms, vectorized
+  over all rows.  The test suite verifies both modes agree.
+
+Following Section 4.1, the runner can repeat each test ``iterations``
+times and record the worst case (largest BER, smallest HC_first); the
+paper reports a 5.7% iteration-to-iteration BER variation, which the
+analytic mode reproduces with multiplicative jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bender.infrastructure import TestPlatform
+from repro.dram.geometry import REPRESENTATIVE_BANKS
+from repro.faults.datapatterns import DATA_PATTERNS, WCDP_CANDIDATES, DataPattern
+from repro.faults.disturbance import DisturbanceModel, T_AGG_ON_MIN_NS
+from repro.faults.modules import ModuleSpec
+from repro.faults.variation import HC_128K, HC_GRID
+
+#: Iteration-to-iteration BER variation the paper reports (5.7%).
+ITERATION_BER_SIGMA = 0.057 / 2.0
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Parameters of one Algorithm 1 run."""
+
+    rows_per_bank: int = 2048
+    banks: Tuple[int, ...] = tuple(REPRESENTATIVE_BANKS)
+    hc_grid: Tuple[int, ...] = tuple(HC_GRID)
+    t_agg_on_ns: float = T_AGG_ON_MIN_NS
+    iterations: int = 1
+    mode: str = "analytic"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("analytic", "platform"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+        if not self.banks:
+            raise ValueError("need at least one bank")
+
+
+@dataclass
+class BankProfile:
+    """Per-row characterization results for one bank."""
+
+    module_label: str
+    bank: int
+    t_agg_on_ns: float
+    wcdp_index: np.ndarray
+    measured_hc_first: np.ndarray
+    ber_at_128k: np.ndarray
+    ber_by_hc: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> int:
+        return len(self.measured_hc_first)
+
+    def relative_locations(self) -> np.ndarray:
+        """Row position in [0, 1] across the bank (Figs 4, 6 x-axis)."""
+        n = self.rows
+        return np.arange(n) / max(n - 1, 1)
+
+
+@dataclass
+class ModuleCharacterization:
+    """All banks of one module at one tAggOn."""
+
+    module_label: str
+    t_agg_on_ns: float
+    banks: Dict[int, BankProfile]
+
+    def all_hc_first(self) -> np.ndarray:
+        return np.concatenate(
+            [profile.measured_hc_first for profile in self.banks.values()]
+        )
+
+    def all_ber(self) -> np.ndarray:
+        return np.concatenate(
+            [profile.ber_at_128k for profile in self.banks.values()]
+        )
+
+    def per_bank_mean_ber(self) -> Dict[int, float]:
+        return {
+            bank: float(profile.ber_at_128k.mean())
+            for bank, profile in self.banks.items()
+        }
+
+    def min_hc_first(self) -> int:
+        """The module's worst-case HC_first (red dashed line in Fig 5)."""
+        return int(self.all_hc_first().min())
+
+
+class CharacterizationRunner:
+    """Runs Algorithm 1 for one module."""
+
+    def __init__(self, spec: ModuleSpec, config: CharacterizationConfig) -> None:
+        self.spec = spec
+        self.config = config
+        if config.mode == "platform":
+            self._platform = TestPlatform(
+                spec, rows_per_bank=config.rows_per_bank, seed=config.seed
+            )
+            self._model = self._platform.model
+        else:
+            self._platform = None
+            self._model = DisturbanceModel(
+                spec, rows_per_bank=config.rows_per_bank, seed=config.seed
+            )
+
+    @property
+    def model(self) -> DisturbanceModel:
+        return self._model
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ModuleCharacterization:
+        """The full test loop over all configured banks."""
+        banks = {
+            bank: self.characterize_bank(bank) for bank in self.config.banks
+        }
+        return ModuleCharacterization(
+            module_label=self.spec.label,
+            t_agg_on_ns=self.config.t_agg_on_ns,
+            banks=banks,
+        )
+
+    def characterize_bank(
+        self, bank: int, rows: Optional[Sequence[int]] = None
+    ) -> BankProfile:
+        if self.config.mode == "analytic":
+            return self._characterize_bank_analytic(bank)
+        return self._characterize_bank_platform(bank, rows)
+
+    # ------------------------------------------------------------------
+    # Analytic mode (vectorized)
+    # ------------------------------------------------------------------
+
+    def _characterize_bank_analytic(self, bank: int) -> BankProfile:
+        model = self._model
+        t_on = self.config.t_agg_on_ns
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, bank, 0x17E2])
+        )
+        n = self.config.rows_per_bank
+
+        # Step 1 (Algorithm 1): find each row's WCDP at HC = 128K.
+        ber_by_pattern = np.stack(
+            [
+                model.analytic_ber(bank, HC_128K, t_agg_on_ns=t_on, pattern=p)
+                for p in DATA_PATTERNS
+            ]
+        )
+        wcdp_positions = np.argmax(ber_by_pattern, axis=0)
+        wcdp_index = np.array(
+            [
+                WCDP_CANDIDATES.index(DATA_PATTERNS[p])
+                if DATA_PATTERNS[p] in WCDP_CANDIDATES
+                else 0
+                for p in wcdp_positions
+            ],
+            dtype=np.int8,
+        )
+
+        # Step 2: sweep the hammer count at the WCDP.  "Worst case over
+        # iterations" = max BER / min HC_first, with iteration jitter.
+        ber_by_hc: Dict[int, np.ndarray] = {}
+        for hc in self.config.hc_grid:
+            base = model.analytic_ber(bank, hc, t_agg_on_ns=t_on, pattern=None)
+            worst = np.zeros(n)
+            for _ in range(self.config.iterations):
+                jitter = (
+                    1.0 + ITERATION_BER_SIGMA * rng.standard_normal(n)
+                    if self.config.iterations > 1
+                    else 1.0
+                )
+                worst = np.maximum(worst, base * jitter)
+            ber_by_hc[int(hc)] = np.clip(worst, 0.0, 1.0)
+
+        measured = self._measured_hc_first_from_bers(ber_by_hc)
+        return BankProfile(
+            module_label=self.spec.label,
+            bank=bank,
+            t_agg_on_ns=t_on,
+            wcdp_index=wcdp_index,
+            measured_hc_first=measured,
+            ber_at_128k=ber_by_hc[max(self.config.hc_grid)],
+            ber_by_hc=ber_by_hc,
+        )
+
+    def _measured_hc_first_from_bers(
+        self, ber_by_hc: Dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Smallest tested HC with at least one bitflip, per row."""
+        grid = sorted(ber_by_hc)
+        n = len(ber_by_hc[grid[0]])
+        measured = np.full(n, grid[-1], dtype=np.int64)
+        assigned = np.zeros(n, dtype=bool)
+        for hc in grid:
+            flipped = (ber_by_hc[hc] > 0) & ~assigned
+            measured[flipped] = hc
+            assigned |= flipped
+        return measured
+
+    # ------------------------------------------------------------------
+    # Platform mode (command-faithful)
+    # ------------------------------------------------------------------
+
+    def _characterize_bank_platform(
+        self, bank: int, rows: Optional[Sequence[int]]
+    ) -> BankProfile:
+        platform = self._platform
+        assert platform is not None
+        t_on = self.config.t_agg_on_ns
+        row_list = list(rows) if rows is not None else list(
+            range(self.config.rows_per_bank)
+        )
+        n = len(row_list)
+        hc_grid = sorted(self.config.hc_grid)
+        hc_max = hc_grid[-1]
+
+        wcdp_index = np.zeros(self.config.rows_per_bank, dtype=np.int8)
+        measured = np.full(self.config.rows_per_bank, hc_max, dtype=np.int64)
+        ber_by_hc = {
+            hc: np.zeros(self.config.rows_per_bank) for hc in hc_grid
+        }
+
+        for row in row_list:
+            # Find the WCDP at the maximum hammer count.
+            best_pattern, best_ber = DATA_PATTERNS[0], -1.0
+            for pattern in DATA_PATTERNS:
+                result = platform.measure_ber(bank, row, pattern, hc_max, t_on)
+                if result.ber > best_ber:
+                    best_pattern, best_ber = pattern, result.ber
+            if best_pattern in WCDP_CANDIDATES:
+                wcdp_index[row] = WCDP_CANDIDATES.index(best_pattern)
+
+            # Sweep the hammer count at the WCDP, worst case across
+            # iterations.
+            for hc in hc_grid:
+                worst = 0.0
+                for _ in range(self.config.iterations):
+                    result = platform.measure_ber(bank, row, best_pattern, hc, t_on)
+                    worst = max(worst, result.ber)
+                ber_by_hc[hc][row] = worst
+                if worst > 0 and measured[row] == hc_max:
+                    measured[row] = min(measured[row], hc)
+
+        return BankProfile(
+            module_label=self.spec.label,
+            bank=bank,
+            t_agg_on_ns=t_on,
+            wcdp_index=wcdp_index,
+            measured_hc_first=measured,
+            ber_at_128k=ber_by_hc[hc_max],
+            ber_by_hc=ber_by_hc,
+        )

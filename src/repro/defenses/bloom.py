@@ -1,0 +1,84 @@
+"""Counting Bloom filters (BlockHammer's tracking substrate).
+
+BlockHammer tracks per-row activation rates with a pair of counting
+Bloom filters used in alternating epochs, so stale history expires
+without per-row storage.  The filter overestimates (never
+underestimates) a row's count, which is the direction a security
+mechanism needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CountingBloomFilter:
+    """A counting Bloom filter over row addresses."""
+
+    n_counters: int = 1024
+    n_hashes: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_counters < 1 or self.n_hashes < 1:
+            raise ValueError("filter dimensions must be positive")
+        self._counters = np.zeros(self.n_counters, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        # Odd multipliers give full-period multiplicative hashes.
+        self._multipliers = rng.integers(1, 2**31, size=self.n_hashes) * 2 + 1
+        self._offsets = rng.integers(0, 2**31, size=self.n_hashes)
+
+    def _indices(self, key: int) -> np.ndarray:
+        return ((key * self._multipliers + self._offsets) >> 7) % self.n_counters
+
+    def insert(self, key: int) -> None:
+        self._counters[self._indices(key)] += 1
+
+    def estimate(self, key: int) -> int:
+        """Count estimate: never below the true insertion count."""
+        return int(self._counters[self._indices(key)].min())
+
+    def clear(self) -> None:
+        self._counters[:] = 0
+
+    @property
+    def total_insertions(self) -> int:
+        return int(self._counters.sum() // self.n_hashes)
+
+
+@dataclass
+class DualCountingBloomFilter:
+    """BlockHammer's epoch-rotating filter pair.
+
+    Both filters receive every insert; queries read the *older* filter,
+    which always holds at least one full epoch of history, so a row's
+    count is never underestimated right after an epoch boundary.  At
+    each boundary the older filter is cleared and the roles swap.
+    """
+
+    n_counters: int = 1024
+    n_hashes: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._filters = [
+            CountingBloomFilter(self.n_counters, self.n_hashes, self.seed),
+            CountingBloomFilter(self.n_counters, self.n_hashes, self.seed + 1),
+        ]
+        self._older = 0
+
+    def insert(self, key: int) -> None:
+        for filt in self._filters:
+            filt.insert(key)
+
+    def estimate(self, key: int) -> int:
+        return self._filters[self._older].estimate(key)
+
+    def rotate(self) -> None:
+        """Epoch boundary: retire the older filter's history."""
+        self._filters[self._older].clear()
+        self._older = 1 - self._older

@@ -1,0 +1,115 @@
+"""Hydra (Qureshi+, ISCA 2022): hybrid activation tracking.
+
+Hydra keeps a small *group count table* (GCT) in the memory
+controller: rows share a group counter until the group's total
+activation count crosses a threshold.  Only then does Hydra allocate
+exact per-row counters, which live *in DRAM* and are cached in a
+small *row count cache* (RCC).  The off-chip counter traffic on RCC
+misses is Hydra's dominant overhead -- notably, it depends on the
+access pattern, not on the threshold, which is why Svärd helps Hydra
+least (Obsv 14).
+
+When a row's exact count reaches half its threshold, Hydra refreshes
+the neighbours and resets the counter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
+
+from repro.defenses.base import (
+    CounterTraffic,
+    Defense,
+    Mitigation,
+    VictimRefresh,
+)
+
+
+class Hydra(Defense):
+    """Group counters + in-DRAM per-row counters + counter cache."""
+
+    name = "Hydra"
+
+    def __init__(
+        self,
+        hc_first: float,
+        *,
+        group_size: int = 128,
+        gct_fraction: float = 0.2,
+        refresh_fraction: float = 0.5,
+        rcc_entries: int = 4096,
+        **kwargs,
+    ) -> None:
+        super().__init__(hc_first, **kwargs)
+        if group_size < 1 or rcc_entries < 1:
+            raise ValueError("group size and cache size must be positive")
+        if not 0 < gct_fraction < refresh_fraction <= 1.0:
+            raise ValueError("require 0 < gct_fraction < refresh_fraction <= 1")
+        self.group_size = group_size
+        self.gct_fraction = gct_fraction
+        self.refresh_fraction = refresh_fraction
+        self.rcc_entries = rcc_entries
+        self._group_counts: Dict[Tuple[int, int], int] = {}
+        self._tracked_groups: Set[Tuple[int, int]] = set()
+        self._row_counts: Dict[Tuple[int, int], int] = {}
+        self._rcc: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def _group_of(self, bank: int, row: int) -> Tuple[int, int]:
+        return (bank, row // self.group_size)
+
+    def _rcc_access(self, bank: int, row: int) -> Tuple[int, int]:
+        """Access the row count cache; returns (reads, writes) to DRAM."""
+        key = (bank, row)
+        if key in self._rcc:
+            self._rcc.move_to_end(key)
+            self._rcc[key] = True  # counter incremented: dirty
+            return 0, 0
+        reads, writes = 1, 0  # miss: fetch the counter from DRAM
+        if len(self._rcc) >= self.rcc_entries:
+            _, dirty = self._rcc.popitem(last=False)
+            if dirty:
+                writes += 1  # write back the evicted counter
+        self._rcc[key] = True
+        return reads, writes
+
+    # ------------------------------------------------------------------
+
+    def on_activation(self, bank: int, row: int, now_ns: float) -> List[Mitigation]:
+        self.stats.activations_observed += 1
+        mitigations: List[Mitigation] = []
+        group = self._group_of(bank, row)
+        threshold = self.min_victim_threshold(bank, row)
+
+        if group not in self._tracked_groups:
+            count = self._group_counts.get(group, 0) + 1
+            self._group_counts[group] = count
+            if count > self.gct_fraction * threshold:
+                # Escalate: per-row counters start at the group count
+                # (conservative) and live in DRAM from now on.
+                self._tracked_groups.add(group)
+            else:
+                return []
+
+        reads, writes = self._rcc_access(bank, row)
+        if reads or writes:
+            mitigations.append(CounterTraffic(bank=bank, reads=reads, writes=writes))
+
+        key = (bank, row)
+        count = self._row_counts.get(key, self._group_counts.get(group, 0)) + 1
+        self._row_counts[key] = count
+        if count >= self.refresh_fraction * threshold:
+            mitigations.append(VictimRefresh(bank=bank, rows=self.victim_rows(row)))
+            self._row_counts[key] = 0
+        self.stats.record(mitigations)
+        return mitigations
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        self._group_counts.clear()
+        self._tracked_groups.clear()
+        self._row_counts.clear()
+        # Cached counters are now stale; drop them (clean: the reset
+        # value is implicit).
+        self._rcc.clear()

@@ -1,0 +1,105 @@
+"""Randomized Row-Swap (Saileshwar+, ASPLOS 2022).
+
+RRS tracks frequently activated rows (the paper uses a Misra-Gries
+hot-row tracker) and, when a row's count reaches a swap threshold,
+exchanges its content with a *random* row of the bank.  Breaking the
+spatial correlation between aggressor and victim means an attacker
+must re-locate the victim after every swap.
+
+The swap threshold is a small fraction of ``HC_first`` (the RRS paper
+uses ``T/6`` to account for multiple swaps per window), and each swap
+costs two full row copies -- which is why RRS degrades so sharply at
+low thresholds (92%+ overhead at HC_first = 64, Fig 12) and why Svärd
+recovers so much of it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.defenses.base import Defense, Mitigation, RowSwap
+
+
+class MisraGriesTracker:
+    """Space-bounded heavy-hitter tracker (RRS's hot-row tracker).
+
+    Guarantees every row activated more than ``total / (entries + 1)``
+    times is present, so no hot row escapes tracking.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("tracker needs at least one entry")
+        self.entries = entries
+        self.counts: Dict[int, int] = {}
+
+    def observe(self, key: int) -> int:
+        """Count an occurrence; returns the key's current estimate."""
+        if key in self.counts:
+            self.counts[key] += 1
+        elif len(self.counts) < self.entries:
+            self.counts[key] = 1
+        else:
+            # Decrement-all: the Misra-Gries eviction step.
+            for other in list(self.counts):
+                self.counts[other] -= 1
+                if self.counts[other] <= 0:
+                    del self.counts[other]
+            return 0
+        return self.counts[key]
+
+    def reset(self, key: int) -> None:
+        self.counts.pop(key, None)
+
+    def clear(self) -> None:
+        self.counts.clear()
+
+
+class RandomizedRowSwap(Defense):
+    """Hot-row tracking plus random swaps."""
+
+    name = "RRS"
+
+    def __init__(
+        self,
+        hc_first: float,
+        *,
+        swap_fraction: float = 1.0 / 6.0,
+        tracker_entries: int = 2048,
+        **kwargs,
+    ) -> None:
+        super().__init__(hc_first, **kwargs)
+        if not 0 < swap_fraction <= 1.0:
+            raise ValueError("swap_fraction must be in (0, 1]")
+        self.swap_fraction = swap_fraction
+        self._trackers: Dict[int, MisraGriesTracker] = {}
+        self._tracker_entries = tracker_entries
+        self._rng = random.Random(self.seed)
+        #: Current location of swapped rows (bookkeeping for callers).
+        self.swap_map: Dict[Tuple[int, int], int] = {}
+
+    def _tracker(self, bank: int) -> MisraGriesTracker:
+        if bank not in self._trackers:
+            self._trackers[bank] = MisraGriesTracker(self._tracker_entries)
+        return self._trackers[bank]
+
+    def on_activation(self, bank: int, row: int, now_ns: float) -> List[Mitigation]:
+        self.stats.activations_observed += 1
+        count = self._tracker(bank).observe(row)
+        threshold = self.min_victim_threshold(bank, row)
+        if count < max(1.0, self.swap_fraction * threshold):
+            return []
+        partner = self._rng.randrange(self.rows_per_bank)
+        if partner == row:
+            partner = (partner + 1) % self.rows_per_bank
+        self._tracker(bank).reset(row)
+        self.swap_map[(bank, row)] = partner
+        mitigations: List[Mitigation] = [RowSwap(bank=bank, row_a=row, row_b=partner)]
+        self.stats.record(mitigations)
+        return mitigations
+
+    def on_refresh_window(self, now_ns: float) -> None:
+        for tracker in self._trackers.values():
+            tracker.clear()
+        self.swap_map.clear()

@@ -1,0 +1,123 @@
+"""Per-bank state machine with timing enforcement.
+
+A :class:`Bank` tracks the open row and the times of the last ACT and
+PRE so the device model can verify the JEDEC constraints the paper's
+test programs obey (tRAS before PRE, tRP before the next ACT, tRC
+between ACTs to the same bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+from repro.dram.timing import TimingParameters
+
+
+class BankState(Enum):
+    """Precharged (no open row) or active (a row in the row buffer)."""
+
+    PRECHARGED = auto()
+    ACTIVE = auto()
+
+
+class TimingError(Exception):
+    """A command was issued before its timing constraints elapsed."""
+
+
+@dataclass
+class RowClosure:
+    """Record of a row being closed: which row, and how long it was open.
+
+    ``on_time_ns`` is the aggressor-on time (tAggOn) that the RowPress
+    fault model consumes.
+    """
+
+    row: int
+    opened_at_ns: float
+    closed_at_ns: float
+
+    @property
+    def on_time_ns(self) -> float:
+        return self.closed_at_ns - self.opened_at_ns
+
+
+@dataclass
+class Bank:
+    """State machine for one DRAM bank."""
+
+    timing: TimingParameters
+    state: BankState = BankState.PRECHARGED
+    open_row: Optional[int] = None
+    last_act_ns: float = field(default=-1e18)
+    last_pre_ns: float = field(default=-1e18)
+    activation_count: int = 0
+
+    def ready_for_act(self, now_ns: float) -> float:
+        """Earliest time an ACT may legally be issued (>= ``now_ns``)."""
+        earliest = max(
+            self.last_pre_ns + self.timing.tRP,
+            self.last_act_ns + self.timing.tRC,
+        )
+        return max(now_ns, earliest)
+
+    def ready_for_pre(self, now_ns: float) -> float:
+        """Earliest time a PRE may legally be issued (>= ``now_ns``)."""
+        return max(now_ns, self.last_act_ns + self.timing.tRAS)
+
+    def activate(self, now_ns: float, row: int, *, strict: bool = True) -> None:
+        """Open ``row``.
+
+        With ``strict=True`` (the default) a :class:`TimingError` is
+        raised when tRP or tRC have not elapsed.  ``strict=False``
+        permits deliberate violations, which the RowClone reverse
+        engineering tests rely on.
+        """
+        if self.state is BankState.ACTIVE:
+            raise TimingError(
+                f"ACT to bank with open row {self.open_row}: precharge first"
+            )
+        if strict and now_ns < self.ready_for_act(now_ns := now_ns) - 1e-9:
+            raise TimingError(
+                f"ACT at {now_ns:.2f} ns violates tRP/tRC "
+                f"(ready at {self.ready_for_act(now_ns):.2f} ns)"
+            )
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.last_act_ns = now_ns
+        self.activation_count += 1
+
+    def precharge(self, now_ns: float, *, strict: bool = True) -> Optional[RowClosure]:
+        """Close the open row, returning a :class:`RowClosure` record.
+
+        Precharging an already-precharged bank is a legal no-op in DDR4
+        and returns ``None``.
+        """
+        if self.state is BankState.PRECHARGED:
+            self.last_pre_ns = max(self.last_pre_ns, now_ns)
+            return None
+        if strict and now_ns < self.ready_for_pre(now_ns) - 1e-9:
+            raise TimingError(
+                f"PRE at {now_ns:.2f} ns violates tRAS "
+                f"(ready at {self.ready_for_pre(now_ns):.2f} ns)"
+            )
+        closure = RowClosure(
+            row=self.open_row,
+            opened_at_ns=self.last_act_ns,
+            closed_at_ns=now_ns,
+        )
+        self.state = BankState.PRECHARGED
+        self.open_row = None
+        self.last_pre_ns = now_ns
+        return closure
+
+    def check_column_access(self, now_ns: float) -> None:
+        """Verify a RD/WR is legal: the bank is active and tRCD elapsed."""
+        if self.state is not BankState.ACTIVE:
+            raise TimingError("column access to a precharged bank")
+        if now_ns < self.last_act_ns + self.timing.tRCD - 1e-9:
+            raise TimingError(
+                f"column access at {now_ns:.2f} ns violates tRCD "
+                f"(row ready at {self.last_act_ns + self.timing.tRCD:.2f} ns)"
+            )

@@ -1,0 +1,84 @@
+"""DDR4 command set.
+
+The device model and the performance simulator both speak this small
+command vocabulary.  Commands are plain immutable records; timing
+enforcement lives in :mod:`repro.dram.bank` and
+:mod:`repro.sim.dram_system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+
+class CommandKind(Enum):
+    """The DDR4 commands the paper's methodology uses."""
+
+    ACT = auto()
+    PRE = auto()
+    RD = auto()
+    WR = auto()
+    REF = auto()
+    #: Not a bus command: models `WAIT(t)` in the paper's Algorithm 1.
+    WAIT = auto()
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command with its operands.
+
+    ``bank`` and ``row`` are required for ACT; ``bank`` for PRE (we
+    model per-bank precharge); ``bank``/``column`` for RD/WR; ``wait_ns``
+    for WAIT.  REF takes no operands (rank-level refresh).
+    """
+
+    kind: CommandKind
+    rank: int = 0
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+    wait_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandKind.ACT and (self.bank is None or self.row is None):
+            raise ValueError("ACT requires bank and row")
+        if self.kind is CommandKind.PRE and self.bank is None:
+            raise ValueError("PRE requires bank")
+        if self.kind in (CommandKind.RD, CommandKind.WR) and (
+            self.bank is None or self.column is None
+        ):
+            raise ValueError(f"{self.kind.name} requires bank and column")
+        if self.kind is CommandKind.WAIT and self.wait_ns < 0:
+            raise ValueError("WAIT requires a non-negative duration")
+
+
+def act(bank: int, row: int, rank: int = 0) -> Command:
+    """Row activation: open ``row`` in ``bank``."""
+    return Command(CommandKind.ACT, rank=rank, bank=bank, row=row)
+
+
+def pre(bank: int, rank: int = 0) -> Command:
+    """Bank precharge: close the open row of ``bank``."""
+    return Command(CommandKind.PRE, rank=rank, bank=bank)
+
+
+def rd(bank: int, column: int, rank: int = 0) -> Command:
+    """Column read from the open row of ``bank``."""
+    return Command(CommandKind.RD, rank=rank, bank=bank, column=column)
+
+
+def wr(bank: int, column: int, rank: int = 0) -> Command:
+    """Column write to the open row of ``bank``."""
+    return Command(CommandKind.WR, rank=rank, bank=bank, column=column)
+
+
+def ref(rank: int = 0) -> Command:
+    """Rank-level refresh."""
+    return Command(CommandKind.REF, rank=rank)
+
+
+def wait(ns: float) -> Command:
+    """Idle for ``ns`` nanoseconds (Algorithm 1's WAIT)."""
+    return Command(CommandKind.WAIT, wait_ns=ns)

@@ -1,0 +1,152 @@
+"""JEDEC DDR4 timing parameters.
+
+All values are stored in nanoseconds.  The presets below correspond to
+the speed grades of the modules in the paper's Table 5 (DDR4-3200,
+-2933, -2666, and -2400).  Values follow JESD79-4C; where a parameter
+depends on the speed bin we use the common datasheet value for that bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """DDR4 timing parameters in nanoseconds.
+
+    Attributes mirror the JEDEC names used throughout the paper:
+
+    * ``tRCD`` -- row activation latency: ACT to first RD/WR.
+    * ``tRAS`` -- minimum time a row must stay open (charge restoration).
+    * ``tRP``  -- precharge latency: PRE to next ACT.
+    * ``tRC``  -- full row cycle (``tRAS + tRP``).
+    * ``tCL``  -- column (read) access latency.
+    * ``tCWL`` -- column write latency.
+    * ``tBL``  -- burst transfer time on the data bus (BL8).
+    * ``tRRD_S``/``tRRD_L`` -- ACT-to-ACT, different / same bank group.
+    * ``tCCD_S``/``tCCD_L`` -- column-to-column, different / same group.
+    * ``tFAW`` -- rolling four-activate window.
+    * ``tWR``  -- write recovery.
+    * ``tWTR_S``/``tWTR_L`` -- write-to-read turnaround.
+    * ``tRTP`` -- read to precharge.
+    * ``tRFC`` -- refresh latency for one REF command.
+    * ``tREFI`` -- refresh command interval (7.8 us at <= 85 C).
+    * ``tREFW`` -- refresh window (64 ms at <= 85 C).
+    """
+
+    data_rate_mts: int = 3200
+    tCK: float = 0.625
+    tRCD: float = 13.75
+    tRAS: float = 32.0
+    tRP: float = 13.75
+    tCL: float = 13.75
+    tCWL: float = 10.0
+    tBL: float = 2.5
+    tRRD_S: float = 2.5
+    tRRD_L: float = 4.9
+    tCCD_S: float = 2.5
+    tCCD_L: float = 3.125
+    tFAW: float = 21.0
+    tWR: float = 15.0
+    tWTR_S: float = 2.5
+    tWTR_L: float = 7.5
+    tRTP: float = 7.5
+    tRFC: float = 350.0
+    tREFI: float = 7800.0
+    tREFW: float = 64_000_000.0
+
+    @property
+    def tRC(self) -> float:
+        """Row cycle time: the minimum ACT-to-ACT delay to one bank."""
+        return self.tRAS + self.tRP
+
+    def derate_for_temperature(self, celsius: float) -> "TimingParameters":
+        """Return parameters adjusted for the extended temperature range.
+
+        Above 85 C JEDEC halves the refresh window and interval
+        (2x refresh); at or below 85 C parameters are unchanged.
+        """
+        if celsius <= 85.0:
+            return self
+        return replace(self, tREFI=self.tREFI / 2.0, tREFW=self.tREFW / 2.0)
+
+    def activations_per_refresh_window(self) -> int:
+        """Upper bound on single-bank activations inside one ``tREFW``.
+
+        Useful for reasoning about the maximum hammer count an attacker
+        can issue between two refreshes of a victim row.
+        """
+        return int(self.tREFW // self.tRC)
+
+
+#: DDR4-3200 speed grade (modules H0-H4, M0, M4 in Table 5).
+DDR4_3200 = TimingParameters()
+
+#: DDR4-2933 speed grade (module M2).
+DDR4_2933 = TimingParameters(
+    data_rate_mts=2933,
+    tCK=0.682,
+    tRCD=13.64,
+    tRAS=32.0,
+    tRP=13.64,
+    tCL=13.64,
+    tCWL=10.9,
+    tBL=2.73,
+    tRRD_S=2.73,
+    tRRD_L=4.9,
+    tCCD_S=2.73,
+    tCCD_L=3.41,
+    tFAW=21.0,
+)
+
+#: DDR4-2666 speed grade (modules S0-S2, S4).
+DDR4_2666 = TimingParameters(
+    data_rate_mts=2666,
+    tCK=0.75,
+    tRCD=13.5,
+    tRAS=32.0,
+    tRP=13.5,
+    tCL=13.5,
+    tCWL=10.5,
+    tBL=3.0,
+    tRRD_S=3.0,
+    tRRD_L=4.9,
+    tCCD_S=3.0,
+    tCCD_L=3.75,
+    tFAW=21.0,
+)
+
+#: DDR4-2400 speed grade (modules M1, M3, S3).
+DDR4_2400 = TimingParameters(
+    data_rate_mts=2400,
+    tCK=0.833,
+    tRCD=13.32,
+    tRAS=32.0,
+    tRP=13.32,
+    tCL=13.32,
+    tCWL=10.0,
+    tBL=3.33,
+    tRRD_S=3.33,
+    tRRD_L=4.9,
+    tCCD_S=3.33,
+    tCCD_L=4.16,
+    tFAW=21.0,
+)
+
+_PRESETS = {
+    3200: DDR4_3200,
+    2933: DDR4_2933,
+    2666: DDR4_2666,
+    2400: DDR4_2400,
+}
+
+
+def timing_for_speed(data_rate_mts: int) -> TimingParameters:
+    """Return the preset :class:`TimingParameters` for a speed grade.
+
+    Raises:
+        KeyError: if ``data_rate_mts`` is not one of the supported
+            DDR4 speed grades (2400, 2666, 2933, 3200).
+    """
+    return _PRESETS[data_rate_mts]

@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Every module exposes a ``run(scale)`` function returning a result
+object with a ``render()`` method that prints the same rows/series the
+paper reports.  :class:`repro.experiments.common.ExperimentScale`
+carries the scale knobs; defaults are laptop-scale, and paper-scale
+values are documented in EXPERIMENTS.md.
+
+| Paper artifact | Module |
+|---|---|
+| Fig 3 (BER boxes + CV)          | :mod:`repro.experiments.fig3_ber_distribution` |
+| Fig 4 (BER vs location)         | :mod:`repro.experiments.fig4_ber_location` |
+| Fig 5 (HC_first histogram)      | :mod:`repro.experiments.fig5_hcfirst_distribution` |
+| Fig 6 (HC_first vs location)    | :mod:`repro.experiments.fig6_hcfirst_location` |
+| Fig 7 (RowPress tAggOn)         | :mod:`repro.experiments.fig7_rowpress` |
+| Fig 8 (subarray silhouette)     | :mod:`repro.experiments.fig8_subarray_silhouette` |
+| Fig 9 (spatial features vs F1)  | :mod:`repro.experiments.fig9_spatial_features` |
+| Fig 10 (aging)                  | :mod:`repro.experiments.fig10_aging` |
+| Fig 12 (Svärd performance)      | :mod:`repro.experiments.fig12_performance` |
+| Fig 13 (adversarial patterns)   | :mod:`repro.experiments.fig13_adversarial` |
+| Table 3 (strong features)       | :mod:`repro.experiments.table3_features` |
+| Table 5 (module registry)       | :mod:`repro.experiments.table5_modules` |
+| Section 6.4 (hardware cost)     | :mod:`repro.experiments.sec64_hardware_cost` |
+"""
+
+from repro.experiments.common import ExperimentScale
+
+__all__ = ["ExperimentScale"]

@@ -1,0 +1,81 @@
+"""Shared experiment configuration and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence, Tuple
+
+from repro.characterization.runner import (
+    CharacterizationConfig,
+    CharacterizationRunner,
+    ModuleCharacterization,
+)
+from repro.dram.geometry import REPRESENTATIVE_BANKS
+from repro.faults.modules import MODULES, ModuleSpec, module_by_label
+
+#: Every module label, in Table 5 order.
+ALL_MODULE_LABELS: Tuple[str, ...] = tuple(sorted(MODULES))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale knobs shared by the experiment harnesses.
+
+    Defaults run every experiment on a laptop in minutes.  Paper scale
+    is ``rows_per_bank`` = each module's real row count, ``n_mixes`` =
+    120, and ``requests_per_core`` high enough to cover 200M
+    instructions (see EXPERIMENTS.md for the mapping).
+    """
+
+    rows_per_bank: int = 2048
+    banks: Tuple[int, ...] = tuple(REPRESENTATIVE_BANKS)
+    modules: Tuple[str, ...] = ALL_MODULE_LABELS
+    n_mixes: int = 2
+    requests_per_core: int = 4000
+    hc_first_values: Tuple[int, ...] = (4096, 2048, 1024, 512, 256, 128, 64)
+    svard_profiles: Tuple[str, ...] = ("H1", "M0", "S0")
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows_per_bank < 64:
+            raise ValueError("rows_per_bank too small to be meaningful")
+        for label in self.modules:
+            module_by_label(label)
+        for label in self.svard_profiles:
+            module_by_label(label)
+
+    def characterization_config(self, **overrides) -> CharacterizationConfig:
+        defaults = dict(
+            rows_per_bank=self.rows_per_bank,
+            banks=self.banks,
+            seed=self.seed,
+        )
+        defaults.update(overrides)
+        return CharacterizationConfig(**defaults)
+
+
+_CHARACTERIZATION_CACHE: Dict[tuple, ModuleCharacterization] = {}
+
+
+def characterize(
+    label: str, scale: ExperimentScale, *, t_agg_on_ns: float = 36.0
+) -> ModuleCharacterization:
+    """Characterize one module (cached across experiments)."""
+    key = (label, scale.rows_per_bank, scale.banks, scale.seed, t_agg_on_ns)
+    if key not in _CHARACTERIZATION_CACHE:
+        runner = CharacterizationRunner(
+            module_by_label(label),
+            scale.characterization_config(t_agg_on_ns=t_agg_on_ns),
+        )
+        _CHARACTERIZATION_CACHE[key] = runner.run()
+    return _CHARACTERIZATION_CACHE[key]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([line(headers), separator, *[line(row) for row in rows]])

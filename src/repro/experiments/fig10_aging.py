@@ -1,0 +1,62 @@
+"""Fig 10: effect of 68 days of hammer stress on HC_first (module H3).
+
+The figure is a scatter of before- vs after-aging measured HC_first
+with per-transition population fractions; the fractions at each
+before-aging value sum to 1.0.  Obsv 12: a non-zero fraction of rows
+weakens by one grid step; Obsv 13: the strongest (128K) rows never
+change, but the worst case can drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.characterization.aging_study import AgingStudy, AgingStudyResult
+from repro.experiments.common import ExperimentScale, format_table
+from repro.faults.aging import AGING_DROP_FRACTIONS
+from repro.faults.modules import module_by_label
+
+
+@dataclass
+class Fig10Result:
+    study: AgingStudyResult
+    paper_fractions: Dict[int, float]
+
+    def render(self) -> str:
+        transitions = self.study.transitions()
+        rows = []
+        for (before, after), fraction in sorted(transitions.items()):
+            if before == after and fraction == 1.0:
+                continue  # uninteresting diagonal-only entries
+            rows.append(
+                [
+                    f"{before // 1024}K",
+                    f"{after // 1024}K",
+                    f"{fraction * 100:.1f}%",
+                ]
+            )
+        return (
+            f"Fig 10: aging of {self.study.module_label} "
+            f"after {self.study.days:.0f} days\n\n"
+            + format_table(["before", "after", "fraction"], rows)
+            + f"\n\nweakened fraction: {self.study.weakened_fraction() * 100:.2f}%"
+            + f"\nworst case changed: {self.study.worst_case_changed()}"
+        )
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    module: str = "H3",
+    days: float = 68.0,
+) -> Fig10Result:
+    study = AgingStudy(
+        module_by_label(module),
+        scale.characterization_config(banks=(scale.banks[0],)),
+        days=days,
+    )
+    return Fig10Result(
+        study=study.run(bank=scale.banks[0]),
+        paper_fractions=dict(AGING_DROP_FRACTIONS),
+    )

@@ -1,0 +1,190 @@
+"""Fig 12: performance of five defenses with and without Svärd.
+
+For each defense (AQUA, BlockHammer, Hydra, PARA, RRS), each Svärd
+configuration (No Svärd, Svärd-H1, Svärd-M0, Svärd-S0), and each
+worst-case HC_first (4K down to 64), the harness simulates the
+multiprogrammed mixes and reports weighted speedup, harmonic speedup,
+and maximum slowdown, normalized to a no-defense baseline -- the
+same three rows of subplots as the paper's figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import VulnerabilityProfile
+from repro.core.svard import Svard
+from repro.defenses import DEFENSE_CLASSES
+from repro.defenses.base import Defense, SvardThresholds, ThresholdProvider
+from repro.experiments.common import ExperimentScale, format_table
+from repro.faults.modules import module_by_label
+from repro.sim.config import SystemConfig
+from repro.sim.engine import MemorySystem
+from repro.sim.metrics import MultiProgramMetrics, compute_metrics
+from repro.workloads.mixes import (
+    WorkloadMix,
+    build_alone_trace,
+    build_traces,
+    generate_mixes,
+    single_core_config,
+)
+
+#: Compressed defense-epoch used by the simulated slice (see
+#: EXPERIMENTS.md, "time compression").
+DEFENSE_EPOCH_NS = 1_000_000.0
+
+#: Fig 12 configurations: No Svärd plus one profile per manufacturer.
+NO_SVARD = "No Svärd"
+
+
+@dataclass
+class Fig12Result:
+    """Averaged metrics per (defense, configuration, HC_first)."""
+
+    metrics: Dict[Tuple[str, str, int], MultiProgramMetrics]
+    configurations: Tuple[str, ...]
+    hc_values: Tuple[int, ...]
+    n_mixes: int
+
+    def weighted_speedup(self, defense: str, config: str, hc: int) -> float:
+        return self.metrics[(defense, config, hc)].weighted_speedup
+
+    def improvement(self, defense: str, config: str, hc: int) -> float:
+        """Svärd's speedup ratio over No Svärd (the paper's 1.23x etc.)."""
+        return (
+            self.metrics[(defense, config, hc)].weighted_speedup
+            / self.metrics[(defense, NO_SVARD, hc)].weighted_speedup
+        )
+
+    def mean_improvement(self, defense: str, hc: int) -> float:
+        """Average improvement across the Svärd profiles at one HC."""
+        svard_configs = [c for c in self.configurations if c != NO_SVARD]
+        return float(
+            np.mean([self.improvement(defense, c, hc) for c in svard_configs])
+        )
+
+    def render(self) -> str:
+        sections = []
+        for metric_name in ("weighted_speedup", "harmonic_speedup", "max_slowdown"):
+            rows = []
+            for (defense, config, hc), metrics in sorted(self.metrics.items()):
+                rows.append(
+                    [
+                        defense,
+                        config,
+                        str(hc),
+                        f"{getattr(metrics, metric_name):.3f}",
+                    ]
+                )
+            sections.append(
+                f"{metric_name} (normalized to no-defense baseline):\n"
+                + format_table(["defense", "config", "HC_first", "value"], rows)
+            )
+        return "Fig 12: Svärd performance evaluation\n\n" + "\n\n".join(sections)
+
+
+def _svard_provider(
+    profile_label: str, hc_first: int, scale: ExperimentScale
+) -> ThresholdProvider:
+    profile = VulnerabilityProfile.from_ground_truth(
+        module_by_label(profile_label),
+        banks=scale.banks,
+        rows_per_bank=scale.rows_per_bank,
+        seed=scale.seed,
+    ).scaled_to_worst_case(hc_first)
+    return SvardThresholds(Svard.build(profile))
+
+
+def _make_defense(
+    name: str,
+    hc_first: int,
+    config: SystemConfig,
+    thresholds: Optional[ThresholdProvider],
+    seed: int,
+) -> Defense:
+    kwargs = dict(rows_per_bank=config.rows_per_bank, seed=seed)
+    if thresholds is not None:
+        kwargs["thresholds"] = thresholds
+    if name == "BlockHammer":
+        kwargs["epoch_ns"] = config.defense_epoch_ns or DEFENSE_EPOCH_NS
+    return DEFENSE_CLASSES[name](hc_first, **kwargs)
+
+
+def _mean_metrics(values: Sequence[MultiProgramMetrics]) -> MultiProgramMetrics:
+    return MultiProgramMetrics(
+        weighted_speedup=float(np.mean([v.weighted_speedup for v in values])),
+        harmonic_speedup=float(np.mean([v.harmonic_speedup for v in values])),
+        max_slowdown=float(np.mean([v.max_slowdown for v in values])),
+    )
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    defenses: Optional[Sequence[str]] = None,
+    system_config: Optional[SystemConfig] = None,
+) -> Fig12Result:
+    defense_names = sorted(defenses) if defenses else sorted(DEFENSE_CLASSES)
+    config = system_config or SystemConfig(
+        requests_per_core=scale.requests_per_core,
+        defense_epoch_ns=DEFENSE_EPOCH_NS,
+    )
+    configurations = (NO_SVARD,) + tuple(
+        f"Svärd-{label}" for label in scale.svard_profiles
+    )
+    mixes = generate_mixes(scale.n_mixes, cores=config.cores, seed=scale.seed)
+
+    # Per-mix baselines: alone times (no defense) and shared baseline.
+    alone_times: Dict[str, List[float]] = {}
+    baseline: Dict[str, MultiProgramMetrics] = {}
+    alone_config = single_core_config(config)
+    for mix in mixes:
+        alone_times[mix.name] = [
+            MemorySystem(alone_config, build_alone_trace(mix, core, alone_config))
+            .run()
+            .cores[0]
+            .finish_ns
+            for core in range(config.cores)
+        ]
+        shared = MemorySystem(config, build_traces(mix, config)).run()
+        baseline[mix.name] = compute_metrics(
+            alone_times[mix.name], shared.finish_times()
+        )
+
+    providers: Dict[Tuple[str, int], ThresholdProvider] = {}
+    results: Dict[Tuple[str, str, int], MultiProgramMetrics] = {}
+    for defense_name in defense_names:
+        for configuration in configurations:
+            for hc in scale.hc_first_values:
+                per_mix = []
+                for mix in mixes:
+                    thresholds = None
+                    if configuration != NO_SVARD:
+                        profile_label = configuration.removeprefix("Svärd-")
+                        key = (profile_label, hc)
+                        if key not in providers:
+                            providers[key] = _svard_provider(
+                                profile_label, hc, scale
+                            )
+                        thresholds = providers[key]
+                    defense = _make_defense(
+                        defense_name, hc, config, thresholds, scale.seed
+                    )
+                    result = MemorySystem(
+                        config, build_traces(mix, config), defense=defense
+                    ).run()
+                    metrics = compute_metrics(
+                        alone_times[mix.name], result.finish_times()
+                    ).normalized_to(baseline[mix.name])
+                    per_mix.append(metrics)
+                results[(defense_name, configuration, hc)] = _mean_metrics(per_mix)
+    return Fig12Result(
+        metrics=results,
+        configurations=configurations,
+        hc_values=tuple(scale.hc_first_values),
+        n_mixes=len(mixes),
+    )

@@ -1,0 +1,88 @@
+"""Fig 3: distribution of BER across DRAM rows and banks.
+
+For each module and each representative bank, the paper draws the
+box-and-whisker distribution of per-row BER at HC = 128K (WCDP,
+tAggOn = 36 ns) and annotates the coefficient of variation across
+rows.  This harness regenerates those rows and checks the paper's
+Obsvs 1-3: rows vary, banks agree, modules differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.characterization.metrics import (
+    BoxStats,
+    bank_agreement_ratio,
+    box_stats,
+    coefficient_of_variation_pct,
+)
+from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.faults.modules import module_by_label
+
+
+@dataclass
+class Fig3Result:
+    """Per-(module, bank) BER box stats plus per-module CV."""
+
+    boxes: Dict[Tuple[str, int], BoxStats]
+    cv_pct: Dict[str, float]
+    paper_cv_pct: Dict[str, float]
+    bank_agreement: Dict[str, float]
+
+    def render(self) -> str:
+        rows = []
+        for (label, bank), stats in sorted(self.boxes.items()):
+            rows.append(
+                [
+                    label,
+                    str(bank),
+                    f"{stats.mean:.3e}",
+                    f"{stats.q1:.3e}",
+                    f"{stats.median:.3e}",
+                    f"{stats.q3:.3e}",
+                ]
+            )
+        table = format_table(
+            ["module", "bank", "mean BER", "Q1", "median", "Q3"], rows
+        )
+        cv_rows = [
+            [
+                label,
+                f"{self.cv_pct[label]:.2f}%",
+                f"{self.paper_cv_pct[label]:.2f}%",
+                f"{self.bank_agreement[label]:.3f}",
+            ]
+            for label in sorted(self.cv_pct)
+        ]
+        cv_table = format_table(
+            ["module", "CV (measured)", "CV (paper)", "bank max/min"], cv_rows
+        )
+        return (
+            "Fig 3: BER distribution across rows and banks (HC=128K)\n\n"
+            + table
+            + "\n\nPer-module coefficient of variation across rows:\n\n"
+            + cv_table
+        )
+
+
+def run(scale: ExperimentScale = ExperimentScale()) -> Fig3Result:
+    boxes: Dict[Tuple[str, int], BoxStats] = {}
+    cv: Dict[str, float] = {}
+    paper_cv: Dict[str, float] = {}
+    agreement: Dict[str, float] = {}
+    for label in scale.modules:
+        chars = characterize(label, scale)
+        per_bank_cv = []
+        for bank, profile in chars.banks.items():
+            boxes[(label, bank)] = box_stats(profile.ber_at_128k)
+            per_bank_cv.append(coefficient_of_variation_pct(profile.ber_at_128k))
+        cv[label] = float(np.mean(per_bank_cv))
+        paper_cv[label] = module_by_label(label).ber_cv_pct
+        agreement[label] = bank_agreement_ratio(chars.per_bank_mean_ber())
+    return Fig3Result(
+        boxes=boxes, cv_pct=cv, paper_cv_pct=paper_cv, bank_agreement=agreement
+    )

@@ -1,0 +1,78 @@
+"""Fig 5: distribution of HC_first across DRAM rows.
+
+For each module the paper histograms measured HC_first over the 14
+tested hammer counts, with error bars for min/max across banks and a
+red line at the module's minimum.  This harness regenerates the
+histograms and compares each module's minimum against Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.characterization.metrics import hc_first_histogram
+from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.faults.modules import module_by_label
+from repro.faults.variation import HC_GRID
+
+
+@dataclass
+class Fig5Result:
+    #: (module -> (grid value -> fraction of rows)), over all banks.
+    histograms: Dict[str, Dict[int, float]]
+    #: (module -> (grid value -> (min, max) fraction across banks)).
+    bank_spread: Dict[str, Dict[int, Tuple[float, float]]]
+    minima: Dict[str, int]
+    paper_minima: Dict[str, int]
+
+    def render(self) -> str:
+        rows = []
+        for label in sorted(self.histograms):
+            hist = self.histograms[label]
+            populated = {k: v for k, v in hist.items() if v > 0}
+            summary = " ".join(
+                f"{k // 1024}K:{v:.2f}" for k, v in sorted(populated.items())
+            )
+            rows.append(
+                [
+                    label,
+                    f"{self.minima[label] // 1024}K",
+                    f"{self.paper_minima[label] // 1024}K",
+                    summary,
+                ]
+            )
+        return "Fig 5: HC_first distribution across rows\n\n" + format_table(
+            ["module", "min (measured)", "min (Table 5)", "histogram"], rows
+        )
+
+
+def run(scale: ExperimentScale = ExperimentScale()) -> Fig5Result:
+    histograms: Dict[str, Dict[int, float]] = {}
+    spreads: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    minima: Dict[str, int] = {}
+    paper_minima: Dict[str, int] = {}
+    for label in scale.modules:
+        chars = characterize(label, scale)
+        histograms[label] = hc_first_histogram(chars.all_hc_first(), HC_GRID)
+        per_bank = [
+            hc_first_histogram(profile.measured_hc_first, HC_GRID)
+            for profile in chars.banks.values()
+        ]
+        spreads[label] = {
+            grid_value: (
+                min(h[grid_value] for h in per_bank),
+                max(h[grid_value] for h in per_bank),
+            )
+            for grid_value in HC_GRID
+        }
+        minima[label] = chars.min_hc_first()
+        paper_minima[label] = module_by_label(label).hc_min
+    return Fig5Result(
+        histograms=histograms,
+        bank_spread=spreads,
+        minima=minima,
+        paper_minima=paper_minima,
+    )

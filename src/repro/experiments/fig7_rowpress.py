@@ -1,0 +1,69 @@
+"""Fig 7: effect of the aggressor row's on-time (RowPress) on HC_first.
+
+Per manufacturer, the paper shows HC_first box distributions at
+tAggOn of 36 ns, 0.5 us, and 2 us: the boxes shift down roughly an
+order of magnitude (Obsv 10) while large row-to-row variation remains
+(Obsv 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.characterization.metrics import BoxStats, box_stats, coefficient_of_variation_pct
+from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
+from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.faults.modules import MODULES, Manufacturer, module_by_label
+
+
+@dataclass
+class Fig7Result:
+    #: (manufacturer code, tAggOn) -> HC_first box stats.
+    boxes: Dict[Tuple[str, float], BoxStats]
+    #: (module, tAggOn) -> CV% (Obsv 11's examples).
+    cv_pct: Dict[Tuple[str, float], float]
+
+    def render(self) -> str:
+        rows = []
+        for (mfr, t_on), stats in sorted(self.boxes.items()):
+            rows.append(
+                [
+                    mfr,
+                    f"{t_on:.0f} ns",
+                    f"{stats.mean / 1024:.1f}K",
+                    f"{stats.q1 / 1024:.1f}K",
+                    f"{stats.q3 / 1024:.1f}K",
+                ]
+            )
+        return (
+            "Fig 7: HC_first vs aggressor on-time (RowPress)\n\n"
+            + format_table(["mfr", "tAggOn", "mean", "Q1", "Q3"], rows)
+        )
+
+    def reduction_factor(self, mfr: str) -> float:
+        """Mean HC_first at 36 ns over mean at 2 us."""
+        return self.boxes[(mfr, 36.0)].mean / self.boxes[(mfr, 2000.0)].mean
+
+
+def run(scale: ExperimentScale = ExperimentScale()) -> Fig7Result:
+    boxes: Dict[Tuple[str, float], BoxStats] = {}
+    cv: Dict[Tuple[str, float], float] = {}
+    for manufacturer in Manufacturer:
+        labels = [
+            label for label in scale.modules
+            if MODULES[label].manufacturer is manufacturer
+        ]
+        if not labels:
+            continue
+        for t_on in T_AGG_ON_SWEEP_NS:
+            values = []
+            for label in labels:
+                chars = characterize(label, scale, t_agg_on_ns=t_on)
+                measured = chars.all_hc_first()
+                values.append(measured)
+                cv[(label, t_on)] = coefficient_of_variation_pct(measured)
+            boxes[(manufacturer.value, t_on)] = box_stats(np.concatenate(values))
+    return Fig7Result(boxes=boxes, cv_pct=cv)

@@ -1,0 +1,70 @@
+"""Fig 8: silhouette score of clustering rows into subarrays.
+
+The paper sweeps k-means' k over candidate subarray counts and plots
+the silhouette score: it rises to a global maximum (the inferred
+subarray count) and decreases monotonically after it.  This harness
+runs the full reverse-engineering pipeline (single-sided hammer
+probes, RowClone validation, clustering) on the bender platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.bender.infrastructure import TestPlatform
+from repro.experiments.common import ExperimentScale, format_table
+from repro.faults.modules import module_by_label
+from repro.reveng.subarray import SubarrayInference, SubarrayReverseEngineer
+
+
+@dataclass
+class Fig8Result:
+    inferences: Dict[str, SubarrayInference]
+    true_subarrays: Dict[str, int]
+
+    def render(self) -> str:
+        rows = []
+        for label in sorted(self.inferences):
+            inference = self.inferences[label]
+            sizes = inference.subarray_sizes()
+            rows.append(
+                [
+                    label,
+                    str(inference.inferred_k),
+                    str(self.true_subarrays[label]),
+                    f"{min(sizes)}..{max(sizes)}",
+                    f"{max(inference.silhouette_by_k.values()):.3f}",
+                ]
+            )
+        return (
+            "Fig 8: subarray reverse engineering via k-means silhouette\n\n"
+            + format_table(
+                ["module", "inferred k", "true k", "subarray sizes", "peak score"],
+                rows,
+            )
+        )
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    modules: Optional[Sequence[str]] = None,
+) -> Fig8Result:
+    """Defaults to the Samsung modules (the figure's subject)."""
+    labels = list(modules) if modules is not None else [
+        label for label in scale.modules if label.startswith("S")
+    ]
+    inferences: Dict[str, SubarrayInference] = {}
+    true_counts: Dict[str, int] = {}
+    for label in labels:
+        spec = module_by_label(label)
+        platform = TestPlatform(
+            spec, rows_per_bank=scale.rows_per_bank, seed=scale.seed
+        )
+        platform.device.rowclone_success_rate = 1.0
+        engineer = SubarrayReverseEngineer(platform, seed=scale.seed)
+        inferences[label] = engineer.infer(0)
+        subarray_rows = platform.geometry.subarray_rows
+        true_counts[label] = -(-scale.rows_per_bank // subarray_rows)
+    return Fig8Result(inferences=inferences, true_subarrays=true_counts)

@@ -1,0 +1,81 @@
+"""Fig 9: fraction of spatial features vs F1-score threshold.
+
+For every module, every address-bit feature predicts the binarized
+HC_first class; the figure plots, per module, the fraction of
+features whose F1 exceeds a sweep of thresholds.  The paper's
+observations: the fraction drops drastically between 0.6 and 0.7, no
+feature exceeds 0.8, and only S0/S1/S3/S4 keep features above 0.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.correlation import FeatureCorrelation, correlate_features
+from repro.analysis.features import extract_features
+from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.faults.modules import module_by_label
+
+#: The figure sweeps thresholds 0.0 .. 1.0 in steps of 0.1.
+F1_THRESHOLDS: Tuple[float, ...] = tuple(round(t / 10, 1) for t in range(11))
+
+
+@dataclass
+class Fig9Result:
+    #: module -> threshold -> fraction of features above it.
+    fractions: Dict[str, Dict[float, float]]
+    correlations: Dict[str, List[FeatureCorrelation]]
+
+    def modules_with_strong_features(self, threshold: float = 0.7) -> List[str]:
+        return sorted(
+            label
+            for label, curve in self.fractions.items()
+            if curve[threshold] > 0
+        )
+
+    def max_f1(self) -> float:
+        return max(
+            c.f1 for cs in self.correlations.values() for c in cs
+        )
+
+    def render(self) -> str:
+        rows = []
+        for label in sorted(self.fractions):
+            curve = self.fractions[label]
+            rows.append(
+                [label]
+                + [f"{curve[t]:.2f}" for t in F1_THRESHOLDS]
+            )
+        headers = ["module"] + [f"{t:.1f}" for t in F1_THRESHOLDS]
+        strong = ", ".join(self.modules_with_strong_features()) or "none"
+        return (
+            "Fig 9: fraction of spatial features above F1 threshold\n\n"
+            + format_table(headers, rows)
+            + f"\n\nmodules with F1 > 0.7 features: {strong}"
+            + f"\nmaximum F1 observed: {self.max_f1():.3f}"
+        )
+
+
+def run(scale: ExperimentScale = ExperimentScale()) -> Fig9Result:
+    fractions: Dict[str, Dict[float, float]] = {}
+    correlations: Dict[str, List[FeatureCorrelation]] = {}
+    for label in scale.modules:
+        spec = module_by_label(label)
+        chars = characterize(label, scale)
+        measured = np.concatenate(
+            [chars.banks[bank].measured_hc_first for bank in sorted(chars.banks)]
+        )
+        params = spec.variation_params(scale.rows_per_bank)
+        features, matrix, _ = extract_features(
+            scale.rows_per_bank, params.subarray_rows, tuple(sorted(chars.banks))
+        )
+        result = correlate_features(features, matrix, measured)
+        correlations[label] = result
+        f1s = np.array([c.f1 for c in result])
+        fractions[label] = {
+            t: float(np.mean(f1s > t)) for t in F1_THRESHOLDS
+        }
+    return Fig9Result(fractions=fractions, correlations=correlations)

@@ -1,0 +1,80 @@
+"""Run all (or selected) experiments and print their paper-style output.
+
+Usage::
+
+    python -m repro.experiments.runner            # every experiment
+    python -m repro.experiments.runner fig5 fig12 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation_bins,
+    fig3_ber_distribution,
+    fig4_ber_location,
+    fig5_hcfirst_distribution,
+    fig6_hcfirst_location,
+    fig7_rowpress,
+    fig8_subarray_silhouette,
+    fig9_spatial_features,
+    fig10_aging,
+    fig12_performance,
+    fig13_adversarial,
+    sec64_hardware_cost,
+    table3_features,
+    table5_modules,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def _fig12_quick(scale: ExperimentScale):
+    """Fig 12 at a reduced grid so the full runner stays interactive."""
+    quick = replace(
+        scale,
+        hc_first_values=(4096, 256, 64),
+        svard_profiles=("S0",),
+        n_mixes=1,
+    )
+    return fig12_performance.run(quick)
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], object]] = {
+    "fig3": lambda scale: fig3_ber_distribution.run(scale),
+    "fig4": lambda scale: fig4_ber_location.run(scale),
+    "fig5": lambda scale: fig5_hcfirst_distribution.run(scale),
+    "fig6": lambda scale: fig6_hcfirst_location.run(scale),
+    "fig7": lambda scale: fig7_rowpress.run(scale),
+    "fig8": lambda scale: fig8_subarray_silhouette.run(scale),
+    "fig9": lambda scale: fig9_spatial_features.run(scale),
+    "fig10": lambda scale: fig10_aging.run(scale),
+    "fig12": _fig12_quick,
+    "fig13": lambda scale: fig13_adversarial.run(scale),
+    "table3": lambda scale: table3_features.run(scale),
+    "table5": lambda scale: table5_modules.run(scale),
+    "sec64": lambda scale: sec64_hardware_cost.run(),
+    "ablation-bins": lambda scale: ablation_bins.run(
+        replace(scale, requests_per_core=2500)
+    ),
+}
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or sorted(EXPERIMENTS)
+    scale = ExperimentScale()
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+            return 1
+        print("=" * 72)
+        result = EXPERIMENTS[name](scale)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Table 3: spatial features with F1 > 0.7.
+
+Only four modules (S0, S1, S3, S4) expose features whose F1 exceeds
+0.7; the features come from row/subarray address bits (and one
+distance bit), never from bank bits, and no module's average strong-
+feature F1 exceeds 0.77.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.correlation import FeatureCorrelation, strong_features
+from repro.experiments.common import ExperimentScale, format_table
+from repro.experiments.fig9_spatial_features import run as run_fig9
+
+#: Paper's Table 3: per-module average F1 of strong features.
+PAPER_TABLE3_F1 = {"S0": 0.77, "S1": 0.71, "S3": 0.75, "S4": 0.76}
+
+
+@dataclass
+class Table3Result:
+    strong: Dict[str, List[FeatureCorrelation]]
+
+    def average_f1(self, label: str) -> float:
+        features = self.strong.get(label, [])
+        if not features:
+            raise KeyError(f"{label} has no strong features")
+        return float(np.mean([c.f1 for c in features]))
+
+    def render(self) -> str:
+        rows = []
+        for label in sorted(self.strong):
+            features = self.strong[label]
+            if not features:
+                continue
+            names = ", ".join(c.feature.short_name for c in features)
+            expected = PAPER_TABLE3_F1.get(label)
+            rows.append(
+                [
+                    label,
+                    names,
+                    f"{self.average_f1(label):.2f}",
+                    f"{expected:.2f}" if expected else "-",
+                ]
+            )
+        return "Table 3: spatial features with F1 > 0.7\n\n" + format_table(
+            ["module", "features", "avg F1", "paper avg F1"], rows
+        )
+
+
+def run(scale: ExperimentScale = ExperimentScale()) -> Table3Result:
+    fig9 = run_fig9(scale)
+    strong = {
+        label: strong_features(correlations)
+        for label, correlations in fig9.correlations.items()
+    }
+    return Table3Result(strong=strong)

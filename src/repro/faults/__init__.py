@@ -1,0 +1,39 @@
+"""Read-disturbance fault models.
+
+This package is the substitution for the paper's 144 real DDR4 chips:
+a per-row RowHammer/RowPress fault model whose parameters are
+calibrated to the distributions the paper publishes (Table 5, Figs
+3-7, and Fig 10).
+
+* :mod:`repro.faults.datapatterns` -- Table 2 data patterns and the
+  worst-case data pattern machinery.
+* :mod:`repro.faults.variation` -- spatial variation field generation
+  (per-row ``HC_first`` and saturated ``BER``).
+* :mod:`repro.faults.modules` -- the registry of the 15 tested modules
+  with per-module calibration.
+* :mod:`repro.faults.disturbance` -- the device-attached fault model
+  implementing the disturbance-observer interface.
+* :mod:`repro.faults.aging` -- the Fig 10 aging drift model.
+"""
+
+from repro.faults.datapatterns import DataPattern, DATA_PATTERNS, bitwise_inverse
+from repro.faults.variation import VariationFieldParams, SpatialVariationField
+from repro.faults.modules import ModuleSpec, MODULES, module_by_label, Manufacturer
+from repro.faults.disturbance import DisturbanceModel, RowVulnerability
+from repro.faults.aging import AgingModel, AGING_DROP_FRACTIONS
+
+__all__ = [
+    "DataPattern",
+    "DATA_PATTERNS",
+    "bitwise_inverse",
+    "VariationFieldParams",
+    "SpatialVariationField",
+    "ModuleSpec",
+    "MODULES",
+    "module_by_label",
+    "Manufacturer",
+    "DisturbanceModel",
+    "RowVulnerability",
+    "AgingModel",
+    "AGING_DROP_FRACTIONS",
+]

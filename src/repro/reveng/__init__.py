@@ -1,0 +1,19 @@
+"""Reverse engineering of DRAM internals (Sections 4.2 and 5.4.1).
+
+* :mod:`repro.reveng.rowmapping` -- recover the in-DRAM logical-to-
+  physical row scrambling by observing which logical rows disturb a
+  victim.
+* :mod:`repro.reveng.subarray` -- recover subarray boundaries with
+  single-sided hammer probes + k-means/silhouette clustering (Key
+  Insight 1) and invalidate candidates with RowClone (Key Insight 2).
+"""
+
+from repro.reveng.rowmapping import recover_physical_neighbors, infer_scrambling_scheme
+from repro.reveng.subarray import SubarrayReverseEngineer, SubarrayInference
+
+__all__ = [
+    "recover_physical_neighbors",
+    "infer_scrambling_scheme",
+    "SubarrayReverseEngineer",
+    "SubarrayInference",
+]

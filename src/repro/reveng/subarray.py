@@ -1,0 +1,172 @@
+"""Subarray reverse engineering (Section 5.4.1, Fig 8).
+
+Two key insights from the paper:
+
+1. A row at a subarray boundary is disturbed from one side only, so a
+   single-sided hammer probe reveals boundary rows.  Rows are then
+   clustered into subarrays with k-means, sweeping k and maximizing
+   the silhouette score -- the global maximum is the inferred subarray
+   count.
+2. Intra-subarray RowClone succeeds only within a subarray, so a
+   successful clone across a candidate boundary *invalidates* it
+   (while a failed clone proves nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.clustering import best_k, kmeans_1d, silhouette_score_1d, sweep_k
+from repro.bender.infrastructure import TestPlatform
+
+
+@dataclass
+class SubarrayInference:
+    """Result of the subarray reverse-engineering pipeline."""
+
+    boundary_rows: List[int]
+    silhouette_by_k: Dict[int, float]
+    inferred_k: int
+    labels: np.ndarray
+
+    def subarray_sizes(self) -> List[int]:
+        """Row count of each inferred subarray."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return sorted(int(c) for c in counts)
+
+    def subarray_of(self, row: int) -> int:
+        return int(self.labels[row])
+
+
+class SubarrayReverseEngineer:
+    """Runs the two-step boundary detection on a test platform."""
+
+    def __init__(
+        self,
+        platform: TestPlatform,
+        *,
+        probe_hammer_count: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        hc_max = platform.model.true_hc_first(0).max()
+        # Single-sided exposure accumulates at half the double-sided
+        # rate, so 4x the worst HC_first guarantees neighbour bitflips.
+        self.probe_hammer_count = probe_hammer_count or int(hc_max * 4) + 1
+        self.seed = seed
+
+    # -- Key Insight 1 --------------------------------------------------
+
+    def find_boundary_candidates(
+        self, bank: int, rows: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Physical rows whose hammering disturbs only their upper side.
+
+        Subarrays are a property of the *physical* row space; the probe
+        therefore translates through the (already reverse-engineered)
+        row mapping before hammering -- Section 4.2's prerequisite.
+        ``rows`` and the returned boundary list are physical indices.
+        """
+        geometry = self.platform.geometry
+        scrambler = self.platform.device.scrambler
+        probe_rows = list(rows) if rows is not None else list(
+            range(geometry.rows_per_bank)
+        )
+        boundaries = []
+        for physical in probe_rows:
+            if physical == 0:
+                boundaries.append(0)
+                continue
+            aggressor = scrambler.to_logical(physical)
+            below = scrambler.to_logical(physical - 1)
+            below_disturbed = self.platform.single_sided_disturbs(
+                bank, aggressor, below, self.probe_hammer_count
+            )
+            if below_disturbed:
+                continue
+            if physical + 1 < geometry.rows_per_bank:
+                above = scrambler.to_logical(physical + 1)
+                if not self.platform.single_sided_disturbs(
+                    bank, aggressor, above, self.probe_hammer_count
+                ):
+                    continue  # disturbs neither side: not a row at all
+            boundaries.append(physical)
+        return boundaries
+
+    # -- Clustering (Fig 8) ---------------------------------------------
+
+    def cluster_feature(self, bank: int, boundary_rows: Sequence[int]) -> np.ndarray:
+        """Per-row clustering feature: the ordinal of the row's segment.
+
+        Counting detected boundaries at or below each row turns the
+        boundary list into a step function whose plateaus are the
+        subarrays; clustering this 1-D feature makes the silhouette
+        score peak at the true subarray count.
+        """
+        n = self.platform.geometry.rows_per_bank
+        feature = np.zeros(n)
+        boundary_arr = np.asarray(sorted(boundary_rows))
+        for row in range(n):
+            feature[row] = np.searchsorted(boundary_arr, row, side="right")
+        return feature
+
+    def infer(
+        self,
+        bank: int,
+        *,
+        k_values: Optional[Sequence[int]] = None,
+        probe_rows: Optional[Sequence[int]] = None,
+        validate_with_rowclone: bool = True,
+    ) -> SubarrayInference:
+        """The full pipeline: probe, (optionally) validate, cluster."""
+        boundaries = self.find_boundary_candidates(bank, probe_rows)
+        if validate_with_rowclone:
+            boundaries = self.validate_boundaries(bank, boundaries)
+        feature = self.cluster_feature(bank, boundaries)
+        n_candidates = max(2, len(boundaries))
+        if k_values is None:
+            k_values = sorted(
+                {
+                    k
+                    for k in range(
+                        max(2, n_candidates // 2), n_candidates * 2 + 1
+                    )
+                }
+            )
+        scores = sweep_k(feature, k_values, seed=self.seed)
+        k = best_k(scores)
+        labels, _ = kmeans_1d(feature, k)
+        return SubarrayInference(
+            boundary_rows=list(boundaries),
+            silhouette_by_k=scores,
+            inferred_k=k,
+            labels=labels,
+        )
+
+    # -- Key Insight 2 --------------------------------------------------
+
+    def validate_boundaries(
+        self, bank: int, candidates: Sequence[int]
+    ) -> List[int]:
+        """Drop candidates that a successful RowClone disproves.
+
+        A clone from ``candidate - 1`` to ``candidate`` succeeding
+        means both rows share a subarray, so no boundary lies between
+        them.  Failed clones keep the candidate (RowClone is not
+        guaranteed to work even within a subarray).
+        """
+        scrambler = self.platform.device.scrambler
+        validated = []
+        for candidate in candidates:
+            if candidate == 0:
+                validated.append(candidate)
+                continue
+            src = scrambler.to_logical(candidate - 1)
+            dst = scrambler.to_logical(candidate)
+            if self.platform.try_rowclone(bank, src, dst):
+                continue
+            validated.append(candidate)
+        return validated

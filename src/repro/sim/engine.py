@@ -1,0 +1,381 @@
+"""The event-driven memory-system simulator.
+
+Cores issue dependent chains of memory requests (MLP = number of
+chains); the memory controller queues them per bank and schedules
+FR-FCFS with a column cap under DDR4 bank/rank timing.  Every row
+activation is reported to the attached defense, whose preventive
+actions are charged as bank-busy time (refreshes, migrations, swaps,
+counter traffic) or as activation delay (throttling).
+
+The engine is deliberately command-granular rather than cycle-
+granular: every timing decision uses the JEDEC parameters, but time
+advances from event to event, which keeps full Fig 12 sweeps
+tractable in Python while preserving the contention behaviour the
+defenses' overheads come from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.defenses.base import (
+    CounterTraffic,
+    Defense,
+    Mitigation,
+    RowMigration,
+    RowSwap,
+    ThrottleDelay,
+    VictimRefresh,
+)
+from repro.sim.config import MitigationCosts, SystemConfig
+from repro.sim.request import MemoryRequest
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One memory request emitted by a workload trace."""
+
+    bank: int
+    row: int
+    column: int
+    is_write: bool = False
+    gap_ns: float = 0.0
+
+
+class Trace(Protocol):
+    """A per-core workload: yields the next request of one chain."""
+
+    def next_step(self, chain: int) -> TraceStep: ...
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of one simulation."""
+
+    core: int
+    completed_requests: int
+    finish_ns: float
+    total_latency_ns: float
+
+    @property
+    def average_latency_ns(self) -> float:
+        if self.completed_requests == 0:
+            return 0.0
+        return self.total_latency_ns / self.completed_requests
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run: per-core times plus controller counters."""
+
+    cores: List[CoreResult]
+    total_ns: float
+    row_hits: int
+    row_misses: int
+    activations: int
+    refreshes_issued: int
+
+    def finish_times(self) -> List[float]:
+        return [core.finish_ns for core in self.cores]
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class _BankState:
+    __slots__ = (
+        "open_row", "busy_until", "last_act_ns", "hits_in_row",
+        "queue", "wake_at",
+    )
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.busy_until = 0.0
+        self.last_act_ns = -1e18
+        self.hits_in_row = 0
+        self.queue: deque = deque()
+        self.wake_at = float("inf")
+
+
+class MemorySystem:
+    """Wires cores, the memory controller, and an optional defense."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Trace],
+        *,
+        defense: Optional[Defense] = None,
+        seed: int = 0,
+    ) -> None:
+        if len(traces) != config.cores:
+            raise ValueError(
+                f"{config.cores} cores need {config.cores} traces, "
+                f"got {len(traces)}"
+            )
+        self.config = config
+        self.traces = list(traces)
+        self.defense = defense
+        self.costs = MitigationCosts(
+            timing=config.timing, columns_per_row=config.columns_per_row
+        )
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        config = self.config
+        timing = config.timing
+        n_banks = config.total_banks
+        banks = [_BankState() for _ in range(n_banks)]
+        rank_act_windows: List[deque] = [deque(maxlen=4) for _ in range(config.ranks)]
+        rank_last_act = [-1e18] * config.ranks
+
+        remaining = [config.requests_per_core] * config.cores
+        in_flight = [0] * config.cores
+        finish_time = [0.0] * config.cores
+        total_latency = [0.0] * config.cores
+        completed = [0] * config.cores
+
+        self._stat_row_hits = 0
+        self._stat_row_misses = 0
+        self._stat_activations = 0
+        refreshes = 0
+
+        heap: List[Tuple[float, int, str, tuple]] = []
+        seq = 0
+
+        def push(time: float, kind: str, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, kind, payload))
+            seq += 1
+
+        # Initial chain arrivals.
+        issued = [0] * config.cores
+        for core in range(config.cores):
+            chains = min(config.mlp_per_core, remaining[core])
+            for chain in range(chains):
+                step = self.traces[core].next_step(chain)
+                issued[core] += 1
+                push(step.gap_ns, "arrival", (core, chain, step))
+
+        # Periodic refresh and defense epochs.
+        push(timing.tREFI, "refresh", ())
+        epoch_ns = config.defense_epoch_ns or timing.tREFW
+        if self.defense is not None:
+            push(epoch_ns, "epoch", ())
+
+        banks_per_rank = config.banks_per_rank
+
+        def rank_of(bank: int) -> int:
+            return bank // banks_per_rank
+
+        def try_schedule(bank_id: int, now: float) -> None:
+            bank = banks[bank_id]
+            while bank.queue:
+                if bank.busy_until > now + 1e-9:
+                    if bank.busy_until < bank.wake_at:
+                        bank.wake_at = bank.busy_until
+                        push(bank.busy_until, "bank_free", (bank_id,))
+                    return
+                request = self._pick(bank, config.column_cap)
+                start = max(now, bank.busy_until)
+                finish = self._service(
+                    bank, bank_id, request, start,
+                    rank_act_windows, rank_last_act, rank_of,
+                )
+                request.completion_ns = finish
+                core = request.core
+                completed[core] += 1
+                total_latency[core] += finish - request.arrival_ns
+                in_flight[core] -= 1
+                finish_time[core] = max(finish_time[core], finish)
+                if issued[core] < config.requests_per_core:
+                    step = self.traces[core].next_step(request.chain)
+                    issued[core] += 1
+                    push(finish + step.gap_ns, "arrival", (core, request.chain, step))
+                now = max(now, finish)
+
+        # ------------------------------------------------------------------
+        # The event loop.
+        # ------------------------------------------------------------------
+        last_time = 0.0
+        total_requests = config.requests_per_core * config.cores
+        total_completed = 0
+
+        while heap:
+            time, _, kind, payload = heapq.heappop(heap)
+            last_time = max(last_time, time)
+            if kind == "arrival":
+                core, chain, step = payload
+                request = MemoryRequest(
+                    core=core,
+                    bank=step.bank % n_banks,
+                    row=step.row % config.rows_per_bank,
+                    column=step.column % config.columns_per_row,
+                    is_write=step.is_write,
+                    arrival_ns=time,
+                    chain=chain,
+                )
+                in_flight[core] += 1
+                banks[request.bank].queue.append(request)
+                try_schedule(request.bank, time)
+            elif kind == "bank_free":
+                (bank_id,) = payload
+                banks[bank_id].wake_at = float("inf")
+                try_schedule(bank_id, time)
+            elif kind == "refresh":
+                refreshes += 1
+                for bank_id, bank in enumerate(banks):
+                    bank.busy_until = max(bank.busy_until, time) + timing.tRFC
+                    bank.open_row = None
+                    if bank.queue and bank.busy_until < bank.wake_at:
+                        bank.wake_at = bank.busy_until
+                        push(bank.busy_until, "bank_free", (bank_id,))
+                if sum(completed) < total_requests:
+                    push(time + timing.tREFI, "refresh", ())
+            elif kind == "epoch":
+                if self.defense is not None:
+                    self.defense.on_refresh_window(time)
+                    if sum(completed) < total_requests:
+                        push(time + epoch_ns, "epoch", ())
+            if sum(completed) >= total_requests and all(
+                not bank.queue for bank in banks
+            ):
+                break
+
+        cores = [
+            CoreResult(
+                core=core,
+                completed_requests=completed[core],
+                finish_ns=finish_time[core],
+                total_latency_ns=total_latency[core],
+            )
+            for core in range(config.cores)
+        ]
+        return SimulationResult(
+            cores=cores,
+            total_ns=last_time,
+            row_hits=self._stat_row_hits,
+            row_misses=self._stat_row_misses,
+            activations=self._stat_activations,
+            refreshes_issued=refreshes,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _pick(self, bank: _BankState, column_cap: int) -> MemoryRequest:
+        """FR-FCFS with a column cap: prefer row hits, oldest first."""
+        if bank.open_row is not None and bank.hits_in_row < column_cap:
+            for index, request in enumerate(bank.queue):
+                if request.row == bank.open_row:
+                    del bank.queue[index]
+                    return request
+        return bank.queue.popleft()
+
+    def _service(
+        self,
+        bank: _BankState,
+        bank_id: int,
+        request: MemoryRequest,
+        start: float,
+        rank_act_windows: List[deque],
+        rank_last_act: List[float],
+        rank_of,
+    ) -> float:
+        """Serve one request; returns its completion time."""
+        timing = self.config.timing
+        t = start
+        if bank.open_row == request.row:
+            self._stat_row_hits += 1
+            data_start = max(t, bank.last_act_ns + timing.tRCD)
+            finish = data_start + timing.tCL + timing.tBL
+            bank.busy_until = data_start + timing.tCCD_L
+            bank.hits_in_row += 1
+            return finish
+
+        # Row miss: precharge (if open) + activate.
+        self._stat_row_misses += 1
+        if bank.open_row is not None:
+            t = max(t, bank.last_act_ns + timing.tRAS) + timing.tRP
+
+        rank = rank_of(bank_id)
+        act_time = max(t, rank_last_act[rank] + timing.tRRD_S)
+        window = rank_act_windows[rank]
+        if len(window) == 4:
+            act_time = max(act_time, window[0] + timing.tFAW)
+
+        chain_delay = 0.0
+        preventive: List[float] = []
+        if self.defense is not None:
+            mitigations = self.defense.on_activation(bank_id, request.row, act_time)
+            chain_delay, preventive = self._mitigation_costs(mitigations)
+        self._stat_activations += 1
+
+        rank_last_act[rank] = act_time
+        window.append(act_time)
+
+        bank.open_row = request.row
+        bank.last_act_ns = act_time
+        bank.hits_in_row = 1
+        data_start = act_time + timing.tRCD
+        # Throttling (BlockHammer) stalls the issuing chain, not the
+        # bank: other requests keep flowing while the aggressor waits.
+        finish = data_start + timing.tCL + timing.tBL + chain_delay
+
+        # Preventive actions are real DRAM activations: they occupy the
+        # bank *and* consume rank-level ACT bandwidth (tRRD/tFAW), which
+        # is how low-threshold defenses saturate the memory system.
+        free_at = data_start + timing.tBL
+        for occupancy in preventive:
+            act = max(free_at, rank_last_act[rank] + timing.tRRD_S)
+            if len(window) == 4:
+                act = max(act, window[0] + timing.tFAW)
+            window.append(act)
+            rank_last_act[rank] = act
+            free_at = act + occupancy
+        bank.busy_until = free_at
+        if preventive:
+            # The preventive activations end with the bank precharged;
+            # the just-opened demand row is lost.
+            bank.open_row = None
+            bank.hits_in_row = 0
+        return finish
+
+    def _mitigation_costs(
+        self, mitigations: Sequence[Mitigation]
+    ) -> Tuple[float, List[float]]:
+        """(chain delay, per-preventive-ACT occupancy list) of actions.
+
+        Each entry of the occupancy list is one preventive activation
+        and the time the bank stays busy with it: a row cycle for a
+        victim refresh or counter access, a row cycle plus the column
+        burst for each half of a migration/swap.
+        """
+        costs = self.costs
+        burst = self.config.columns_per_row * self.config.timing.tCCD_L
+        delay = 0.0
+        preventive: List[float] = []
+        for mitigation in mitigations:
+            if isinstance(mitigation, ThrottleDelay):
+                delay += mitigation.delay_ns
+            elif isinstance(mitigation, VictimRefresh):
+                preventive.extend(
+                    [costs.victim_refresh_ns] * len(mitigation.rows)
+                )
+            elif isinstance(mitigation, RowMigration):
+                # Read the source row out, write the destination row.
+                preventive.extend([costs.victim_refresh_ns + burst] * 2)
+            elif isinstance(mitigation, RowSwap):
+                preventive.extend([costs.victim_refresh_ns + burst] * 4)
+            elif isinstance(mitigation, CounterTraffic):
+                preventive.extend(
+                    [costs.counter_access_ns]
+                    * (mitigation.reads + mitigation.writes)
+                )
+        return delay, preventive

@@ -1,0 +1,70 @@
+"""Multiprogrammed performance metrics (Section 7.1).
+
+The paper reports system throughput as *weighted speedup*, job
+turnaround as *harmonic speedup*, and fairness as *maximum slowdown*,
+all relative to each workload running alone on the same system.
+
+With a fixed per-core work unit (N requests), a core's performance is
+inversely proportional to its completion time, so:
+
+* ``weighted speedup  = sum_i t_alone_i / t_shared_i``
+* ``harmonic speedup  = n / sum_i (t_shared_i / t_alone_i)``
+* ``max slowdown      = max_i t_shared_i / t_alone_i``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def _validate(alone: Sequence[float], shared: Sequence[float]) -> None:
+    if len(alone) != len(shared) or not alone:
+        raise ValueError("need matching, non-empty alone/shared times")
+    if any(t <= 0 for t in alone) or any(t <= 0 for t in shared):
+        raise ValueError("times must be positive")
+
+
+def weighted_speedup(alone_times: Sequence[float], shared_times: Sequence[float]) -> float:
+    """System throughput: sum of per-core relative speeds."""
+    _validate(alone_times, shared_times)
+    return sum(a / s for a, s in zip(alone_times, shared_times))
+
+
+def harmonic_speedup(alone_times: Sequence[float], shared_times: Sequence[float]) -> float:
+    """Job-turnaround metric: harmonic mean of relative speeds."""
+    _validate(alone_times, shared_times)
+    return len(alone_times) / sum(s / a for a, s in zip(alone_times, shared_times))
+
+
+def max_slowdown(alone_times: Sequence[float], shared_times: Sequence[float]) -> float:
+    """Fairness metric: the worst per-core slowdown."""
+    _validate(alone_times, shared_times)
+    return max(s / a for a, s in zip(alone_times, shared_times))
+
+
+@dataclass(frozen=True)
+class MultiProgramMetrics:
+    """The three Fig 12 metrics for one workload mix."""
+
+    weighted_speedup: float
+    harmonic_speedup: float
+    max_slowdown: float
+
+    def normalized_to(self, baseline: "MultiProgramMetrics") -> "MultiProgramMetrics":
+        """Normalize to a no-defense baseline (Fig 12's y-axes)."""
+        return MultiProgramMetrics(
+            weighted_speedup=self.weighted_speedup / baseline.weighted_speedup,
+            harmonic_speedup=self.harmonic_speedup / baseline.harmonic_speedup,
+            max_slowdown=self.max_slowdown / baseline.max_slowdown,
+        )
+
+
+def compute_metrics(
+    alone_times: Sequence[float], shared_times: Sequence[float]
+) -> MultiProgramMetrics:
+    return MultiProgramMetrics(
+        weighted_speedup=weighted_speedup(alone_times, shared_times),
+        harmonic_speedup=harmonic_speedup(alone_times, shared_times),
+        max_slowdown=max_slowdown(alone_times, shared_times),
+    )

@@ -1,0 +1,37 @@
+"""Workload generation for the performance evaluation (Section 7.1).
+
+The paper runs 120 randomly chosen 8-core multiprogrammed mixes from
+SPEC CPU2006, SPEC CPU2017, TPC, MediaBench, and YCSB.  Those traces
+are proprietary or enormous, so this package generates synthetic
+post-LLC request streams whose knobs -- row-buffer locality, bank
+parallelism, row-popularity skew, write ratio, and intensity --
+reproduce the memory behaviour classes those suites cover.
+
+* :mod:`repro.workloads.synthetic` -- the parameterized trace
+  generator.
+* :mod:`repro.workloads.suites` -- the five suite profiles.
+* :mod:`repro.workloads.mixes` -- seeded construction of the 120
+  8-core mixes.
+* :mod:`repro.workloads.adversarial` -- the Fig 13 adversarial
+  patterns against Hydra and RRS.
+"""
+
+from repro.workloads.synthetic import SuiteProfile, SyntheticTrace
+from repro.workloads.suites import SUITE_PROFILES, profile_by_name
+from repro.workloads.mixes import WorkloadMix, generate_mixes, build_traces
+from repro.workloads.adversarial import (
+    HydraAdversarialTrace,
+    RrsAdversarialTrace,
+)
+
+__all__ = [
+    "SuiteProfile",
+    "SyntheticTrace",
+    "SUITE_PROFILES",
+    "profile_by_name",
+    "WorkloadMix",
+    "generate_mixes",
+    "build_traces",
+    "HydraAdversarialTrace",
+    "RrsAdversarialTrace",
+]

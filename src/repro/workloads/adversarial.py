@@ -1,0 +1,66 @@
+"""Adversarial access patterns (Fig 13).
+
+* Against Hydra: cycle through more escalated rows than the row-count
+  cache holds, so every activation misses the cache and triggers an
+  extra DRAM counter access in steady state.
+* Against RRS: hammer a single row as fast as possible, maximizing the
+  number of row-swap operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import TraceStep
+
+
+@dataclass
+class HydraAdversarialTrace:
+    """Counter-cache thrashing: cycle over more rows than the RCC holds.
+
+    Rows sit one tracking group apart (``row_stride`` = Hydra's group
+    size), so each quickly escalates to exact per-row counting; cycling
+    over more rows than the row-count cache holds then makes every
+    activation miss the cache and drag a counter across the DRAM
+    interface.  ``start_offset`` phases multiple attacking cores so
+    their activations do not coalesce in the row buffer.
+    """
+
+    n_rows: int = 1024
+    row_stride: int = 128
+    bank_stride: int = 16
+    rows_per_bank: int = 128 * 1024
+    gap_ns: float = 5.0
+    start_offset: int = 0
+    _position: int = 0
+
+    def __post_init__(self) -> None:
+        self._position = self.start_offset
+
+    def next_step(self, chain: int) -> TraceStep:
+        index = self._position
+        self._position += 1
+        row = ((index % self.n_rows) * self.row_stride) % self.rows_per_bank
+        # A row always lives in the same bank (page placement).
+        bank = (row // self.row_stride) % self.bank_stride
+        return TraceStep(bank=bank, row=row, column=0, gap_ns=self.gap_ns)
+
+
+@dataclass
+class RrsAdversarialTrace:
+    """Single-row hammering: maximizes RRS swap operations.
+
+    Alternates between the target row and a scratch row so every
+    access re-activates the target (no row-buffer hits).
+    """
+
+    target_row: int = 1000
+    scratch_row: int = 5000
+    bank: int = 0
+    gap_ns: float = 5.0
+    _toggle: bool = False
+
+    def next_step(self, chain: int) -> TraceStep:
+        self._toggle = not self._toggle
+        row = self.target_row if self._toggle else self.scratch_row
+        return TraceStep(bank=self.bank, row=row, column=0, gap_ns=self.gap_ns)

@@ -1,0 +1,81 @@
+"""The five benchmark-suite profiles (Section 7.1 workloads).
+
+Knob values reflect the published memory behaviour of each suite
+class: SPEC floating-point/integer codes stream with good row-buffer
+locality; TPC transaction mixes scatter small accesses over a large
+footprint; MediaBench kernels stream sequentially; YCSB key-value
+workloads hit Zipf-skewed hot keys (the hardest case for activation-
+count-based defenses).  All profiles are memory-intensive, matching
+the paper's workload selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.synthetic import SuiteProfile
+
+#: Working sets are deliberately small: the simulator runs a slice of
+#: a refresh window (hundreds of microseconds instead of 64 ms), so the
+#: per-row activation counts that trigger threshold-based defenses are
+#: kept representative by shrinking the hot-row set proportionally.
+#: See EXPERIMENTS.md ("time compression").
+SUITE_PROFILES: Dict[str, SuiteProfile] = {
+    profile.name: profile
+    for profile in (
+        SuiteProfile(
+            name="spec06",
+            row_locality=0.70,
+            zipf_exponent=0.4,
+            working_set_rows=32,
+            banks_used=16,
+            write_ratio=0.20,
+            gap_mean_ns=18.0,
+        ),
+        SuiteProfile(
+            name="spec17",
+            row_locality=0.60,
+            zipf_exponent=0.5,
+            working_set_rows=48,
+            banks_used=24,
+            write_ratio=0.25,
+            gap_mean_ns=14.0,
+        ),
+        SuiteProfile(
+            name="tpc",
+            row_locality=0.25,
+            zipf_exponent=0.6,
+            working_set_rows=96,
+            banks_used=32,
+            write_ratio=0.35,
+            gap_mean_ns=10.0,
+        ),
+        SuiteProfile(
+            name="mediabench",
+            row_locality=0.85,
+            zipf_exponent=0.2,
+            working_set_rows=24,
+            banks_used=8,
+            write_ratio=0.15,
+            gap_mean_ns=22.0,
+        ),
+        SuiteProfile(
+            name="ycsb",
+            row_locality=0.30,
+            zipf_exponent=0.9,
+            working_set_rows=64,
+            banks_used=32,
+            write_ratio=0.25,
+            gap_mean_ns=12.0,
+        ),
+    )
+}
+
+SUITE_NAMES: Tuple[str, ...] = tuple(sorted(SUITE_PROFILES))
+
+
+def profile_by_name(name: str) -> SuiteProfile:
+    try:
+        return SUITE_PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}; known: {SUITE_NAMES}") from None

@@ -1,0 +1,127 @@
+"""Parameterized synthetic memory-request traces.
+
+A :class:`SyntheticTrace` emits one core's post-LLC miss stream.  Each
+chain (one per outstanding-miss slot) keeps a current open row; with
+probability ``row_locality`` the next request hits the same row at the
+next column, otherwise it jumps to a new (bank, row) drawn from a
+Zipf-weighted working set.  The Zipf exponent controls how hard the
+workload hammers its hottest rows -- the property RowHammer defenses
+key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import TraceStep
+
+_BATCH = 4096
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """Memory-behaviour knobs of one benchmark-suite class."""
+
+    name: str
+    row_locality: float
+    zipf_exponent: float
+    working_set_rows: int
+    banks_used: int
+    write_ratio: float
+    gap_mean_ns: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.row_locality < 1:
+            raise ValueError("row_locality must be in [0, 1)")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if self.working_set_rows < 1 or self.banks_used < 1:
+            raise ValueError("working set and bank count must be positive")
+        if not 0 <= self.write_ratio <= 1:
+            raise ValueError("write_ratio must be a probability")
+        if self.gap_mean_ns < 0:
+            raise ValueError("gap_mean_ns must be non-negative")
+
+
+class SyntheticTrace:
+    """One core's request stream (implements the engine Trace protocol)."""
+
+    def __init__(
+        self,
+        profile: SuiteProfile,
+        *,
+        total_banks: int = 32,
+        rows_per_bank: int = 128 * 1024,
+        columns_per_row: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.total_banks = total_banks
+        self.rows_per_bank = rows_per_bank
+        self.columns_per_row = columns_per_row
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0x770]))
+
+        n = min(profile.working_set_rows, rows_per_bank)
+        rows = self._rng.choice(rows_per_bank, size=n, replace=False)
+        weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** profile.zipf_exponent
+        self._rows = rows
+        self._probs = weights / weights.sum()
+        banks = self._rng.choice(
+            total_banks, size=min(profile.banks_used, total_banks), replace=False
+        )
+        # Each working-set row lives in one fixed bank (as a physical
+        # page does); hot rows therefore concentrate activations on one
+        # (bank, row) pair -- the behaviour activation-count defenses
+        # react to.
+        self._bank_of_row = banks[
+            self._rng.integers(0, len(banks), size=n)
+        ]
+        self._chain_state: Dict[int, Tuple[int, int, int]] = {}
+        self._row_batch = np.empty(0, dtype=np.int64)
+        self._uniform_batch = np.empty(0)
+        self._gap_batch = np.empty(0)
+        self._batch_pos = 0
+
+    # ------------------------------------------------------------------
+
+    def _refill(self) -> None:
+        self._row_batch = self._rng.choice(
+            len(self._rows), size=_BATCH, p=self._probs
+        )
+        self._uniform_batch = self._rng.random((_BATCH, 3))
+        self._gap_batch = self._rng.exponential(
+            max(self.profile.gap_mean_ns, 1e-9), size=_BATCH
+        )
+        self._batch_pos = 0
+
+    def _draw(self) -> Tuple[int, float, float, float, float]:
+        if self._batch_pos >= _BATCH:
+            self._refill()
+        if len(self._row_batch) == 0:
+            self._refill()
+        i = self._batch_pos
+        self._batch_pos += 1
+        u = self._uniform_batch[i]
+        return int(self._row_batch[i]), u[0], u[1], u[2], float(self._gap_batch[i])
+
+    def next_step(self, chain: int) -> TraceStep:
+        row_index, u_local, u_bank, u_write, gap = self._draw()
+        state = self._chain_state.get(chain)
+        if state is not None and u_local < self.profile.row_locality:
+            bank, row, column = state
+            column = (column + 1) % self.columns_per_row
+        else:
+            bank = int(self._bank_of_row[row_index])
+            row = int(self._rows[row_index])
+            column = 0
+        self._chain_state[chain] = (bank, row, column)
+        return TraceStep(
+            bank=bank,
+            row=row,
+            column=column,
+            is_write=u_write < self.profile.write_ratio,
+            gap_ns=gap,
+        )

@@ -1,0 +1,218 @@
+"""Tests for clustering, feature extraction, and F1 correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import best_k, kmeans_1d, silhouette_score_1d, sweep_k
+from repro.analysis.correlation import (
+    FeatureCorrelation,
+    binarize_measured,
+    confusion_matrix,
+    correlate_features,
+    f1_micro,
+    f1_score_weighted,
+    fraction_above_threshold,
+    predict_from_feature,
+    strong_features,
+)
+from repro.analysis.features import SpatialFeature, extract_features
+from repro.faults.modules import FEATURE_CORRELATED_MODULES, MODULES, module_by_label
+
+
+class TestKMeans1d:
+    def test_recovers_separated_clusters(self):
+        data = np.concatenate([np.zeros(50), np.full(50, 10.0), np.full(50, 20.0)])
+        labels, centroids = kmeans_1d(data, 3)
+        assert len(np.unique(labels)) == 3
+        assert sorted(np.round(centroids)) == [0, 10, 20]
+
+    def test_single_cluster(self):
+        labels, centroids = kmeans_1d(np.array([1.0, 2.0, 3.0]), 1)
+        assert np.all(labels == 0)
+        assert centroids[0] == pytest.approx(2.0)
+
+    def test_deterministic(self):
+        data = np.random.default_rng(0).normal(size=200)
+        a, _ = kmeans_1d(data, 4)
+        b, _ = kmeans_1d(data, 4)
+        assert np.array_equal(a, b)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0, 2.0]), 0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.zeros((3, 3)), 2)
+
+
+class TestSilhouette:
+    def test_perfect_separation_scores_high(self):
+        data = np.concatenate([np.zeros(40), np.full(40, 100.0)])
+        labels = (data > 50).astype(int)
+        assert silhouette_score_1d(data, labels) > 0.95
+
+    def test_bad_clustering_scores_low(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=100)
+        labels = rng.integers(0, 2, size=100)
+        assert silhouette_score_1d(data, labels) < 0.3
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score_1d(np.arange(10.0), np.zeros(10, dtype=int))
+
+    def test_subsampling_keeps_all_clusters(self):
+        data = np.concatenate([np.zeros(3000), np.full(5, 100.0)])
+        labels = (data > 50).astype(int)
+        score = silhouette_score_1d(data, labels, max_points=100)
+        assert score > 0.9
+
+    def test_sweep_peaks_at_true_k(self):
+        """The Fig 8 property: silhouette maximal at the true count."""
+        data = np.concatenate([np.full(100, v * 10.0) for v in range(6)])
+        scores = sweep_k(data, range(2, 12))
+        assert best_k(scores) == 6
+
+    def test_best_k_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_k({})
+
+
+class TestFeatureExtraction:
+    def test_feature_count_and_shape(self):
+        features, matrix, banks = extract_features(256, 64, (1, 4))
+        assert matrix.shape == (512, len(features))
+        assert set(banks) == {1, 4}
+
+    def test_kinds_present(self):
+        features, _, _ = extract_features(256, 64, (1,))
+        kinds = {f.kind for f in features}
+        assert kinds == {"bank", "row", "subarray", "distance"}
+
+    def test_row_bits_correct(self):
+        features, matrix, _ = extract_features(256, 64, (1,))
+        row_bit_0 = [i for i, f in enumerate(features)
+                     if f.kind == "row" and f.bit == 0][0]
+        assert list(matrix[:4, row_bit_0]) == [0, 1, 0, 1]
+
+    def test_subarray_bit(self):
+        features, matrix, _ = extract_features(256, 64, (1,))
+        sa_bit_0 = [i for i, f in enumerate(features)
+                    if f.kind == "subarray" and f.bit == 0][0]
+        assert matrix[0, sa_bit_0] == 0
+        assert matrix[64, sa_bit_0] == 1
+        assert matrix[128, sa_bit_0] == 0
+
+    def test_distance_is_min_to_edge(self):
+        features, matrix, _ = extract_features(256, 64, (1,))
+        dist_bit_0 = [i for i, f in enumerate(features)
+                      if f.kind == "distance" and f.bit == 0][0]
+        # Row 0 has distance 0; row 1 distance 1; row 63 distance 0.
+        assert matrix[0, dist_bit_0] == 0
+        assert matrix[1, dist_bit_0] == 1
+        assert matrix[63, dist_bit_0] == 0
+
+    def test_feature_short_name(self):
+        assert SpatialFeature("row", 7).short_name == "Ro[7]"
+        assert SpatialFeature("distance", 7).short_name == "Dist[7]"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SpatialFeature("column", 0)
+        with pytest.raises(ValueError):
+            extract_features(0, 64, (1,))
+
+
+class TestF1Machinery:
+    def test_confusion_matrix(self):
+        actual = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 1, 1])
+        classes, matrix = confusion_matrix(actual, predicted)
+        assert list(classes) == [0, 1]
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 1] == 2
+
+    def test_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_score_weighted(y, y) == pytest.approx(1.0)
+        assert f1_micro(y, y) == pytest.approx(1.0)
+
+    def test_f1_micro_is_accuracy(self):
+        actual = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 1, 1])
+        assert f1_micro(actual, predicted) == pytest.approx(0.75)
+
+    def test_predict_from_feature_majority(self):
+        feature = np.array([0, 0, 0, 1, 1, 1])
+        target = np.array([5, 5, 7, 9, 9, 9])
+        predicted = predict_from_feature(feature, target)
+        assert list(predicted) == [5, 5, 5, 9, 9, 9]
+
+    def test_binarize_balanced(self):
+        measured = np.array([1, 1, 2, 2, 3, 3, 4, 4])
+        target = binarize_measured(measured)
+        assert target.sum() == 4
+
+    def test_binarize_degenerate(self):
+        measured = np.full(10, 42)
+        target = binarize_measured(measured)
+        assert len(np.unique(target)) == 1
+
+    def test_fraction_above_threshold(self):
+        correlations = [
+            FeatureCorrelation(SpatialFeature("row", b), f1)
+            for b, f1 in enumerate((0.3, 0.6, 0.9))
+        ]
+        fractions = fraction_above_threshold(correlations, [0.0, 0.5, 0.8, 1.0])
+        assert fractions[0.0] == pytest.approx(1.0)
+        assert fractions[0.5] == pytest.approx(2 / 3)
+        assert fractions[0.8] == pytest.approx(1 / 3)
+        assert fractions[1.0] == 0.0
+
+
+def measured_for(label, rows=2048, banks=(1, 4)):
+    spec = module_by_label(label)
+    measured = np.concatenate(
+        [
+            spec.generate_field(bank=b, rows_per_bank=rows, seed=0).measured_hc_first()
+            for b in banks
+        ]
+    )
+    params = spec.variation_params(rows)
+    features, matrix, _ = extract_features(rows, params.subarray_rows, banks)
+    return features, matrix, measured
+
+
+class TestTakeaway6:
+    """Only S0/S1/S3/S4 have strongly correlated spatial features."""
+
+    @pytest.mark.parametrize("label", FEATURE_CORRELATED_MODULES)
+    def test_correlated_modules_have_strong_features(self, label):
+        features, matrix, measured = measured_for(label)
+        correlations = correlate_features(features, matrix, measured)
+        strong = strong_features(correlations)
+        assert strong, f"{label} should expose F1 > 0.7 features"
+        assert all(c.f1 <= 0.80 for c in correlations), (
+            "no feature should exceed 0.8 (paper observation)"
+        )
+
+    @pytest.mark.parametrize(
+        "label", sorted(set(MODULES) - set(FEATURE_CORRELATED_MODULES))
+    )
+    def test_uncorrelated_modules_have_none(self, label):
+        features, matrix, measured = measured_for(label, rows=1024)
+        correlations = correlate_features(features, matrix, measured)
+        assert not strong_features(correlations), (
+            f"{label} should have no F1 > 0.7 feature"
+        )
+
+    def test_s0_strong_features_match_table3_drivers(self):
+        features, matrix, measured = measured_for("S0")
+        strong = strong_features(correlate_features(features, matrix, measured))
+        names = {c.feature.short_name for c in strong}
+        assert "Ro[7]" in names
+        assert "Sa[0]" in names

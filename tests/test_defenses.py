@@ -1,0 +1,356 @@
+"""Tests for the five read-disturbance defenses and their substrates."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import VulnerabilityProfile
+from repro.core.svard import Svard
+from repro.defenses import DEFENSE_CLASSES
+from repro.defenses.aqua import Aqua
+from repro.defenses.base import (
+    CounterTraffic,
+    GlobalThreshold,
+    RowMigration,
+    RowSwap,
+    SvardThresholds,
+    ThrottleDelay,
+    VictimRefresh,
+)
+from repro.defenses.blockhammer import BlockHammer
+from repro.defenses.bloom import CountingBloomFilter, DualCountingBloomFilter
+from repro.defenses.hydra import Hydra
+from repro.defenses.para import Para
+from repro.defenses.rrs import MisraGriesTracker, RandomizedRowSwap
+from repro.faults.modules import module_by_label
+
+
+class TestCountingBloomFilter:
+    def test_never_underestimates(self):
+        filt = CountingBloomFilter(n_counters=256, n_hashes=4, seed=0)
+        for _ in range(50):
+            filt.insert(42)
+        for _ in range(5):
+            filt.insert(43)
+        assert filt.estimate(42) >= 50
+        assert filt.estimate(43) >= 5
+
+    def test_clear(self):
+        filt = CountingBloomFilter(seed=0)
+        filt.insert(1)
+        filt.clear()
+        assert filt.estimate(1) == 0
+
+    def test_total_insertions(self):
+        filt = CountingBloomFilter(seed=0)
+        for i in range(30):
+            filt.insert(i)
+        assert filt.total_insertions == 30
+
+    def test_dual_filter_overlapping_history(self):
+        dual = DualCountingBloomFilter(n_counters=256, seed=0)
+        for _ in range(10):
+            dual.insert(7)
+        dual.rotate()
+        # History from before the boundary is still visible.
+        assert dual.estimate(7) >= 10
+        dual.rotate()
+        # After two rotations the old history has expired.
+        assert dual.estimate(7) == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(n_counters=0)
+
+
+class TestMisraGries:
+    def test_tracks_heavy_hitter(self):
+        tracker = MisraGriesTracker(entries=4)
+        for i in range(100):
+            tracker.observe(1)
+            tracker.observe(i + 10)
+        assert tracker.counts.get(1, 0) > 20
+
+    def test_reset(self):
+        tracker = MisraGriesTracker(entries=4)
+        tracker.observe(5)
+        tracker.reset(5)
+        assert 5 not in tracker.counts
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            MisraGriesTracker(entries=0)
+
+
+class TestPara:
+    def test_probability_inverse_in_threshold(self):
+        para = Para(hc_first=1000)
+        assert para.refresh_probability(1000) > para.refresh_probability(10000)
+
+    def test_probability_clamps_at_one(self):
+        para = Para(hc_first=10)
+        assert para.refresh_probability(10) == 1.0
+
+    def test_refresh_rate_matches_probability(self):
+        para = Para(hc_first=500, seed=1)
+        refreshes = 0
+        for i in range(20000):
+            for m in para.on_activation(0, 100, i * 50.0):
+                assert isinstance(m, VictimRefresh)
+                refreshes += len(m.rows)
+        expected = 2 * 20000 * para.refresh_probability(500)
+        assert refreshes == pytest.approx(expected, rel=0.1)
+
+    def test_probabilistic_security(self):
+        """Within T hammers of one victim, a refresh lands w.h.p."""
+        para = Para(hc_first=2000, seed=3)
+        misses = 0
+        trials = 200
+        for trial in range(trials):
+            hit = False
+            for i in range(2000):
+                for m in para.on_activation(0, 50, i * 50.0):
+                    if 49 in m.rows or 51 in m.rows:
+                        hit = True
+                        break
+                if hit:
+                    break
+            misses += 0 if hit else 1
+        assert misses == 0  # failure odds ~2^-80 per trial
+
+    def test_edge_row_single_victim(self):
+        para = Para(hc_first=10, seed=0)
+        mitigations = para.on_activation(0, 0, 0.0)
+        assert mitigations[0].rows == (1,)
+
+
+class TestBlockHammer:
+    def test_no_throttle_below_blacklist(self):
+        defense = BlockHammer(hc_first=1000, seed=0)
+        for i in range(100):
+            assert defense.on_activation(0, 5, i * 50.0) == []
+
+    def test_throttles_hot_row(self):
+        defense = BlockHammer(hc_first=1000, seed=0)
+        throttled = False
+        now = 0.0
+        for _ in range(600):
+            for m in defense.on_activation(0, 5, now):
+                assert isinstance(m, ThrottleDelay)
+                throttled = True
+                now += m.delay_ns
+            now += 50.0
+        assert throttled
+
+    def test_throttle_caps_epoch_activation_count(self):
+        """Security: a hammered row cannot exceed quota in an epoch."""
+        epoch = 1_000_000.0  # small epoch for a fast test
+        defense = BlockHammer(hc_first=512, epoch_ns=epoch, seed=0)
+        now, activations = 0.0, 0
+        while now < epoch:
+            delay = sum(
+                m.delay_ns
+                for m in defense.on_activation(0, 5, now)
+                if isinstance(m, ThrottleDelay)
+            )
+            now += 50.0 + delay
+            if now < epoch:
+                activations += 1
+        quota = defense.quota_fraction * 512
+        # The Bloom filter overestimates, so the cap holds with margin.
+        assert activations <= quota + defense.blacklist_fraction * 512 + 1
+
+    def test_never_refreshes(self):
+        defense = BlockHammer(hc_first=100, seed=0)
+        for i in range(500):
+            for m in defense.on_activation(0, 5, i * 50.0):
+                assert not isinstance(m, VictimRefresh)
+
+    def test_epoch_rotation_forgets_history(self):
+        defense = BlockHammer(hc_first=400, seed=0)
+        for i in range(300):
+            defense.on_activation(0, 5, i * 50.0)
+        defense.on_refresh_window(1e9)
+        defense.on_refresh_window(2e9)
+        assert defense.on_activation(0, 5, 2.1e9) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BlockHammer(hc_first=100, blacklist_fraction=0.9, quota_fraction=0.5)
+
+
+class TestHydra:
+    def test_quiet_groups_cost_nothing(self):
+        defense = Hydra(hc_first=10000, seed=0)
+        for row in range(0, 1000, 7):
+            assert defense.on_activation(0, row, 50.0 * row) == []
+
+    def test_escalation_produces_counter_traffic(self):
+        defense = Hydra(hc_first=1000, rcc_entries=4, seed=0)
+        traffic = 0
+        # Hammer 12 rows in distinct groups hard enough to escalate
+        # them all, then keep cycling to thrash the 4-entry RCC.
+        for i in range(6000):
+            row = (i % 12) * defense.group_size
+            for m in defense.on_activation(0, row, i * 50.0):
+                if isinstance(m, CounterTraffic):
+                    traffic += m.reads + m.writes
+        assert traffic > 100
+
+    def test_refresh_fires_at_half_threshold(self):
+        defense = Hydra(hc_first=400, seed=0)
+        refreshes = []
+        for i in range(400):
+            for m in defense.on_activation(0, 64, i * 50.0):
+                if isinstance(m, VictimRefresh):
+                    refreshes.append(i)
+        assert refreshes, "expected a preventive refresh"
+        assert refreshes[0] < 400 * defense.refresh_fraction + 2
+
+    def test_rcc_hit_has_no_traffic(self):
+        defense = Hydra(hc_first=400, seed=0)
+        # Escalate one group and touch it repeatedly.
+        reads = 0
+        for i in range(200):
+            for m in defense.on_activation(0, 64, i * 50.0):
+                if isinstance(m, CounterTraffic):
+                    reads += m.reads
+        assert reads <= 1  # only the first escalated access misses
+
+    def test_refresh_window_resets(self):
+        defense = Hydra(hc_first=400, seed=0)
+        for i in range(200):
+            defense.on_activation(0, 64, i * 50.0)
+        defense.on_refresh_window(1e9)
+        assert defense.on_activation(0, 64, 1.1e9) == []
+
+
+class TestAqua:
+    def test_migrates_at_half_threshold(self):
+        defense = Aqua(hc_first=100, rows_per_bank=4096, seed=0)
+        migrations = []
+        for i in range(120):
+            for m in defense.on_activation(0, 7, i * 50.0):
+                assert isinstance(m, RowMigration)
+                migrations.append((i, m))
+        assert migrations
+        first_index, first = migrations[0]
+        assert first_index == int(100 * defense.migrate_fraction) - 1
+        assert first.src_row == 7
+        assert first.dst_row >= 4096 - defense.quarantine_rows
+
+    def test_quarantine_slots_cycle(self):
+        defense = Aqua(hc_first=10, rows_per_bank=4096, seed=0)
+        slots = set()
+        for i in range(2000):
+            for m in defense.on_activation(0, i % 3, i * 50.0):
+                slots.add(m.dst_row)
+        assert len(slots) <= defense.quarantine_rows
+
+    def test_counter_resets_after_migration(self):
+        defense = Aqua(hc_first=100, rows_per_bank=4096, seed=0)
+        count = 0
+        for i in range(200):
+            count += len(defense.on_activation(0, 7, i * 50.0))
+        assert count == 4  # 200 activations / (0.5 * 100) per migration
+
+
+class TestRrs:
+    def test_swaps_hot_row(self):
+        defense = RandomizedRowSwap(hc_first=600, rows_per_bank=4096, seed=0)
+        swaps = []
+        for i in range(300):
+            for m in defense.on_activation(0, 9, i * 50.0):
+                assert isinstance(m, RowSwap)
+                swaps.append(m)
+        assert swaps
+        assert swaps[0].row_a == 9
+        assert swaps[0].row_b != 9
+
+    def test_swap_rate_scales_with_threshold(self):
+        def swap_count(hc_first):
+            defense = RandomizedRowSwap(
+                hc_first=hc_first, rows_per_bank=4096, seed=0
+            )
+            n = 0
+            for i in range(6000):
+                n += len(defense.on_activation(0, 9, i * 50.0))
+            return n
+
+        assert swap_count(600) > swap_count(6000) * 5
+
+    def test_swap_partner_random(self):
+        defense = RandomizedRowSwap(hc_first=60, rows_per_bank=4096, seed=0)
+        partners = set()
+        for i in range(3000):
+            for m in defense.on_activation(0, 9, i * 50.0):
+                partners.add(m.row_b)
+        assert len(partners) > 10
+
+
+def make_svard_provider(hc_first=1024):
+    profile = VulnerabilityProfile.from_ground_truth(
+        module_by_label("S0"), banks=(0,), rows_per_bank=2048, seed=0
+    ).scaled_to_worst_case(hc_first)
+    return SvardThresholds(Svard.build(profile)), profile
+
+
+class TestSvardIntegration:
+    @pytest.mark.parametrize("name", sorted(DEFENSE_CLASSES))
+    def test_all_defenses_accept_svard_thresholds(self, name):
+        provider, _ = make_svard_provider()
+        defense = DEFENSE_CLASSES[name](
+            1024, thresholds=provider, rows_per_bank=2048, seed=0
+        )
+        for i in range(200):
+            defense.on_activation(0, 100, i * 50.0)
+
+    def test_svard_reduces_para_refreshes(self):
+        provider, profile = make_svard_provider(hc_first=256)
+        base = Para(256, rows_per_bank=2048, seed=1)
+        svard = Para(256, thresholds=provider, rows_per_bank=2048, seed=1)
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 2048, size=4000)
+        for i, row in enumerate(rows):
+            base.on_activation(0, int(row), i * 50.0)
+            svard.on_activation(0, int(row), i * 50.0)
+        assert svard.stats.victim_refreshes < base.stats.victim_refreshes * 0.85
+
+    def test_svard_reduces_rrs_swaps(self):
+        provider, _ = make_svard_provider(hc_first=256)
+        base = RandomizedRowSwap(256, rows_per_bank=2048, seed=1)
+        svard = RandomizedRowSwap(
+            256, thresholds=provider, rows_per_bank=2048, seed=1
+        )
+        for i in range(4000):
+            row = (i % 16) * 64  # hammer a rotating set of rows
+            base.on_activation(0, row, i * 50.0)
+            svard.on_activation(0, row, i * 50.0)
+        assert svard.stats.swaps <= base.stats.swaps
+        assert svard.stats.swaps < base.stats.swaps
+
+    def test_svard_never_relaxes_below_worst_case(self):
+        """Weakest-bin rows keep exactly the worst-case treatment."""
+        provider, profile = make_svard_provider(hc_first=256)
+        weakest_bank = 0
+        values = profile.values(0)
+        weakest_row = int(np.argmin(values))
+        assert provider.threshold(weakest_bank, weakest_row) == pytest.approx(
+            profile.worst_case
+        )
+
+    def test_deterministic_defenses_fire_by_scaled_threshold(self):
+        """Security with Svärd: a row's preventive action still fires
+        within its own (bin) threshold."""
+        provider, profile = make_svard_provider(hc_first=1024)
+        defense = Aqua(1024, thresholds=provider, rows_per_bank=2048, seed=0)
+        row = 700
+        own_threshold = min(
+            provider.threshold(0, row - 1), provider.threshold(0, row + 1)
+        )
+        fired_at = None
+        for i in range(int(own_threshold) + 10):
+            if defense.on_activation(0, row, i * 50.0):
+                fired_at = i + 1
+                break
+        assert fired_at is not None
+        assert fired_at <= own_threshold * defense.migrate_fraction + 1

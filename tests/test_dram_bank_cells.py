@@ -1,0 +1,173 @@
+"""Tests for the bank state machine and cell-array storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import Bank, BankState, TimingError
+from repro.dram.cells import CellArray, count_mismatched_bits
+from repro.dram.timing import DDR4_3200
+
+
+@pytest.fixture
+def bank():
+    return Bank(timing=DDR4_3200)
+
+
+class TestBankStateMachine:
+    def test_initial_state(self, bank):
+        assert bank.state is BankState.PRECHARGED
+        assert bank.open_row is None
+
+    def test_activate_then_precharge(self, bank):
+        bank.activate(1000.0, row=42)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 42
+        closure = bank.precharge(1000.0 + DDR4_3200.tRAS)
+        assert closure.row == 42
+        assert closure.on_time_ns == pytest.approx(DDR4_3200.tRAS)
+        assert bank.state is BankState.PRECHARGED
+
+    def test_double_activate_rejected(self, bank):
+        bank.activate(1000.0, row=1)
+        with pytest.raises(TimingError):
+            bank.activate(2000.0, row=2)
+
+    def test_early_precharge_violates_tras(self, bank):
+        bank.activate(1000.0, row=1)
+        with pytest.raises(TimingError):
+            bank.precharge(1000.0 + DDR4_3200.tRAS / 2)
+
+    def test_early_activate_violates_trp(self, bank):
+        bank.activate(1000.0, row=1)
+        bank.precharge(1000.0 + DDR4_3200.tRAS)
+        with pytest.raises(TimingError):
+            bank.activate(1000.0 + DDR4_3200.tRAS + DDR4_3200.tRP / 2, row=2)
+
+    def test_legal_act_pre_act_sequence(self, bank):
+        t = 1000.0
+        bank.activate(t, row=1)
+        t = bank.ready_for_pre(t)
+        bank.precharge(t)
+        t = bank.ready_for_act(t)
+        bank.activate(t, row=2)
+        assert bank.open_row == 2
+        assert bank.activation_count == 2
+
+    def test_precharge_idle_bank_is_noop(self, bank):
+        assert bank.precharge(500.0) is None
+
+    def test_relaxed_mode_allows_violations(self, bank):
+        bank.activate(1000.0, row=1)
+        closure = bank.precharge(1000.1, strict=False)
+        assert closure.on_time_ns == pytest.approx(0.1)
+        bank.activate(1000.2, row=2, strict=False)
+        assert bank.open_row == 2
+
+    def test_column_access_requires_open_row(self, bank):
+        with pytest.raises(TimingError):
+            bank.check_column_access(1000.0)
+
+    def test_column_access_requires_trcd(self, bank):
+        bank.activate(1000.0, row=1)
+        with pytest.raises(TimingError):
+            bank.check_column_access(1000.0 + DDR4_3200.tRCD / 2)
+        bank.check_column_access(1000.0 + DDR4_3200.tRCD)
+
+
+class TestCellArray:
+    def test_unwritten_row_reads_background(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=64, background=0xAB)
+        assert np.all(cells.read_row(3) == 0xAB)
+
+    def test_uniform_fill_roundtrip(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=64)
+        cells.write_row(5, 0x55)
+        assert np.all(cells.read_row(5) == 0x55)
+
+    def test_bytes_roundtrip(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        cells.write_row(0, b"\x01\x02\x03\x04")
+        assert list(cells.read_row(0)) == [1, 2, 3, 4]
+
+    def test_array_shape_checked(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        with pytest.raises(ValueError):
+            cells.write_row(0, np.zeros(5, dtype=np.uint8))
+
+    def test_read_returns_copy(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        cells.write_row(0, 0xFF)
+        data = cells.read_row(0)
+        data[:] = 0
+        assert np.all(cells.read_row(0) == 0xFF)
+
+    def test_flip_bits(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        cells.write_row(0, 0x00)
+        cells.flip_bits(0, np.array([0, 9]))
+        data = cells.read_row(0)
+        assert data[0] == 0x01
+        assert data[1] == 0x02
+
+    def test_flip_is_involution(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        cells.write_row(0, 0x0F)
+        cells.flip_bits(0, np.array([3]))
+        cells.flip_bits(0, np.array([3]))
+        assert np.all(cells.read_row(0) == 0x0F)
+
+    def test_copy_row(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=4)
+        cells.write_row(1, 0xAA)
+        cells.copy_row(1, 2)
+        assert np.all(cells.read_row(2) == 0xAA)
+
+    def test_write_column(self):
+        cells = CellArray(rows_per_bank=16, row_bytes=16)
+        cells.write_column(0, 1, np.array([9, 8], dtype=np.uint8))
+        data = cells.read_row(0)
+        assert data[2] == 9 and data[3] == 8
+
+    def test_bounds_checked(self):
+        cells = CellArray(rows_per_bank=4, row_bytes=4)
+        with pytest.raises(ValueError):
+            cells.read_row(4)
+        with pytest.raises(ValueError):
+            cells.write_row(-1, 0)
+
+    def test_lazy_materialization(self):
+        cells = CellArray(rows_per_bank=1 << 17, row_bytes=8192)
+        cells.write_row(77, 0x00)
+        assert cells.materialized_rows == 1
+        assert cells.row_is_materialized(77)
+        assert not cells.row_is_materialized(78)
+
+
+class TestCountMismatchedBits:
+    def test_identical_rows(self):
+        a = np.zeros(8, dtype=np.uint8)
+        assert count_mismatched_bits(a, a.copy()) == 0
+
+    def test_all_bits_differ(self):
+        a = np.zeros(8, dtype=np.uint8)
+        b = np.full(8, 0xFF, dtype=np.uint8)
+        assert count_mismatched_bits(a, b) == 64
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            count_mismatched_bits(np.zeros(4, np.uint8), np.zeros(5, np.uint8))
+
+
+@given(
+    bits=st.lists(st.integers(min_value=0, max_value=255), unique=True, max_size=40)
+)
+@settings(max_examples=50)
+def test_property_flip_count_matches_ber_numerator(bits):
+    """Flipping n distinct bits yields exactly n mismatches."""
+    cells = CellArray(rows_per_bank=2, row_bytes=32)
+    cells.write_row(0, 0x5A)
+    expected = cells.read_row(0)
+    cells.flip_bits(0, np.array(bits, dtype=np.int64))
+    assert count_mismatched_bits(cells.read_row(0), expected) == len(bits)

@@ -1,0 +1,135 @@
+"""Unit and property tests for DRAM topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.geometry import REPRESENTATIVE_BANKS, DramGeometry, RowAddress, Subarray
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(rows_per_bank=4096, subarray_rows=512)
+
+
+class TestDramGeometry:
+    def test_default_matches_table4(self):
+        g = DramGeometry()
+        assert g.ranks == 2
+        assert g.bank_groups == 4
+        assert g.banks_per_group == 4
+        assert g.rows_per_bank == 128 * 1024
+        assert g.row_bytes == 8 * 1024
+
+    def test_total_banks(self):
+        g = DramGeometry()
+        assert g.banks_per_rank == 16
+        assert g.total_banks == 32
+
+    def test_bank_group_of(self, geometry):
+        assert geometry.bank_group_of(0) == 0
+        assert geometry.bank_group_of(4) == 1
+        assert geometry.bank_group_of(10) == 2
+        assert geometry.bank_group_of(15) == 3
+
+    def test_representative_banks_cover_all_groups(self, geometry):
+        groups = {geometry.bank_group_of(b) for b in REPRESENTATIVE_BANKS}
+        assert groups == {0, 1, 2, 3}
+
+    def test_bank_id_roundtrip(self, geometry):
+        for group in range(4):
+            for bank in range(4):
+                flat = geometry.bank_id(group, bank)
+                assert geometry.bank_group_of(flat) == group
+
+    def test_subarray_partition_covers_bank(self, geometry):
+        subarrays = geometry.subarrays()
+        assert subarrays[0].start == 0
+        assert subarrays[-1].end == geometry.rows_per_bank
+        for previous, current in zip(subarrays, subarrays[1:]):
+            assert previous.end == current.start
+
+    def test_partial_final_subarray(self):
+        g = DramGeometry(rows_per_bank=1000, subarray_rows=512)
+        assert g.subarrays_per_bank == 2
+        assert g.subarrays()[-1].size == 1000 - 512
+
+    def test_subarray_of(self, geometry):
+        assert geometry.subarray_of(0).index == 0
+        assert geometry.subarray_of(511).index == 0
+        assert geometry.subarray_of(512).index == 1
+
+    def test_same_subarray(self, geometry):
+        assert geometry.same_subarray(0, 511)
+        assert not geometry.same_subarray(511, 512)
+
+    def test_relative_location_endpoints(self, geometry):
+        assert geometry.relative_location(0) == 0.0
+        assert geometry.relative_location(geometry.rows_per_bank - 1) == 1.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DramGeometry(ranks=0)
+        with pytest.raises(ValueError):
+            DramGeometry(subarray_rows=1)
+
+    def test_row_bounds_checked(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.subarray_of(geometry.rows_per_bank)
+        with pytest.raises(ValueError):
+            geometry.relative_location(-1)
+
+
+class TestSubarray:
+    def test_contains(self):
+        sa = Subarray(index=1, start=512, end=1024)
+        assert 512 in sa
+        assert 1023 in sa
+        assert 1024 not in sa
+
+    def test_distance_to_sense_amps(self):
+        sa = Subarray(index=0, start=0, end=512)
+        assert sa.distance_to_sense_amps(0) == 0
+        assert sa.distance_to_sense_amps(511) == 0
+        assert sa.distance_to_sense_amps(255) == 255
+        assert sa.distance_to_sense_amps(256) == 255
+
+    def test_edge_rows(self):
+        sa = Subarray(index=0, start=100, end=200)
+        assert sa.is_edge_row(100)
+        assert sa.is_edge_row(199)
+        assert not sa.is_edge_row(150)
+
+    def test_distance_requires_membership(self):
+        sa = Subarray(index=0, start=0, end=512)
+        with pytest.raises(ValueError):
+            sa.distance_to_sense_amps(512)
+
+
+class TestRowAddress:
+    def test_neighbors(self):
+        addr = RowAddress(rank=0, bank=3, row=100)
+        below, above = addr.neighbors()
+        assert below.row == 99 and above.row == 101
+        assert below.bank == above.bank == 3
+
+    def test_ordering(self):
+        a = RowAddress(0, 0, 5)
+        b = RowAddress(0, 0, 6)
+        assert a < b
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=1 << 17),
+    subarray=st.integers(min_value=2, max_value=2048),
+    row=st.data(),
+)
+@settings(max_examples=60)
+def test_property_subarray_of_consistent(rows, subarray, row):
+    """Every row belongs to exactly the subarray the partition says."""
+    g = DramGeometry(rows_per_bank=rows, subarray_rows=subarray)
+    r = row.draw(st.integers(min_value=0, max_value=rows - 1))
+    sa = g.subarray_of(r)
+    assert r in sa
+    assert sa.start % subarray == 0
+    assert g.relative_location(r) == pytest.approx(r / max(rows - 1, 1))

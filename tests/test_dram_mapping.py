@@ -1,0 +1,127 @@
+"""Tests for row scrambling and MOP address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.mapping import (
+    MopAddressMapper,
+    RowScrambler,
+    ScramblingScheme,
+)
+
+
+class TestRowScrambler:
+    @pytest.mark.parametrize("scheme", list(ScramblingScheme))
+    def test_bijective_over_small_bank(self, scheme):
+        scrambler = RowScrambler(rows_per_bank=256, scheme=scheme)
+        physical = {scrambler.to_physical(r) for r in range(256)}
+        assert physical == set(range(256))
+
+    @pytest.mark.parametrize("scheme", list(ScramblingScheme))
+    def test_roundtrip(self, scheme):
+        scrambler = RowScrambler(rows_per_bank=256, scheme=scheme)
+        for row in range(256):
+            assert scrambler.to_logical(scrambler.to_physical(row)) == row
+
+    def test_identity_is_identity(self):
+        scrambler = RowScrambler(rows_per_bank=64)
+        assert all(scrambler.to_physical(r) == r for r in range(64))
+
+    def test_mirror_swaps_34_and_56(self):
+        scrambler = RowScrambler(rows_per_bank=64, scheme=ScramblingScheme.MIRROR)
+        assert scrambler.to_physical(3) == 4
+        assert scrambler.to_physical(4) == 3
+        assert scrambler.to_physical(5) == 6
+        assert scrambler.to_physical(6) == 5
+        assert scrambler.to_physical(8 + 3) == 8 + 4
+
+    def test_mirror_changes_adjacency(self):
+        # The point of modelling scrambling: logical neighbours are not
+        # physical neighbours, so naive hammering misses the victims.
+        scrambler = RowScrambler(rows_per_bank=64, scheme=ScramblingScheme.MIRROR)
+        below, above = scrambler.physical_neighbors(4)
+        # Physical row of logical 4 is 3; physical neighbours 2 and 4
+        # map back to logical 2 and logical 3.
+        assert (below, above) == (2, 3)
+
+    def test_repair_overrides(self):
+        scrambler = RowScrambler(rows_per_bank=64, repairs=((5, 60),))
+        assert scrambler.to_physical(5) == 60
+        assert scrambler.to_logical(60) == 5
+
+    def test_duplicate_repairs_rejected(self):
+        with pytest.raises(ValueError):
+            RowScrambler(rows_per_bank=64, repairs=((5, 60), (5, 61)))
+
+    def test_out_of_range_repair_rejected(self):
+        with pytest.raises(ValueError):
+            RowScrambler(rows_per_bank=64, repairs=((5, 64),))
+
+    def test_out_of_range_row_rejected(self):
+        scrambler = RowScrambler(rows_per_bank=64)
+        with pytest.raises(ValueError):
+            scrambler.to_physical(64)
+
+    def test_edge_neighbors_clamped(self):
+        scrambler = RowScrambler(rows_per_bank=64)
+        below, above = scrambler.physical_neighbors(0)
+        assert below == 0 and above == 1
+
+
+@given(
+    scheme=st.sampled_from(list(ScramblingScheme)),
+    row=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+@settings(max_examples=100)
+def test_property_scrambling_is_involution(scheme, row):
+    scrambler = RowScrambler(rows_per_bank=1 << 16, scheme=scheme)
+    assert scrambler.to_physical(scrambler.to_physical(row)) == row
+
+
+class TestMopAddressMapper:
+    def test_consecutive_lines_stay_in_row_within_mop(self):
+        mapper = MopAddressMapper()
+        first = mapper.decode(0)
+        second = mapper.decode(64)
+        assert first.row == second.row
+        assert first.flat_bank == second.flat_bank
+        assert second.column == first.column + 1
+
+    def test_mop_boundary_switches_bank_group(self):
+        mapper = MopAddressMapper(mop_width=4)
+        inside = mapper.decode(3 * 64)
+        outside = mapper.decode(4 * 64)
+        assert inside.bank_group == 0
+        assert outside.bank_group == 1
+        assert outside.row == inside.row
+
+    def test_decode_is_injective_over_sample(self):
+        mapper = MopAddressMapper(
+            ranks=2, bank_groups=2, banks_per_group=2,
+            rows_per_bank=64, columns_per_row=16,
+        )
+        seen = set()
+        for line in range(0, mapper.capacity_bytes(), 64):
+            addr = mapper.decode(line)
+            key = (addr.rank, addr.bank_group, addr.bank, addr.row, addr.column)
+            assert key not in seen
+            seen.add(key)
+
+    def test_capacity(self):
+        mapper = MopAddressMapper()
+        expected = 64 * 128 * 1 * 2 * 4 * 4 * 128 * 1024
+        assert mapper.capacity_bytes() == expected
+
+    def test_flat_bank(self):
+        mapper = MopAddressMapper()
+        addr = mapper.decode(4 * 64 * 4)  # past bank-group bits
+        assert addr.flat_bank == addr.bank_group * 4 + addr.bank
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            MopAddressMapper(bank_groups=3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MopAddressMapper().decode(-1)

@@ -1,0 +1,66 @@
+"""Unit tests for DDR4 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR4_2400,
+    DDR4_2666,
+    DDR4_2933,
+    DDR4_3200,
+    TimingParameters,
+    timing_for_speed,
+)
+
+
+class TestPresets:
+    def test_all_speed_grades_available(self):
+        for speed in (2400, 2666, 2933, 3200):
+            assert timing_for_speed(speed).data_rate_mts == speed
+
+    def test_unknown_speed_raises(self):
+        with pytest.raises(KeyError):
+            timing_for_speed(1600)
+
+    def test_trc_is_tras_plus_trp(self):
+        for preset in (DDR4_2400, DDR4_2666, DDR4_2933, DDR4_3200):
+            assert preset.tRC == pytest.approx(preset.tRAS + preset.tRP)
+
+    def test_faster_grade_has_shorter_clock(self):
+        assert DDR4_3200.tCK < DDR4_2933.tCK < DDR4_2666.tCK < DDR4_2400.tCK
+
+    def test_refresh_window_default_64ms(self):
+        assert DDR4_3200.tREFW == pytest.approx(64_000_000.0)
+
+    def test_refresh_interval_default(self):
+        assert DDR4_3200.tREFI == pytest.approx(7800.0)
+
+
+class TestTemperatureDerating:
+    def test_normal_range_unchanged(self):
+        assert DDR4_3200.derate_for_temperature(80.0) is DDR4_3200
+        assert DDR4_3200.derate_for_temperature(85.0) is DDR4_3200
+
+    def test_extended_range_halves_refresh(self):
+        hot = DDR4_3200.derate_for_temperature(90.0)
+        assert hot.tREFI == pytest.approx(DDR4_3200.tREFI / 2)
+        assert hot.tREFW == pytest.approx(DDR4_3200.tREFW / 2)
+
+    def test_extended_range_keeps_core_timings(self):
+        hot = DDR4_3200.derate_for_temperature(95.0)
+        assert hot.tRCD == DDR4_3200.tRCD
+        assert hot.tRAS == DDR4_3200.tRAS
+
+
+class TestActivationBudget:
+    def test_activations_per_window_order_of_magnitude(self):
+        # 64 ms / ~45.75 ns per row cycle is roughly 1.4M activations:
+        # the reason RowHammer at HC_first <= 128K is practical at all.
+        n = DDR4_3200.activations_per_refresh_window()
+        assert 1_000_000 < n < 2_000_000
+
+    def test_budget_shrinks_when_hot(self):
+        hot = DDR4_3200.derate_for_temperature(90.0)
+        assert (
+            hot.activations_per_refresh_window()
+            < DDR4_3200.activations_per_refresh_window()
+        )

@@ -1,0 +1,115 @@
+"""Tests for the aging drift model (Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.aging import AGING_DROP_FRACTIONS, REFERENCE_DAYS, AgingModel
+from repro.faults.modules import module_by_label
+from repro.faults.variation import HC_GRID
+
+K = 1024
+
+
+class TestDropProbabilities:
+    def test_fig10_fractions_encoded(self):
+        assert AGING_DROP_FRACTIONS[12 * K] == pytest.approx(0.004)
+        assert AGING_DROP_FRACTIONS[32 * K] == pytest.approx(0.077)
+        assert AGING_DROP_FRACTIONS[40 * K] == pytest.approx(0.091)
+
+    def test_strongest_rows_never_drop(self):
+        model = AgingModel()
+        assert model.drop_probability(96 * K) == 0.0
+        assert model.drop_probability(128 * K) == 0.0
+
+    def test_scaling_with_days(self):
+        reference = AgingModel(days=REFERENCE_DAYS)
+        doubled = AgingModel(days=2 * REFERENCE_DAYS)
+        assert doubled.drop_probability(32 * K) == pytest.approx(
+            2 * reference.drop_probability(32 * K)
+        )
+
+    def test_probability_clamped_to_one(self):
+        model = AgingModel(days=1e9)
+        assert model.drop_probability(40 * K) == 1.0
+
+    def test_zero_days_no_aging(self):
+        model = AgingModel(days=0)
+        values = np.array([12 * K] * 1000)
+        assert np.array_equal(model.age_measured_values(values), values)
+
+    def test_negative_days_rejected(self):
+        with pytest.raises(ValueError):
+            AgingModel(days=-1)
+
+
+class TestAgeMeasuredValues:
+    def test_drops_are_one_grid_step(self):
+        model = AgingModel(seed=1)
+        values = np.full(200_000, 32 * K)
+        aged = model.age_measured_values(values)
+        changed = aged[aged != 32 * K]
+        assert np.all(changed == 24 * K)
+
+    def test_drop_fraction_near_expected(self):
+        model = AgingModel(seed=1)
+        values = np.full(200_000, 40 * K)
+        aged = model.age_measured_values(values)
+        fraction = np.mean(aged != 40 * K)
+        assert fraction == pytest.approx(0.091, abs=0.005)
+
+    def test_monotone_never_increases(self):
+        model = AgingModel(seed=2)
+        values = np.random.default_rng(0).choice(
+            np.array(HC_GRID), size=5000
+        )
+        aged = model.age_measured_values(values)
+        assert np.all(aged <= values)
+
+    def test_deterministic(self):
+        values = np.full(10_000, 24 * K)
+        a = AgingModel(seed=5).age_measured_values(values)
+        b = AgingModel(seed=5).age_measured_values(values)
+        assert np.array_equal(a, b)
+
+
+class TestAgeField:
+    def test_aged_field_weaker_or_equal(self):
+        field = module_by_label("H3").generate_field(rows_per_bank=8192, seed=0)
+        aged = AgingModel(seed=0).age_field(field)
+        assert np.all(aged.hc_first <= field.hc_first + 1e-9)
+
+    def test_aged_measurement_shows_drops(self):
+        field = module_by_label("H3").generate_field(rows_per_bank=32768, seed=0)
+        aged = AgingModel(seed=0).age_field(field)
+        before = field.measured_hc_first()
+        after = aged.measured_hc_first()
+        assert (after < before).sum() > 0
+        assert np.all(after <= before)
+
+    def test_128k_rows_unchanged(self):
+        field = module_by_label("H3").generate_field(rows_per_bank=32768, seed=0)
+        aged = AgingModel(seed=0).age_field(field)
+        before = field.measured_hc_first()
+        after = aged.measured_hc_first()
+        mask = before == 128 * K
+        assert np.all(after[mask] == 128 * K)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self):
+        model = AgingModel(seed=3)
+        before = np.random.default_rng(1).choice(np.array(HC_GRID), size=10_000)
+        after = model.age_measured_values(before)
+        matrix = model.transition_matrix(before, after)
+        from collections import defaultdict
+
+        sums = defaultdict(float)
+        for (b, _), p in matrix.items():
+            sums[b] += p
+        for total in sums.values():
+            assert total == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        model = AgingModel()
+        with pytest.raises(ValueError):
+            model.transition_matrix(np.zeros(3), np.zeros(4))

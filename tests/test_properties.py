@@ -1,0 +1,169 @@
+"""Cross-cutting property-based tests on the core invariants.
+
+These complement the per-module unit tests with hypothesis-driven
+checks of the properties the paper's security argument and our
+calibration rest on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binning import VulnerabilityBins
+from repro.core.profile import VulnerabilityProfile
+from repro.core.svard import Svard
+from repro.defenses.bloom import CountingBloomFilter, DualCountingBloomFilter
+from repro.defenses.rrs import MisraGriesTracker
+from repro.faults.aging import AgingModel
+from repro.faults.disturbance import rowpress_multiplier
+from repro.faults.modules import MODULES, module_by_label
+from repro.faults.variation import HC_GRID
+from repro.sim.metrics import harmonic_speedup, max_slowdown, weighted_speedup
+
+
+class TestBloomProperties:
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=10_000), max_size=200),
+        query=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_underestimates(self, keys, query):
+        """The CBF property BlockHammer's security needs."""
+        filt = CountingBloomFilter(n_counters=128, n_hashes=3, seed=1)
+        for key in keys:
+            filt.insert(key)
+        assert filt.estimate(query) >= keys.count(query)
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=100), max_size=100),
+        rotations=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dual_filter_holds_last_epoch(self, keys, rotations):
+        dual = DualCountingBloomFilter(n_counters=128, seed=2)
+        for key in keys:
+            dual.insert(key)
+        if rotations == 0 and keys:
+            assert dual.estimate(keys[0]) >= keys.count(keys[0])
+
+
+class TestMisraGriesProperties:
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=30), max_size=400),
+        entries=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_hitter_guarantee(self, stream, entries):
+        """Any key with count > n/(entries+1) must be tracked."""
+        tracker = MisraGriesTracker(entries)
+        for key in stream:
+            tracker.observe(key)
+        threshold = len(stream) / (entries + 1)
+        for key in set(stream):
+            if stream.count(key) > threshold:
+                assert key in tracker.counts
+
+
+class TestRowPressProperties:
+    @given(
+        t_on=st.floats(min_value=36.0, max_value=10_000.0),
+        exponent=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_multiplier_monotone_and_at_least_one(self, t_on, exponent):
+        m = rowpress_multiplier(t_on, exponent)
+        assert m >= 1.0
+        assert rowpress_multiplier(t_on * 2, exponent) >= m
+
+
+class TestSvardSecurityProperties:
+    @given(
+        label=st.sampled_from(sorted(MODULES)),
+        target=st.sampled_from([64, 128, 512, 4096]),
+        n_bins=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_for_any_module_scaling_binning(self, label, target, n_bins):
+        profile = VulnerabilityProfile.from_ground_truth(
+            module_by_label(label), banks=(1,), rows_per_bank=256
+        ).scaled_to_worst_case(target)
+        svard = Svard.build(profile, n_bins=n_bins)
+        assert svard.verify_security_invariant()
+        assert svard.worst_case_threshold() == pytest.approx(target)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_aging_never_breaks_reprofiled_svard(self, seed):
+        """Re-profiling after aging restores the invariant."""
+        field = module_by_label("H3").generate_field(
+            rows_per_bank=512, seed=seed
+        )
+        aged = AgingModel(seed=seed).age_field(field)
+        profile = VulnerabilityProfile(
+            module_label="aged", per_bank={0: aged.hc_first}
+        )
+        assert Svard.build(profile).verify_security_invariant()
+
+
+class TestBinningProperties:
+    @given(
+        worst=st.floats(min_value=1.0, max_value=1e4),
+        ratio=st.floats(min_value=1.0, max_value=100.0),
+        n_bins=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50)
+    def test_geometric_edges_ordered_and_bounded(self, worst, ratio, n_bins):
+        bins = VulnerabilityBins.geometric(worst, worst * ratio, n_bins)
+        assert bins.edges[0] == pytest.approx(worst)
+        assert np.all(np.diff(bins.edges) > 0) or bins.n_bins == 1
+        assert bins.edges[-1] <= worst * ratio + 1e-6
+
+
+class TestMetricsProperties:
+    @given(
+        times=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6),
+                st.floats(min_value=1.0, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50)
+    def test_metric_relationships(self, times):
+        alone = [a for a, _ in times]
+        shared = [s for _, s in times]
+        ws = weighted_speedup(alone, shared)
+        hs = harmonic_speedup(alone, shared)
+        ms = max_slowdown(alone, shared)
+        n = len(times)
+        # Harmonic mean <= arithmetic mean of per-core speedups.
+        assert hs <= ws / n + 1e-9
+        # The worst slowdown bounds every per-core slowdown.
+        assert all(s / a <= ms + 1e-9 for a, s in times)
+
+    def test_equal_times_give_unit_metrics(self):
+        assert harmonic_speedup([2.0] * 4, [2.0] * 4) == pytest.approx(1.0)
+        assert max_slowdown([2.0] * 4, [2.0] * 4) == pytest.approx(1.0)
+
+
+class TestGridMeasurementProperties:
+    @given(
+        label=st.sampled_from(sorted(MODULES)),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_measured_never_below_truth(self, label, seed):
+        """Grid snapping measures a row at >= its true threshold."""
+        field = module_by_label(label).generate_field(
+            rows_per_bank=512, seed=seed
+        )
+        measured = field.measured_hc_first()
+        assert np.all(measured >= field.hc_first - 1e-9)
+        # ... and never more than one grid step above it.
+        grid = np.asarray(HC_GRID)
+        idx = np.searchsorted(grid, measured)
+        lower_neighbor = np.where(idx > 0, grid[np.maximum(idx - 1, 0)], 0)
+        assert np.all(field.hc_first >= lower_neighbor - 1e-9)
