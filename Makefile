@@ -1,0 +1,30 @@
+# Developer entry points.  Everything runs from a clean checkout with
+# only the baked-in python toolchain (numpy/scipy/pytest).
+#
+#   make test         tier-1 test suite (what CI gates on)
+#   make bench-smoke  tier-1 tests + a 2-job orchestrated Fig 12 smoke
+#   make bench        full pytest-benchmark suite (cold caches)
+#   make golden       regenerate tests/golden/*.json snapshots
+#   make clean-cache  drop the on-disk orchestration result cache
+
+PYTHON ?= python
+JOBS ?= 2
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench golden clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke: test
+	$(PYTHON) -m repro.experiments.runner fig12 \
+		--jobs $(JOBS) --cache-dir .repro_cache/bench-smoke --progress
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+golden:
+	$(PYTHON) -m pytest tests/test_golden.py -q --update-golden
+
+clean-cache:
+	rm -rf .repro_cache

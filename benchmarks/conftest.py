@@ -3,11 +3,27 @@
 Every benchmark regenerates one paper table/figure at a laptop scale
 (pedantic single-round timing: these are experiment harnesses, not
 micro-benchmarks).  EXPERIMENTS.md documents the paper-scale knobs.
+
+Benchmarks always report **cold-cache** numbers: an autouse fixture
+points the on-disk result cache (``$REPRO_CACHE_DIR``) at a fresh
+temporary directory and clears the in-process memo caches before each
+benchmark, so a warm cache left by a previous run (or a previous
+benchmark in the same session) can never flatter a timing.
+
+Knobs:
+
+* ``BENCH_JOBS`` -- worker processes for the orchestrated benchmarks
+  (default 2).
 """
+
+import os
 
 import pytest
 
+from repro.experiments import common as experiments_common
+from repro.experiments import fig12_performance
 from repro.experiments.common import ExperimentScale
+from repro.orchestration import OrchestrationContext, ResultCache
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +50,38 @@ def perf_scale():
         svard_profiles=("S0",),
         seed=0,
     )
+
+
+@pytest.fixture(autouse=True)
+def cold_caches(tmp_path, monkeypatch):
+    """Point every cache at a fresh temp dir and clear process memos."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+    experiments_common._CHARACTERIZATION_CACHE.clear()
+    experiments_common._PROFILE_MEMO.clear()
+    fig12_performance._PROVIDER_MEMO.clear()
+
+
+@pytest.fixture
+def cold_orchestration(tmp_path):
+    """Factory for contexts backed by a cold on-disk cache.
+
+    ``make(jobs=N)`` returns a fresh :class:`OrchestrationContext`
+    whose cache directory is empty, so the benchmarked run executes
+    every task (``ctx.stats.hits == 0`` afterwards, which callers
+    should assert).
+    """
+    counter = iter(range(10**6))
+
+    def make(jobs: int = 1) -> OrchestrationContext:
+        directory = tmp_path / f"cold_cache_{next(counter)}"
+        return OrchestrationContext(jobs=jobs, cache=ResultCache(directory))
+
+    return make
+
+
+def bench_jobs(default: int = 2) -> int:
+    """Worker count for orchestrated benchmarks (``$BENCH_JOBS``)."""
+    return int(os.environ.get("BENCH_JOBS", default))
 
 
 def run_once(benchmark, function, *args, **kwargs):

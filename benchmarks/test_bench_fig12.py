@@ -5,7 +5,7 @@ defenses, most for the throttling/swap-based ones and least for Hydra
 (Obsv 14), with overheads growing as the worst-case HC_first shrinks.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_jobs, run_once
 from repro.experiments import fig12_performance
 
 
@@ -31,3 +31,26 @@ def test_bench_fig12(benchmark, perf_scale):
         name: result.improvement(name, "Svärd-S0", 64) for name in at_64
     }
     assert improvements["Hydra"] == min(improvements.values())
+
+
+def test_bench_fig12_parallel(benchmark, perf_scale, cold_orchestration):
+    """The same grid fanned out over ``$BENCH_JOBS`` worker processes.
+
+    Timed against a cold on-disk cache so the number reflects real
+    simulation throughput; compare against ``test_bench_fig12`` for
+    the orchestration speedup.
+    """
+    orchestration = cold_orchestration(jobs=bench_jobs())
+    result = run_once(
+        benchmark, fig12_performance.run, perf_scale,
+        orchestration=orchestration,
+    )
+    print()
+    print(result.render())
+
+    # Cold cache: every task truly executed under the timer ...
+    assert orchestration.stats.hits == 0
+    assert orchestration.stats.executed == orchestration.stats.submitted > 0
+    # ... and the parallel run reproduces the serial takeaway.
+    for name in ("AQUA", "BlockHammer", "Hydra", "PARA", "RRS"):
+        assert result.improvement(name, "Svärd-S0", 64) > 1.0

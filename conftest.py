@@ -1,0 +1,18 @@
+"""Root pytest configuration: the golden-snapshot regeneration flag.
+
+``pytest --update-golden`` rewrites ``tests/golden/*.json`` from the
+current code instead of comparing against them (see
+tests/test_golden.py).  The option lives in the root conftest so it is
+registered whether pytest is invoked on the whole repository or on
+``tests/`` alone.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json snapshots instead of "
+             "comparing against them",
+    )

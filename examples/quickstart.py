@@ -8,6 +8,12 @@ vulnerability profile and shows the per-row thresholds it would hand
 a defense.
 
 Run:  python examples/quickstart.py
+
+From here, regenerate the paper's figures with the experiment runner;
+``--jobs`` fans the independent simulations out over worker processes
+and completed tasks persist in ``.repro_cache/`` (ORCHESTRATION.md):
+
+    python -m repro.experiments.runner fig12 --jobs 4 --progress
 """
 
 from repro.bender import TestPlatform
@@ -52,6 +58,8 @@ def main() -> None:
     print(f"  security invariant holds: {svard.verify_security_invariant()}")
     print(f"  mean overprotection without Svärd: "
           f"{svard.overprotection_factor():.2f}x")
+    print("\nNext: regenerate the paper's figures (parallel, cached):")
+    print("  python -m repro.experiments.runner fig12 --jobs 4 --progress")
 
 
 if __name__ == "__main__":

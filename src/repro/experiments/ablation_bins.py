@@ -14,21 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.profile import VulnerabilityProfile
 from repro.core.svard import Svard
 from repro.defenses import DEFENSE_CLASSES
 from repro.defenses.base import SvardThresholds
-from repro.experiments.common import ExperimentScale, format_table
-from repro.faults.modules import module_by_label
+from repro.experiments.common import (
+    ExperimentScale,
+    format_table,
+    mix_baseline_task,
+    scaled_profile,
+)
+from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.sim.metrics import compute_metrics
-from repro.workloads.mixes import (
-    build_alone_trace,
-    build_traces,
-    generate_mixes,
-    single_core_config,
-)
+from repro.workloads.mixes import build_traces, generate_mixes
 
 BIN_SWEEP: Tuple[int, ...] = (1, 2, 4, 8, 16)
 
@@ -61,6 +60,24 @@ class AblationBinsResult:
         return max(self.speedup_by_bins)
 
 
+def _bins_task(task: Task) -> list:
+    """One defended simulation at a given Svärd bin count."""
+    mix, n_bins, defense, hc_first, profile_label, scale, config = task.params
+    profile = scaled_profile(profile_label, hc_first, scale)
+    svard = Svard.build(profile, n_bins=n_bins)
+    assert svard.verify_security_invariant()
+    defense_obj = DEFENSE_CLASSES[defense](
+        hc_first,
+        thresholds=SvardThresholds(svard),
+        rows_per_bank=config.rows_per_bank,
+        seed=scale.seed,
+    )
+    result = MemorySystem(
+        config, build_traces(mix, config), defense=defense_obj
+    ).run()
+    return result.finish_times()
+
+
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
@@ -69,44 +86,41 @@ def run(
     profile_label: str = "S0",
     bin_sweep: Sequence[int] = BIN_SWEEP,
     system_config: Optional[SystemConfig] = None,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> AblationBinsResult:
+    orch = orchestration or serial_context()
     config = system_config or SystemConfig(
         requests_per_core=scale.requests_per_core, defense_epoch_ns=1e6
     )
     mix = generate_mixes(1, cores=config.cores, seed=scale.seed)[0]
-    alone_config = single_core_config(config)
-    alone = [
-        MemorySystem(alone_config, build_alone_trace(mix, core, alone_config))
-        .run().cores[0].finish_ns
-        for core in range(config.cores)
+    tasks = [
+        make_task(
+            ("ablation-bins", "baseline", mix.name),
+            mix_baseline_task,
+            (mix, config),
+            base_seed=scale.seed,
+        )
     ]
-    baseline = compute_metrics(
-        alone, MemorySystem(config, build_traces(mix, config)).run().finish_times()
-    )
+    tasks += [
+        make_task(
+            ("ablation-bins", "bins", defense, hc_first, profile_label, n_bins),
+            _bins_task,
+            (mix, n_bins, defense, hc_first, profile_label, scale, config),
+            base_seed=scale.seed,
+        )
+        for n_bins in bin_sweep
+    ]
+    outputs = orch.run(tasks, fingerprint=("ablation-bins", scale, config))
 
-    profile = VulnerabilityProfile.from_ground_truth(
-        module_by_label(profile_label),
-        banks=scale.banks,
-        rows_per_bank=scale.rows_per_bank,
-        seed=scale.seed,
-    ).scaled_to_worst_case(hc_first)
-
+    times = outputs[("ablation-bins", "baseline", mix.name)]
+    alone = times["alone"]
+    baseline = compute_metrics(alone, times["shared"])
     speedups: Dict[int, float] = {}
     for n_bins in bin_sweep:
-        svard = Svard.build(profile, n_bins=n_bins)
-        assert svard.verify_security_invariant()
-        defense_obj = DEFENSE_CLASSES[defense](
-            hc_first,
-            thresholds=SvardThresholds(svard),
-            rows_per_bank=config.rows_per_bank,
-            seed=scale.seed,
-        )
-        result = MemorySystem(
-            config, build_traces(mix, config), defense=defense_obj
-        ).run()
-        metrics = compute_metrics(alone, result.finish_times()).normalized_to(
-            baseline
-        )
+        finish = outputs[
+            ("ablation-bins", "bins", defense, hc_first, profile_label, n_bins)
+        ]
+        metrics = compute_metrics(alone, finish).normalized_to(baseline)
         speedups[n_bins] = metrics.weighted_speedup
     return AblationBinsResult(
         speedup_by_bins=speedups,

@@ -3,15 +3,24 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.characterization.runner import (
+    BankProfile,
     CharacterizationConfig,
     CharacterizationRunner,
     ModuleCharacterization,
 )
+from repro.core.profile import VulnerabilityProfile
 from repro.dram.geometry import REPRESENTATIVE_BANKS
 from repro.faults.modules import MODULES, ModuleSpec, module_by_label
+from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
+from repro.sim.engine import MemorySystem
+from repro.workloads.mixes import (
+    build_alone_trace,
+    build_traces,
+    single_core_config,
+)
 
 #: Every module label, in Table 5 order.
 ALL_MODULE_LABELS: Tuple[str, ...] = tuple(sorted(MODULES))
@@ -57,18 +66,119 @@ class ExperimentScale:
 _CHARACTERIZATION_CACHE: Dict[tuple, ModuleCharacterization] = {}
 
 
+def _characterize_bank_task(task: Task) -> BankProfile:
+    """Orchestrated unit: Algorithm 1 over one (module, bank) pair."""
+    label, config = task.params
+    runner = CharacterizationRunner(module_by_label(label), config)
+    return runner.characterize_bank(config.banks[task.key[-1]])
+
+
+def characterize_modules(
+    labels: Sequence[str],
+    scale: ExperimentScale,
+    *,
+    t_agg_on_ns: float = 36.0,
+    orchestration: Optional[OrchestrationContext] = None,
+) -> Dict[str, ModuleCharacterization]:
+    """Characterize several modules, one orchestrated task per bank.
+
+    Bank tasks are independent (each draws from its own seed stream),
+    so this fans the whole Table 5 registry out across workers and the
+    on-disk cache while producing bit-identical results to the
+    sequential :class:`CharacterizationRunner` loop.
+    """
+    orch = orchestration or serial_context()
+    config = scale.characterization_config(t_agg_on_ns=t_agg_on_ns)
+    missing = [
+        label for label in labels
+        if _memo_key(label, scale, t_agg_on_ns) not in _CHARACTERIZATION_CACHE
+    ]
+    tasks = [
+        make_task(
+            ("characterize", label, "bank", index),
+            _characterize_bank_task,
+            (label, config),
+            base_seed=scale.seed,
+        )
+        for label in missing
+        for index in range(len(config.banks))
+    ]
+    profiles = orch.run(tasks, fingerprint=("characterize", config))
+    for label in missing:
+        _CHARACTERIZATION_CACHE[_memo_key(label, scale, t_agg_on_ns)] = (
+            ModuleCharacterization(
+                module_label=label,
+                t_agg_on_ns=t_agg_on_ns,
+                banks={
+                    bank: profiles[("characterize", label, "bank", index)]
+                    for index, bank in enumerate(config.banks)
+                },
+            )
+        )
+    return {
+        label: _CHARACTERIZATION_CACHE[_memo_key(label, scale, t_agg_on_ns)]
+        for label in labels
+    }
+
+
+def _memo_key(label: str, scale: ExperimentScale, t_agg_on_ns: float) -> tuple:
+    return (label, scale.rows_per_bank, scale.banks, scale.seed, t_agg_on_ns)
+
+
 def characterize(
-    label: str, scale: ExperimentScale, *, t_agg_on_ns: float = 36.0
+    label: str,
+    scale: ExperimentScale,
+    *,
+    t_agg_on_ns: float = 36.0,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> ModuleCharacterization:
     """Characterize one module (cached across experiments)."""
-    key = (label, scale.rows_per_bank, scale.banks, scale.seed, t_agg_on_ns)
-    if key not in _CHARACTERIZATION_CACHE:
-        runner = CharacterizationRunner(
-            module_by_label(label),
-            scale.characterization_config(t_agg_on_ns=t_agg_on_ns),
-        )
-        _CHARACTERIZATION_CACHE[key] = runner.run()
-    return _CHARACTERIZATION_CACHE[key]
+    return characterize_modules(
+        [label], scale, t_agg_on_ns=t_agg_on_ns, orchestration=orchestration
+    )[label]
+
+
+#: Per-process memo for scaled vulnerability profiles.  Fig 12/13 and
+#: the bins ablation all evaluate ``ground truth scaled to HC_first``
+#: for the same keys; the profiles are pure functions of their key,
+#: so memoizing can change timing but never results.  Pool workers
+#: fill their own copy on first use.
+_PROFILE_MEMO: Dict[tuple, VulnerabilityProfile] = {}
+
+
+def scaled_profile(
+    profile_label: str, hc_first: int, scale: ExperimentScale
+) -> VulnerabilityProfile:
+    """The module's ground-truth profile with its floor at ``hc_first``."""
+    key = (
+        profile_label, hc_first,
+        scale.banks, scale.rows_per_bank, scale.seed,
+    )
+    if key not in _PROFILE_MEMO:
+        _PROFILE_MEMO[key] = VulnerabilityProfile.from_ground_truth(
+            module_by_label(profile_label),
+            banks=scale.banks,
+            rows_per_bank=scale.rows_per_bank,
+            seed=scale.seed,
+        ).scaled_to_worst_case(hc_first)
+    return _PROFILE_MEMO[key]
+
+
+def mix_baseline_task(task: Task) -> Dict[str, list]:
+    """Orchestrated unit shared by the performance experiments: the
+    alone (single-core) and shared no-defense finish times for one
+    workload mix, against which every defended run is normalized."""
+    mix, config = task.params
+    alone_config = single_core_config(config)
+    alone = [
+        MemorySystem(alone_config, build_alone_trace(mix, core, alone_config))
+        .run()
+        .cores[0]
+        .finish_ns
+        for core in range(config.cores)
+    ]
+    shared = MemorySystem(config, build_traces(mix, config)).run()
+    return {"alone": alone, "shared": shared.finish_times()}
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -16,22 +16,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.profile import VulnerabilityProfile
 from repro.core.svard import Svard
 from repro.defenses import DEFENSE_CLASSES
 from repro.defenses.base import Defense, SvardThresholds, ThresholdProvider
-from repro.experiments.common import ExperimentScale, format_table
-from repro.faults.modules import module_by_label
+from repro.experiments.common import (
+    ExperimentScale,
+    format_table,
+    mix_baseline_task,
+    scaled_profile,
+)
+from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.sim.metrics import MultiProgramMetrics, compute_metrics
-from repro.workloads.mixes import (
-    WorkloadMix,
-    build_alone_trace,
-    build_traces,
-    generate_mixes,
-    single_core_config,
-)
+from repro.workloads.mixes import WorkloadMix, build_traces, generate_mixes
 
 #: Compressed defense-epoch used by the simulated slice (see
 #: EXPERIMENTS.md, "time compression").
@@ -90,13 +88,9 @@ class Fig12Result:
 def _svard_provider(
     profile_label: str, hc_first: int, scale: ExperimentScale
 ) -> ThresholdProvider:
-    profile = VulnerabilityProfile.from_ground_truth(
-        module_by_label(profile_label),
-        banks=scale.banks,
-        rows_per_bank=scale.rows_per_bank,
-        seed=scale.seed,
-    ).scaled_to_worst_case(hc_first)
-    return SvardThresholds(Svard.build(profile))
+    return SvardThresholds(
+        Svard.build(scaled_profile(profile_label, hc_first, scale))
+    )
 
 
 def _make_defense(
@@ -122,12 +116,54 @@ def _mean_metrics(values: Sequence[MultiProgramMetrics]) -> MultiProgramMetrics:
     )
 
 
+#: Per-process memo for Svärd threshold providers: building one walks
+#: the full vulnerability profile, and every defense at the same
+#: (profile, HC_first) shares it -- worth keeping warm inside each
+#: pool worker.  Providers are pure functions of their key, so the
+#: memo never changes results.
+_PROVIDER_MEMO: Dict[tuple, ThresholdProvider] = {}
+
+
+def _cached_provider(
+    profile_label: str, hc_first: int, scale: ExperimentScale
+) -> ThresholdProvider:
+    key = (
+        profile_label, hc_first,
+        scale.banks, scale.rows_per_bank, scale.seed,
+    )
+    if key not in _PROVIDER_MEMO:
+        _PROVIDER_MEMO[key] = _svard_provider(profile_label, hc_first, scale)
+    return _PROVIDER_MEMO[key]
+
+
+def _simulation_task(task: Task) -> List[float]:
+    """One defended simulation; returns raw per-core finish times.
+
+    Normalization happens in the parent so that this task depends on
+    nothing but its own parameters (all configurations of a mix
+    replay the same traces, seeded from the experiment scale).
+    """
+    mix, defense_name, configuration, hc, scale, config = task.params
+    thresholds = None
+    if configuration != NO_SVARD:
+        thresholds = _cached_provider(
+            configuration.removeprefix("Svärd-"), hc, scale
+        )
+    defense = _make_defense(defense_name, hc, config, thresholds, scale.seed)
+    result = MemorySystem(
+        config, build_traces(mix, config), defense=defense
+    ).run()
+    return result.finish_times()
+
+
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
     defenses: Optional[Sequence[str]] = None,
     system_config: Optional[SystemConfig] = None,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig12Result:
+    orch = orchestration or serial_context()
     defense_names = sorted(defenses) if defenses else sorted(DEFENSE_CLASSES)
     config = system_config or SystemConfig(
         requests_per_core=scale.requests_per_core,
@@ -138,49 +174,51 @@ def run(
     )
     mixes = generate_mixes(scale.n_mixes, cores=config.cores, seed=scale.seed)
 
+    tasks = [
+        make_task(
+            ("fig12", "baseline", mix.name),
+            mix_baseline_task,
+            (mix, config),
+            base_seed=scale.seed,
+        )
+        for mix in mixes
+    ]
+    tasks += [
+        make_task(
+            ("fig12", "sim", defense_name, configuration, hc, mix.name),
+            _simulation_task,
+            (mix, defense_name, configuration, hc, scale, config),
+            base_seed=scale.seed,
+        )
+        for defense_name in defense_names
+        for configuration in configurations
+        for hc in scale.hc_first_values
+        for mix in mixes
+    ]
+    outputs = orch.run(tasks, fingerprint=("fig12", scale, config))
+
     # Per-mix baselines: alone times (no defense) and shared baseline.
     alone_times: Dict[str, List[float]] = {}
     baseline: Dict[str, MultiProgramMetrics] = {}
-    alone_config = single_core_config(config)
     for mix in mixes:
-        alone_times[mix.name] = [
-            MemorySystem(alone_config, build_alone_trace(mix, core, alone_config))
-            .run()
-            .cores[0]
-            .finish_ns
-            for core in range(config.cores)
-        ]
-        shared = MemorySystem(config, build_traces(mix, config)).run()
-        baseline[mix.name] = compute_metrics(
-            alone_times[mix.name], shared.finish_times()
-        )
+        times = outputs[("fig12", "baseline", mix.name)]
+        alone_times[mix.name] = times["alone"]
+        baseline[mix.name] = compute_metrics(times["alone"], times["shared"])
 
-    providers: Dict[Tuple[str, int], ThresholdProvider] = {}
     results: Dict[Tuple[str, str, int], MultiProgramMetrics] = {}
     for defense_name in defense_names:
         for configuration in configurations:
             for hc in scale.hc_first_values:
-                per_mix = []
-                for mix in mixes:
-                    thresholds = None
-                    if configuration != NO_SVARD:
-                        profile_label = configuration.removeprefix("Svärd-")
-                        key = (profile_label, hc)
-                        if key not in providers:
-                            providers[key] = _svard_provider(
-                                profile_label, hc, scale
-                            )
-                        thresholds = providers[key]
-                    defense = _make_defense(
-                        defense_name, hc, config, thresholds, scale.seed
-                    )
-                    result = MemorySystem(
-                        config, build_traces(mix, config), defense=defense
-                    ).run()
-                    metrics = compute_metrics(
-                        alone_times[mix.name], result.finish_times()
+                per_mix = [
+                    compute_metrics(
+                        alone_times[mix.name],
+                        outputs[
+                            ("fig12", "sim", defense_name, configuration,
+                             hc, mix.name)
+                        ],
                     ).normalized_to(baseline[mix.name])
-                    per_mix.append(metrics)
+                    for mix in mixes
+                ]
                 results[(defense_name, configuration, hc)] = _mean_metrics(per_mix)
     return Fig12Result(
         metrics=results,

@@ -14,12 +14,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.profile import VulnerabilityProfile
 from repro.core.svard import Svard
 from repro.defenses import DEFENSE_CLASSES
 from repro.defenses.base import SvardThresholds, ThresholdProvider
-from repro.experiments.common import ExperimentScale, format_table
-from repro.faults.modules import module_by_label
+from repro.experiments.common import (
+    ExperimentScale,
+    format_table,
+    scaled_profile,
+)
+from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.workloads.adversarial import HydraAdversarialTrace, RrsAdversarialTrace
@@ -79,11 +82,41 @@ def _adversarial_traces(defense_name: str, config: SystemConfig) -> List:
     ]
 
 
+def _baseline_task(task: Task) -> List[float]:
+    """No-defense finish times under one adversarial pattern."""
+    defense_name, config = task.params
+    return MemorySystem(
+        config, _adversarial_traces(defense_name, config)
+    ).run().finish_times()
+
+
+def _attack_task(task: Task) -> List[float]:
+    """Finish times of one (defense, Svärd configuration) under attack."""
+    defense_name, configuration, scale, config = task.params
+    thresholds: Optional[ThresholdProvider] = None
+    if configuration != NO_SVARD:
+        profile = scaled_profile(
+            configuration.removeprefix("Svärd-"), HC_FIRST, scale
+        )
+        thresholds = SvardThresholds(Svard.build(profile))
+    kwargs = dict(rows_per_bank=config.rows_per_bank, seed=scale.seed)
+    if thresholds is not None:
+        kwargs["thresholds"] = thresholds
+    if defense_name == "Hydra":
+        kwargs["rcc_entries"] = HYDRA_RCC_ENTRIES
+    defense = DEFENSE_CLASSES[defense_name](HC_FIRST, **kwargs)
+    return MemorySystem(
+        config, _adversarial_traces(defense_name, config), defense=defense
+    ).run().finish_times()
+
+
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
     system_config: Optional[SystemConfig] = None,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig13Result:
+    orch = orchestration or serial_context()
     config = system_config or SystemConfig(
         requests_per_core=max(scale.requests_per_core, 12_000),
         defense_epoch_ns=1_000_000.0,
@@ -91,34 +124,37 @@ def run(
     configurations = (NO_SVARD,) + tuple(
         f"Svärd-{label}" for label in scale.svard_profiles
     )
+    defense_names = ("Hydra", "RRS")
+    tasks = [
+        make_task(
+            ("fig13", "baseline", defense_name),
+            _baseline_task,
+            (defense_name, config),
+            base_seed=scale.seed,
+        )
+        for defense_name in defense_names
+    ]
+    tasks += [
+        make_task(
+            ("fig13", "attack", defense_name, configuration),
+            _attack_task,
+            (defense_name, configuration, scale, config),
+            base_seed=scale.seed,
+        )
+        for defense_name in defense_names
+        for configuration in configurations
+    ]
+    outputs = orch.run(tasks, fingerprint=("fig13", scale, config))
+
     raw: Dict[Tuple[str, str], float] = {}
     normalized: Dict[Tuple[str, str], float] = {}
-    for defense_name in ("Hydra", "RRS"):
-        baseline = MemorySystem(
-            config, _adversarial_traces(defense_name, config)
-        ).run()
-        base_times = np.array(baseline.finish_times())
+    for defense_name in defense_names:
+        base_times = np.array(outputs[("fig13", "baseline", defense_name)])
         for configuration in configurations:
-            thresholds: Optional[ThresholdProvider] = None
-            if configuration != NO_SVARD:
-                profile = VulnerabilityProfile.from_ground_truth(
-                    module_by_label(configuration.removeprefix("Svärd-")),
-                    banks=scale.banks,
-                    rows_per_bank=scale.rows_per_bank,
-                    seed=scale.seed,
-                ).scaled_to_worst_case(HC_FIRST)
-                thresholds = SvardThresholds(Svard.build(profile))
-            kwargs = dict(rows_per_bank=config.rows_per_bank, seed=scale.seed)
-            if thresholds is not None:
-                kwargs["thresholds"] = thresholds
-            if defense_name == "Hydra":
-                kwargs["rcc_entries"] = HYDRA_RCC_ENTRIES
-            defense = DEFENSE_CLASSES[defense_name](HC_FIRST, **kwargs)
-            result = MemorySystem(
-                config, _adversarial_traces(defense_name, config), defense=defense
-            ).run()
-            slowdown = float(np.mean(np.array(result.finish_times()) / base_times))
-            raw[(defense_name, configuration)] = slowdown
+            times = outputs[("fig13", "attack", defense_name, configuration)]
+            raw[(defense_name, configuration)] = float(
+                np.mean(np.array(times) / base_times)
+            )
         reference = raw[(defense_name, NO_SVARD)]
         for configuration in configurations:
             normalized[(defense_name, configuration)] = (

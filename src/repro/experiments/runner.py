@@ -2,16 +2,26 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # every experiment
-    python -m repro.experiments.runner fig5 fig12 # a subset
+    python -m repro.experiments.runner                # every experiment
+    python -m repro.experiments.runner fig5 fig12     # a subset
+    python -m repro.experiments.runner fig12 --jobs 4 # parallel sweep
+
+Results are orchestrated through :mod:`repro.orchestration`: with
+``--jobs N`` the independent simulation/characterization tasks fan out
+over N worker processes, and completed tasks persist in an on-disk
+cache (``--cache-dir``, default ``.repro_cache/``) so re-runs and
+interrupted sweeps resume instantly.  ``--no-cache`` forces fresh
+computation.  See ORCHESTRATION.md.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from dataclasses import replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
 from repro.experiments import (
     ablation_bins,
     fig3_ber_distribution,
@@ -28,51 +38,193 @@ from repro.experiments import (
     table3_features,
     table5_modules,
 )
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, characterize_modules
+from repro.orchestration import OrchestrationContext, ResultCache
+
+#: ``(scale, orchestration, explicit)`` -> result.  ``explicit`` names
+#: the scale fields the user overrode on the command line, so quick
+#: presets below never silently discard an explicit flag.
+Runner = Callable[
+    [ExperimentScale, OrchestrationContext, frozenset], object
+]
 
 
-def _fig12_quick(scale: ExperimentScale):
-    """Fig 12 at a reduced grid so the full runner stays interactive."""
-    quick = replace(
-        scale,
-        hc_first_values=(4096, 256, 64),
-        svard_profiles=("S0",),
-        n_mixes=1,
-    )
-    return fig12_performance.run(quick)
+def _fig12_quick(
+    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
+):
+    """Fig 12 at a reduced grid so the full runner stays interactive.
+
+    Explicit CLI overrides (e.g. ``--n-mixes 120`` for the paper
+    grid) win over the quick-grid defaults.
+    """
+    quick = {
+        "hc_first_values": (4096, 256, 64),
+        "svard_profiles": ("S0",),
+        "n_mixes": 1,
+    }
+    trimmed = {k: v for k, v in quick.items() if k not in explicit}
+    return fig12_performance.run(replace(scale, **trimmed), orchestration=orch)
 
 
-EXPERIMENTS: Dict[str, Callable[[ExperimentScale], object]] = {
-    "fig3": lambda scale: fig3_ber_distribution.run(scale),
-    "fig4": lambda scale: fig4_ber_location.run(scale),
-    "fig5": lambda scale: fig5_hcfirst_distribution.run(scale),
-    "fig6": lambda scale: fig6_hcfirst_location.run(scale),
-    "fig7": lambda scale: fig7_rowpress.run(scale),
-    "fig8": lambda scale: fig8_subarray_silhouette.run(scale),
-    "fig9": lambda scale: fig9_spatial_features.run(scale),
-    "fig10": lambda scale: fig10_aging.run(scale),
+def _ablation_bins(
+    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
+):
+    if "requests_per_core" not in explicit:
+        scale = replace(scale, requests_per_core=2500)
+    return ablation_bins.run(scale, orchestration=orch)
+
+
+def _prewarmed(run_fn: Callable[[ExperimentScale], object]) -> Runner:
+    """Fan the module characterizations out before a sequential figure.
+
+    The per-figure harnesses consume characterizations through the
+    in-memory cache in :mod:`repro.experiments.common`; pre-warming it
+    through the orchestration context gives them parallelism and disk
+    caching without touching their analysis code.
+    """
+
+    def wrapper(
+        scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
+    ):
+        characterize_modules(scale.modules, scale, orchestration=orch)
+        return run_fn(scale)
+
+    return wrapper
+
+
+def _fig7(
+    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
+):
+    for t_on in T_AGG_ON_SWEEP_NS:
+        characterize_modules(
+            scale.modules, scale, t_agg_on_ns=t_on, orchestration=orch
+        )
+    return fig7_rowpress.run(scale)
+
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "fig3": _prewarmed(fig3_ber_distribution.run),
+    "fig4": _prewarmed(fig4_ber_location.run),
+    "fig5": _prewarmed(fig5_hcfirst_distribution.run),
+    "fig6": _prewarmed(fig6_hcfirst_location.run),
+    "fig7": _fig7,
+    "fig8": lambda scale, orch, explicit: fig8_subarray_silhouette.run(scale),
+    "fig9": _prewarmed(fig9_spatial_features.run),
+    "fig10": lambda scale, orch, explicit: fig10_aging.run(scale),
     "fig12": _fig12_quick,
-    "fig13": lambda scale: fig13_adversarial.run(scale),
-    "table3": lambda scale: table3_features.run(scale),
-    "table5": lambda scale: table5_modules.run(scale),
-    "sec64": lambda scale: sec64_hardware_cost.run(),
-    "ablation-bins": lambda scale: ablation_bins.run(
-        replace(scale, requests_per_core=2500)
+    "fig13": lambda scale, orch, explicit: fig13_adversarial.run(
+        scale, orchestration=orch
     ),
+    "table3": _prewarmed(table3_features.run),
+    "table5": lambda scale, orch, explicit: table5_modules.run(
+        scale, orchestration=orch
+    ),
+    "sec64": lambda scale, orch, explicit: sec64_hardware_cost.run(),
+    "ablation-bins": _ablation_bins,
 }
 
 
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help=f"experiments to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for orchestrated tasks (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk result cache location (default: $REPRO_CACHE_DIR "
+             "or .repro_cache/)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="compute everything fresh; do not read or write the cache",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-task progress to stderr",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override ExperimentScale.seed",
+    )
+    parser.add_argument(
+        "--n-mixes", type=int, default=None, metavar="N",
+        help="override ExperimentScale.n_mixes (paper scale: 120)",
+    )
+    parser.add_argument(
+        "--requests-per-core", type=int, default=None, metavar="N",
+        help="override ExperimentScale.requests_per_core",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.no_cache and args.cache_dir is not None:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    return args
+
+
+def _progress_line(done: int, total: int, key) -> None:
+    label = "/".join(str(part) for part in key)
+    end = "\n" if done == total else "\r"
+    print(f"  [{done}/{total}] {label:<60.60}", end=end, file=sys.stderr,
+          flush=True)
+
+
+def build_context(args: argparse.Namespace) -> OrchestrationContext:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return OrchestrationContext(
+        jobs=args.jobs,
+        cache=cache,
+        progress=_progress_line if args.progress else None,
+    )
+
+
 def main(argv=None) -> int:
-    names = (argv if argv is not None else sys.argv[1:]) or sorted(EXPERIMENTS)
-    scale = ExperimentScale()
-    for name in names:
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-            return 1
-        print("=" * 72)
-        result = EXPERIMENTS[name](scale)
-        print(result.render())
-        print()
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    names = args.names or sorted(EXPERIMENTS)
+    overrides = {
+        field: value
+        for field, value in (
+            ("seed", args.seed),
+            ("n_mixes", args.n_mixes),
+            ("requests_per_core", args.requests_per_core),
+        )
+        if value is not None
+    }
+    scale = replace(ExperimentScale(), **overrides)
+    explicit = frozenset(overrides)
+    with build_context(args) as orch:
+        for name in names:
+            if name not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; "
+                    f"known: {sorted(EXPERIMENTS)}"
+                )
+                return 1
+            print("=" * 72)
+            result = EXPERIMENTS[name](scale, orch, explicit)
+            print(result.render())
+            print()
+        if orch.stats.submitted:
+            where = (
+                f"cache at {orch.cache.directory}"
+                if orch.cache is not None
+                else "cache disabled"
+            )
+            print(
+                f"[orchestration] {orch.stats.submitted} tasks: "
+                f"{orch.stats.hits} cache hits, "
+                f"{orch.stats.executed} executed "
+                f"({orch.jobs} job{'s' if orch.jobs != 1 else ''}, {where})",
+                file=sys.stderr,
+            )
     return 0
 
 

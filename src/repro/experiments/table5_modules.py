@@ -9,12 +9,17 @@ paper's published values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.experiments.common import (
+    ExperimentScale,
+    characterize_modules,
+    format_table,
+)
 from repro.faults.modules import MODULES, module_by_label
+from repro.orchestration import OrchestrationContext
 
 
 @dataclass
@@ -69,11 +74,20 @@ class Table5Result:
         )
 
 
-def run(scale: ExperimentScale = ExperimentScale()) -> Table5Result:
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    orchestration: Optional[OrchestrationContext] = None,
+) -> Table5Result:
+    # One task per (module, bank): the whole registry characterizes in
+    # parallel instead of module-by-module.
+    characterizations = characterize_modules(
+        scale.modules, scale, orchestration=orchestration
+    )
     rows: Dict[str, Table5Row] = {}
     for label in scale.modules:
         spec = module_by_label(label)
-        chars = characterize(label, scale)
+        chars = characterizations[label]
         measured = chars.all_hc_first()
         rows[label] = Table5Row(
             label=label,

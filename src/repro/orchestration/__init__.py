@@ -1,0 +1,43 @@
+"""Parallel experiment orchestration with an on-disk result cache.
+
+See ORCHESTRATION.md at the repository root for the task model, the
+cache layout, and the invalidation rules.
+"""
+
+from repro.orchestration.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.orchestration.executor import (
+    OrchestrationContext,
+    OrchestrationStats,
+    serial_context,
+)
+from repro.orchestration.hashing import (
+    canonicalize,
+    code_version,
+    derive_task_seed,
+    stable_hash,
+)
+from repro.orchestration.task import Task, make_task, run_task
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "OrchestrationContext",
+    "OrchestrationStats",
+    "ResultCache",
+    "Task",
+    "canonicalize",
+    "code_version",
+    "default_cache_dir",
+    "derive_task_seed",
+    "make_task",
+    "run_task",
+    "serial_context",
+    "stable_hash",
+]

@@ -1,0 +1,154 @@
+"""On-disk result cache for orchestrated tasks.
+
+Layout: one pickle file per result under the cache directory
+(default ``.repro_cache/``, overridable via ``$REPRO_CACHE_DIR``),
+named ``<sha256>.pkl`` where the hash covers::
+
+    (task.key, fingerprint, code_version)
+
+``fingerprint`` is the experiment-level context -- by convention the
+full :class:`~repro.experiments.common.ExperimentScale` plus the
+:class:`~repro.sim.config.SystemConfig` -- so an entry written under
+one scale is *never* served for another.  ``code_version``
+fingerprints the ``repro`` source tree, so editing the code
+invalidates every cached result instead of replaying stale values.
+
+Each file stores a small header next to the payload and is verified
+on load; a truncated, corrupted, or mismatched file is deleted and
+treated as a miss (the task is simply recomputed).  Writes go through
+a temporary file and :func:`os.replace`, so concurrent runs sharing a
+cache directory never observe half-written entries.
+
+Cache files are ordinary pickles: they are a *local* artifact, not an
+interchange format -- do not load cache directories from untrusted
+sources.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.orchestration.hashing import TaskKey, code_version, stable_hash
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bumped when the on-disk entry format changes.
+_FORMAT = 1
+
+_MISS = object()
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (cumulative across runs)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_discarded: int = 0
+
+
+class ResultCache:
+    """Content-addressed pickle store for task results."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        *,
+        version: Optional[str] = None,
+    ) -> None:
+        #: ``version`` defaults to the live source fingerprint; tests
+        #: inject fixed strings to exercise invalidation.
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.version = version if version is not None else code_version()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def entry_key(self, task_key: TaskKey, fingerprint: Any) -> str:
+        """The content hash addressing one result on disk."""
+        return stable_hash((tuple(task_key), fingerprint, self.version))
+
+    def path_for(self, entry_key: str) -> Path:
+        return self.directory / f"{entry_key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def load(self, entry_key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for an entry; corrupt files become misses."""
+        path = self.path_for(entry_key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            self._discard(path)
+            self.stats.misses += 1
+            return False, None
+        value = self._validate(entry, entry_key)
+        if value is _MISS:
+            self._discard(path)
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, entry_key: str, task_key: TaskKey, value: Any) -> None:
+        """Atomically persist one result."""
+        entry = {
+            "format": _FORMAT,
+            "entry_key": entry_key,
+            "task_key": tuple(task_key),
+            "version": self.version,
+            "payload": value,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path_for(entry_key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, entry: Any, entry_key: str) -> Any:
+        if (
+            isinstance(entry, dict)
+            and entry.get("format") == _FORMAT
+            and entry.get("entry_key") == entry_key
+            and entry.get("version") == self.version
+            and "payload" in entry
+        ):
+            return entry["payload"]
+        return _MISS
+
+    def _discard(self, path: Path) -> None:
+        self.stats.corrupt_discarded += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,148 @@
+"""Fan tasks out over processes, short-circuiting through the cache.
+
+:class:`OrchestrationContext` is the single object experiments thread
+through their ``run()`` functions.  It bundles the worker count, the
+optional on-disk :class:`~repro.orchestration.cache.ResultCache`, a
+progress callback, and run statistics.  The default context
+(``jobs=1``, no cache) reproduces the old sequential behavior exactly,
+so every experiment still works with no arguments.
+
+Execution contract: tasks are pure functions of their parameters, so
+the mapping returned by :meth:`OrchestrationContext.run` is
+bit-identical whether tasks ran serially, across a pool, or came out
+of a warm cache -- the determinism suite in
+``tests/test_orchestration.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.hashing import TaskKey
+from repro.orchestration.task import Task, run_task
+
+#: ``progress(done, total, key)`` called after every finished task.
+ProgressCallback = Callable[[int, int, TaskKey], None]
+
+
+@dataclass
+class OrchestrationStats:
+    """What one context did across all its submissions."""
+
+    submitted: int = 0
+    hits: int = 0
+    executed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.submitted if self.submitted else 0.0
+
+
+class OrchestrationContext:
+    """Execution policy shared by all experiments in one run."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.stats = OrchestrationStats()
+        self._pool = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "OrchestrationContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, tasks: Sequence[Task], *, fingerprint: Any = None
+    ) -> Dict[TaskKey, Any]:
+        """Execute (or recall) every task; return ``{task.key: result}``.
+
+        ``fingerprint`` scopes the cache: it should capture everything
+        outside ``task.key`` that influences results (by convention the
+        full ``ExperimentScale`` and ``SystemConfig``).
+        """
+        tasks = list(tasks)
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate task keys in one submission")
+
+        self.stats.submitted += len(tasks)
+        total = len(tasks)
+        done = 0
+        results: Dict[TaskKey, Any] = {}
+        pending: List[Tuple[Task, Optional[str]]] = []
+
+        for task in tasks:
+            if self.cache is not None:
+                entry_key = self.cache.entry_key(task.key, fingerprint)
+                hit, value = self.cache.load(entry_key)
+                if hit:
+                    results[task.key] = value
+                    self.stats.hits += 1
+                    done += 1
+                    self._report(done, total, task.key)
+                    continue
+                pending.append((task, entry_key))
+            else:
+                pending.append((task, None))
+
+        entry_keys = {task.key: entry_key for task, entry_key in pending}
+        for key, value in self._execute([task for task, _ in pending]):
+            if self.cache is not None:
+                self.cache.store(entry_keys[key], key, value)
+            results[key] = value
+            self.stats.executed += 1
+            done += 1
+            self._report(done, total, key)
+        return results
+
+    def run_one(self, task: Task, *, fingerprint: Any = None) -> Any:
+        return self.run([task], fingerprint=fingerprint)[task.key]
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, tasks: List[Task]):
+        """Yield ``(key, result)`` in submission order."""
+        if self.jobs == 1 or len(tasks) < 2:
+            for task in tasks:
+                yield run_task(task)
+            return
+        if self._pool is None:
+            # One pool per context, reused across submissions (a full
+            # runner invocation submits once per experiment), so
+            # per-worker memos stay warm and fork cost is paid once.
+            self._pool = multiprocessing.get_context().Pool(self.jobs)
+        # imap (not unordered) keeps results in submission order so
+        # progress output is stable; tasks are coarse enough that
+        # head-of-line blocking is negligible.
+        yield from self._pool.imap(run_task, tasks)
+
+    def _report(self, done: int, total: int, key: TaskKey) -> None:
+        if self.progress is not None:
+            self.progress(done, total, key)
+
+
+def serial_context() -> OrchestrationContext:
+    """The no-pool, no-cache default used when none is supplied."""
+    return OrchestrationContext(jobs=1, cache=None)

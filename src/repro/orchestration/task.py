@@ -1,0 +1,63 @@
+"""The unit of orchestrated work.
+
+A :class:`Task` is one independent, picklable computation: a single
+simulation, one bank characterization, one baseline run.  Experiments
+decompose their sweeps into tasks, hand them to an
+:class:`~repro.orchestration.executor.OrchestrationContext`, and
+reassemble figure/table results from the returned mapping.
+
+Requirements on a task:
+
+* ``fn`` must be a **module-level** function (workers unpickle it by
+  qualified name) taking the task itself and returning a picklable
+  result.
+* ``params`` must be picklable and, together with ``key``, fully
+  determine the result -- task functions must not read mutable global
+  state, so that serial, parallel, and cached runs are bit-identical.
+* ``key`` must be unique within one submission and stable across
+  processes (build it from strings, ints, and tuples).
+
+Each task carries a ``seed`` derived from ``(base_seed, key)`` via
+:func:`~repro.orchestration.hashing.derive_task_seed`.  Tasks that
+need *independent* randomness (e.g. iteration jitter in a new
+workload) should seed their generators from it.  Paired-comparison
+tasks -- the Fig 12 simulations, where every configuration must replay
+the *same* traces and vulnerability profiles against the same
+baseline -- deliberately keep seeding from the experiment-level
+``ExperimentScale.seed`` instead, and ``seed`` is advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+from repro.orchestration.hashing import TaskKey, derive_task_seed
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work."""
+
+    key: TaskKey
+    fn: Callable[["Task"], Any]
+    params: Any = None
+    seed: int = 0
+
+    def execute(self) -> Any:
+        return self.fn(self)
+
+
+def make_task(
+    key: TaskKey, fn: Callable[[Task], Any], params: Any = None, *,
+    base_seed: int = 0,
+) -> Task:
+    """Build a task with its seed derived from ``(base_seed, key)``."""
+    key = tuple(key)
+    return Task(key=key, fn=fn, params=params,
+                seed=derive_task_seed(base_seed, key))
+
+
+def run_task(task: Task) -> Tuple[TaskKey, Any]:
+    """Worker entry point: execute one task, return ``(key, result)``."""
+    return task.key, task.execute()

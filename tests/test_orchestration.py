@@ -1,0 +1,250 @@
+"""Determinism and cache-correctness tests for repro.orchestration.
+
+The contract under test: an experiment's results are a pure function
+of ``(ExperimentScale, code version)`` -- bit-identical whether tasks
+run serially, across a process pool, or come out of a warm on-disk
+cache; and the cache never serves an entry across scales, code
+versions, or corrupted files.
+"""
+
+import os
+import pickle
+import shutil
+
+import pytest
+
+from repro.experiments import fig12_performance, fig13_adversarial
+from repro.experiments.common import (
+    ExperimentScale,
+    _CHARACTERIZATION_CACHE,
+    characterize_modules,
+)
+from repro.orchestration import (
+    OrchestrationContext,
+    ResultCache,
+    Task,
+    canonicalize,
+    derive_task_seed,
+    make_task,
+    stable_hash,
+)
+
+#: Small enough that the three-way fig12 comparison stays in seconds:
+#: 1 baseline + (No Svärd, Svärd-S0) x 1 HC x 1 mix = 3 tasks.
+TINY = ExperimentScale(
+    rows_per_bank=1024,
+    banks=(1,),
+    n_mixes=1,
+    requests_per_core=600,
+    hc_first_values=(64,),
+    svard_profiles=("S0",),
+    seed=5,
+)
+
+
+def _double(task: Task):
+    return task.params * 2
+
+
+def _fig12(scale, orchestration=None):
+    return fig12_performance.run(
+        scale, defenses=("PARA",), orchestration=orchestration
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism: serial == parallel == warm cache; seeds matter.
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_serial_parallel_warm_cache_identical(self, tmp_path):
+        serial = _fig12(TINY)
+        parallel = _fig12(TINY, OrchestrationContext(jobs=2))
+        cold_ctx = OrchestrationContext(jobs=2, cache=ResultCache(tmp_path))
+        cold = _fig12(TINY, cold_ctx)
+        warm_ctx = OrchestrationContext(jobs=2, cache=ResultCache(tmp_path))
+        warm = _fig12(TINY, warm_ctx)
+
+        # Bit-identical metrics, not approximately equal.
+        assert serial.metrics == parallel.metrics
+        assert serial.metrics == cold.metrics
+        assert serial.metrics == warm.metrics
+
+        assert cold_ctx.stats.executed == cold_ctx.stats.submitted == 3
+        # The warm run recalls every task: zero simulations executed,
+        # cache-hit counter equals the task count.
+        assert warm_ctx.stats.executed == 0
+        assert warm_ctx.stats.hits == warm_ctx.stats.submitted == 3
+
+    def test_distinct_seeds_differ(self):
+        from dataclasses import replace
+
+        a = _fig12(TINY)
+        b = _fig12(replace(TINY, seed=6))
+        assert a.metrics != b.metrics
+
+    def test_fig13_parallel_identical(self, tmp_path):
+        from repro.sim.config import SystemConfig
+
+        scale = ExperimentScale(
+            rows_per_bank=1024, banks=(1,), svard_profiles=("S0",), seed=4,
+        )
+        # fig13 defaults to 12K requests/core; a small explicit config
+        # keeps this equivalence check fast.
+        config = SystemConfig(requests_per_core=1500, defense_epoch_ns=1e6)
+        serial = fig13_adversarial.run(scale, system_config=config)
+        ctx = OrchestrationContext(jobs=2, cache=ResultCache(tmp_path))
+        parallel = fig13_adversarial.run(
+            scale, system_config=config, orchestration=ctx
+        )
+        assert serial.normalized_slowdown == parallel.normalized_slowdown
+        assert serial.raw_slowdown == parallel.raw_slowdown
+
+    def test_characterization_parallel_identical(self):
+        import numpy as np
+
+        scale = ExperimentScale(rows_per_bank=256, banks=(0, 1), seed=7)
+        serial = characterize_modules(["S0"], scale)["S0"]
+        _CHARACTERIZATION_CACHE.clear()
+        parallel = characterize_modules(
+            ["S0"], scale, orchestration=OrchestrationContext(jobs=2)
+        )["S0"]
+        _CHARACTERIZATION_CACHE.clear()
+        for bank in serial.banks:
+            np.testing.assert_array_equal(
+                serial.banks[bank].measured_hc_first,
+                parallel.banks[bank].measured_hc_first,
+            )
+            np.testing.assert_array_equal(
+                serial.banks[bank].ber_at_128k,
+                parallel.banks[bank].ber_at_128k,
+            )
+
+    def test_derived_seeds_deterministic_and_distinct(self):
+        assert derive_task_seed(0, ("a", 1)) == derive_task_seed(0, ("a", 1))
+        assert derive_task_seed(0, ("a", 1)) != derive_task_seed(0, ("a", 2))
+        assert derive_task_seed(0, ("a", 1)) != derive_task_seed(1, ("a", 1))
+        task = make_task(("k",), _double, 21, base_seed=3)
+        assert task.seed == derive_task_seed(3, ("k",))
+
+
+# ----------------------------------------------------------------------
+# Cache correctness: scoping, corruption, atomicity of identity.
+# ----------------------------------------------------------------------
+
+
+class TestCacheCorrectness:
+    def test_entry_not_served_across_scales(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ctx = OrchestrationContext(cache=cache)
+        task = make_task(("t",), _double, 21)
+        assert ctx.run([task], fingerprint=TINY) == {("t",): 42}
+
+        from dataclasses import replace
+
+        other = replace(TINY, seed=6)
+        ctx2 = OrchestrationContext(cache=ResultCache(tmp_path))
+        assert ctx2.run([task], fingerprint=other) == {("t",): 42}
+        assert ctx2.stats.hits == 0 and ctx2.stats.executed == 1
+
+        # Same scale again: served from disk.
+        ctx3 = OrchestrationContext(cache=ResultCache(tmp_path))
+        assert ctx3.run([task], fingerprint=TINY) == {("t",): 42}
+        assert ctx3.stats.hits == 1 and ctx3.stats.executed == 0
+
+    def test_entry_not_served_across_code_versions(self, tmp_path):
+        task = make_task(("t",), _double, 21)
+        old = OrchestrationContext(cache=ResultCache(tmp_path, version="v1"))
+        old.run([task], fingerprint=TINY)
+        new = OrchestrationContext(cache=ResultCache(tmp_path, version="v2"))
+        new.run([task], fingerprint=TINY)
+        assert new.stats.hits == 0 and new.stats.executed == 1
+
+    @pytest.mark.parametrize("garbage", [b"", b"not a pickle", b"\x80\x04junk"])
+    def test_corrupt_entry_discarded_and_recomputed(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        OrchestrationContext(cache=cache).run([task], fingerprint=TINY)
+        path = cache.path_for(cache.entry_key(task.key, TINY))
+        assert path.exists()
+        path.write_bytes(garbage)
+
+        fresh = ResultCache(tmp_path)
+        ctx = OrchestrationContext(cache=fresh)
+        assert ctx.run([task], fingerprint=TINY) == {("t",): 42}
+        assert ctx.stats.executed == 1
+        assert fresh.stats.corrupt_discarded == 1
+        # The corrupt file was replaced by a valid recomputed entry.
+        ctx2 = OrchestrationContext(cache=ResultCache(tmp_path))
+        assert ctx2.run([task], fingerprint=TINY) == {("t",): 42}
+        assert ctx2.stats.hits == 1
+
+    def test_entry_copied_to_wrong_key_rejected(self, tmp_path):
+        """A valid pickle stored under the wrong hash is not trusted."""
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        OrchestrationContext(cache=cache).run([task], fingerprint=TINY)
+        src = cache.path_for(cache.entry_key(task.key, TINY))
+
+        imposter = make_task(("other",), _double, 1)
+        dst = cache.path_for(cache.entry_key(imposter.key, TINY))
+        shutil.copy(src, dst)
+
+        fresh = ResultCache(tmp_path)
+        ctx = OrchestrationContext(cache=fresh)
+        assert ctx.run([imposter], fingerprint=TINY) == {("other",): 2}
+        assert ctx.stats.executed == 1
+        assert fresh.stats.corrupt_discarded == 1
+
+    def test_duplicate_task_keys_rejected(self):
+        tasks = [make_task(("k",), _double, 1), make_task(("k",), _double, 2)]
+        with pytest.raises(ValueError, match="duplicate"):
+            OrchestrationContext().run(tasks)
+
+    def test_cache_survives_unpicklable_dir_listing(self, tmp_path):
+        """Stray files in the cache directory are simply ignored."""
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        ctx = OrchestrationContext(cache=ResultCache(tmp_path))
+        task = make_task(("t",), _double, 5)
+        assert ctx.run([task], fingerprint=None) == {("t",): 10}
+
+
+# ----------------------------------------------------------------------
+# Hashing primitives.
+# ----------------------------------------------------------------------
+
+
+class TestHashing:
+    def test_canonicalize_dataclass_field_order_independent(self):
+        assert stable_hash(TINY) == stable_hash(
+            ExperimentScale(**{
+                f: getattr(TINY, f)
+                for f in ("rows_per_bank", "banks", "modules", "n_mixes",
+                          "requests_per_core", "hc_first_values",
+                          "svard_profiles", "seed")
+            })
+        )
+
+    def test_dict_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_type_distinctions(self):
+        assert stable_hash(1) != stable_hash(1.0)
+        assert stable_hash("1") != stable_hash(1)
+        assert stable_hash((1,)) != stable_hash(1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonicalize(object())
+
+    def test_progress_callback_sees_every_task(self, tmp_path):
+        seen = []
+        ctx = OrchestrationContext(
+            cache=ResultCache(tmp_path),
+            progress=lambda done, total, key: seen.append((done, total, key)),
+        )
+        tasks = [make_task((i,), _double, i) for i in range(3)]
+        ctx.run(tasks, fingerprint=None)
+        assert [s[0] for s in seen] == [1, 2, 3]
+        assert all(s[1] == 3 for s in seen)
