@@ -2,6 +2,8 @@
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
 #   make test         tier-1 test suite (what CI gates on)
+#   make smoke        runner `list` + every experiment at tiny scale (JSON)
+#   make figures      render all matplotlib paper figures into figures/
 #   make bench-smoke  tier-1 tests + a 2-job orchestrated Fig 12 smoke
 #   make bench        full pytest-benchmark suite (cold caches)
 #   make golden       regenerate tests/golden/*.json snapshots
@@ -11,20 +13,37 @@ PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench golden clean-cache
+.PHONY: test smoke figures bench-smoke bench golden clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+smoke:
+	$(PYTHON) -m repro.experiments.runner list
+	$(PYTHON) -m repro.experiments.runner run \
+		--rows-per-bank 512 --banks 1 --requests-per-core 800 \
+		--jobs $(JOBS) --cache-dir .repro_cache/smoke \
+		--format json --out .smoke-results --progress
+	@echo "smoke artifacts in .smoke-results/"
+
+figures:
+	@if $(PYTHON) -c "import matplotlib" 2>/dev/null; then \
+		$(PYTHON) -m repro.experiments.runner run \
+			--jobs $(JOBS) --format mpl --out figures; \
+	else \
+		echo "matplotlib not installed; skipping figure rendering"; \
+	fi
+
 bench-smoke: test
-	$(PYTHON) -m repro.experiments.runner fig12 \
+	$(PYTHON) -m repro.experiments.runner run fig12 \
 		--jobs $(JOBS) --cache-dir .repro_cache/bench-smoke --progress
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 golden:
-	$(PYTHON) -m pytest tests/test_golden.py -q --update-golden
+	$(PYTHON) -m pytest tests/test_golden.py tests/test_experiment_api.py \
+		-q --update-golden
 
 clean-cache:
 	rm -rf .repro_cache

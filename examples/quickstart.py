@@ -13,7 +13,7 @@ From here, regenerate the paper's figures with the experiment runner;
 ``--jobs`` fans the independent simulations out over worker processes
 and completed tasks persist in ``.repro_cache/`` (ORCHESTRATION.md):
 
-    python -m repro.experiments.runner fig12 --jobs 4 --progress
+    python -m repro.experiments.runner run fig12 --jobs 4 --progress
 """
 
 from repro.bender import TestPlatform
@@ -59,7 +59,7 @@ def main() -> None:
     print(f"  mean overprotection without Svärd: "
           f"{svard.overprotection_factor():.2f}x")
     print("\nNext: regenerate the paper's figures (parallel, cached):")
-    print("  python -m repro.experiments.runner fig12 --jobs 4 --progress")
+    print("  python -m repro.experiments.runner run fig12 --jobs 4 --progress")
 
 
 if __name__ == "__main__":

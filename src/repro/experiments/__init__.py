@@ -1,10 +1,17 @@
 """Experiment harnesses: one module per paper figure/table.
 
-Every module exposes a ``run(scale)`` function returning a result
-object with a ``render()`` method that prints the same rows/series the
-paper reports.  :class:`repro.experiments.common.ExperimentScale`
-carries the scale knobs; defaults are laptop-scale, and paper-scale
-values are documented in EXPERIMENTS.md.
+Every harness module registers exactly one
+:class:`~repro.experiments.api.Experiment` with the central registry
+(:func:`repro.experiments.api.all_experiments`), and keeps a
+module-level ``run(scale)`` returning a rich result object whose
+``render()`` emits the paper-style text table.  The Experiment API
+additionally yields a structured
+:class:`~repro.experiments.api.ResultSet` artifact that the ``text``,
+``json``, and ``mpl`` renderers consume -- see EXPERIMENTS.md.
+
+:class:`repro.experiments.common.ExperimentScale` carries the scale
+knobs; defaults are laptop-scale, and paper-scale values are
+documented in EXPERIMENTS.md.
 
 | Paper artifact | Module |
 |---|---|
@@ -21,6 +28,7 @@ values are documented in EXPERIMENTS.md.
 | Table 3 (strong features)       | :mod:`repro.experiments.table3_features` |
 | Table 5 (module registry)       | :mod:`repro.experiments.table5_modules` |
 | Section 6.4 (hardware cost)     | :mod:`repro.experiments.sec64_hardware_cost` |
+| Bin-count ablation              | :mod:`repro.experiments.ablation_bins` |
 """
 
 from repro.experiments.common import ExperimentScale

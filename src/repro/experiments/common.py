@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.characterization.runner import (
     BankProfile,
@@ -14,7 +14,13 @@ from repro.characterization.runner import (
 from repro.core.profile import VulnerabilityProfile
 from repro.dram.geometry import REPRESENTATIVE_BANKS
 from repro.faults.modules import MODULES, ModuleSpec, module_by_label
-from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
+from repro.orchestration import (
+    OrchestrationContext,
+    Task,
+    TaskGroup,
+    make_task,
+    serial_context,
+)
 from repro.sim.engine import MemorySystem
 from repro.workloads.mixes import (
     build_alone_trace,
@@ -24,6 +30,20 @@ from repro.workloads.mixes import (
 
 #: Every module label, in Table 5 order.
 ALL_MODULE_LABELS: Tuple[str, ...] = tuple(sorted(MODULES))
+
+#: The baseline configuration name shared by the Svärd evaluations.
+NO_SVARD = "No Svärd"
+
+
+def svard_configurations(scale: "ExperimentScale") -> Tuple[str, ...]:
+    """Fig 12/13's configuration axis: No Svärd + one per profile.
+
+    Task keys and reduce() lookups in both experiments are built from
+    these names; keep this the single point of truth.
+    """
+    return (NO_SVARD,) + tuple(
+        f"Svärd-{label}" for label in scale.svard_profiles
+    )
 
 
 @dataclass(frozen=True)
@@ -44,6 +64,10 @@ class ExperimentScale:
     hc_first_values: Tuple[int, ...] = (4096, 2048, 1024, 512, 256, 128, 64)
     svard_profiles: Tuple[str, ...] = ("H1", "M0", "S0")
     seed: int = 0
+    #: Use each module's *real* row count (``ModuleSpec.rows_per_bank``)
+    #: instead of the uniform ``rows_per_bank`` -- the paper-scale
+    #: characterization geometry (runner flag ``--paper-rows``).
+    paper_rows: bool = False
 
     def __post_init__(self) -> None:
         if self.rows_per_bank < 64:
@@ -52,6 +76,12 @@ class ExperimentScale:
             module_by_label(label)
         for label in self.svard_profiles:
             module_by_label(label)
+
+    def rows_for(self, label: str) -> int:
+        """Bank row count for one module under this scale."""
+        if self.paper_rows:
+            return module_by_label(label).rows_per_bank
+        return self.rows_per_bank
 
     def characterization_config(self, **overrides) -> CharacterizationConfig:
         defaults = dict(
@@ -73,6 +103,84 @@ def _characterize_bank_task(task: Task) -> BankProfile:
     return runner.characterize_bank(config.banks[task.key[-1]])
 
 
+def _module_config(
+    label: str, scale: ExperimentScale, t_agg_on_ns: float
+) -> CharacterizationConfig:
+    return scale.characterization_config(
+        rows_per_bank=scale.rows_for(label), t_agg_on_ns=t_agg_on_ns
+    )
+
+
+def characterization_groups(
+    labels: Sequence[str],
+    scale: ExperimentScale,
+    *,
+    t_agg_on_ns: float = 36.0,
+) -> List[TaskGroup]:
+    """Task groups covering the labels' missing characterizations.
+
+    One task per (module, bank).  Tasks are grouped by their exact
+    :class:`CharacterizationConfig`, and the config *is* the cache
+    fingerprint -- so disk entries are shared between any experiments
+    (and any module subsets) that characterize under the same
+    geometry.  Labels already in the in-process memo produce no tasks.
+    Under ``scale.paper_rows`` modules with different real row counts
+    land in different groups.
+    """
+    groups: Dict[CharacterizationConfig, List[Task]] = {}
+    for label in labels:
+        if _memo_key(label, scale, t_agg_on_ns) in _CHARACTERIZATION_CACHE:
+            continue
+        config = _module_config(label, scale, t_agg_on_ns)
+        # tAggOn is part of the key so one experiment can merge groups
+        # from several RowPress sweeps into a single outputs mapping
+        # (Fig 7) without collisions.
+        groups.setdefault(config, []).extend(
+            make_task(
+                ("characterize", label, t_agg_on_ns, "bank", index),
+                _characterize_bank_task,
+                (label, config),
+                base_seed=scale.seed,
+            )
+            for index in range(len(config.banks))
+        )
+    return [
+        TaskGroup(tasks=tuple(tasks), fingerprint=("characterize", config))
+        for config, tasks in groups.items()
+    ]
+
+
+def absorb_characterizations(
+    labels: Sequence[str],
+    scale: ExperimentScale,
+    outputs: Dict,
+    *,
+    t_agg_on_ns: float = 36.0,
+) -> Dict[str, ModuleCharacterization]:
+    """Fold orchestrated bank profiles into the in-process memo.
+
+    ``outputs`` is the ``{task.key: BankProfile}`` mapping produced by
+    running :func:`characterization_groups`; labels already memoized
+    are returned from the memo without touching ``outputs``.
+    """
+    for label in labels:
+        key = _memo_key(label, scale, t_agg_on_ns)
+        if key in _CHARACTERIZATION_CACHE:
+            continue
+        _CHARACTERIZATION_CACHE[key] = ModuleCharacterization(
+            module_label=label,
+            t_agg_on_ns=t_agg_on_ns,
+            banks={
+                bank: outputs[("characterize", label, t_agg_on_ns, "bank", index)]
+                for index, bank in enumerate(scale.banks)
+            },
+        )
+    return {
+        label: _CHARACTERIZATION_CACHE[_memo_key(label, scale, t_agg_on_ns)]
+        for label in labels
+    }
+
+
 def characterize_modules(
     labels: Sequence[str],
     scale: ExperimentScale,
@@ -88,41 +196,18 @@ def characterize_modules(
     sequential :class:`CharacterizationRunner` loop.
     """
     orch = orchestration or serial_context()
-    config = scale.characterization_config(t_agg_on_ns=t_agg_on_ns)
-    missing = [
-        label for label in labels
-        if _memo_key(label, scale, t_agg_on_ns) not in _CHARACTERIZATION_CACHE
-    ]
-    tasks = [
-        make_task(
-            ("characterize", label, "bank", index),
-            _characterize_bank_task,
-            (label, config),
-            base_seed=scale.seed,
-        )
-        for label in missing
-        for index in range(len(config.banks))
-    ]
-    profiles = orch.run(tasks, fingerprint=("characterize", config))
-    for label in missing:
-        _CHARACTERIZATION_CACHE[_memo_key(label, scale, t_agg_on_ns)] = (
-            ModuleCharacterization(
-                module_label=label,
-                t_agg_on_ns=t_agg_on_ns,
-                banks={
-                    bank: profiles[("characterize", label, "bank", index)]
-                    for index, bank in enumerate(config.banks)
-                },
-            )
-        )
-    return {
-        label: _CHARACTERIZATION_CACHE[_memo_key(label, scale, t_agg_on_ns)]
-        for label in labels
-    }
+    outputs = orch.run_groups(
+        characterization_groups(labels, scale, t_agg_on_ns=t_agg_on_ns)
+    )
+    return absorb_characterizations(
+        labels, scale, outputs, t_agg_on_ns=t_agg_on_ns
+    )
 
 
 def _memo_key(label: str, scale: ExperimentScale, t_agg_on_ns: float) -> tuple:
-    return (label, scale.rows_per_bank, scale.banks, scale.seed, t_agg_on_ns)
+    return (
+        label, scale.rows_for(label), scale.banks, scale.seed, t_agg_on_ns
+    )
 
 
 def characterize(
@@ -152,13 +237,13 @@ def scaled_profile(
     """The module's ground-truth profile with its floor at ``hc_first``."""
     key = (
         profile_label, hc_first,
-        scale.banks, scale.rows_per_bank, scale.seed,
+        scale.banks, scale.rows_for(profile_label), scale.seed,
     )
     if key not in _PROFILE_MEMO:
         _PROFILE_MEMO[key] = VulnerabilityProfile.from_ground_truth(
             module_by_label(profile_label),
             banks=scale.banks,
-            rows_per_bank=scale.rows_per_bank,
+            rows_per_bank=scale.rows_for(profile_label),
             seed=scale.seed,
         ).scaled_to_worst_case(hc_first)
     return _PROFILE_MEMO[key]
@@ -181,11 +266,3 @@ def mix_baseline_task(task: Task) -> Dict[str, list]:
     return {"alone": alone, "shared": shared.finish_times()}
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
-    """Render a fixed-width text table."""
-    columns = [list(column) for column in zip(headers, *rows)]
-    widths = [max(len(cell) for cell in column) for column in columns]
-    def line(cells):
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
-    separator = "  ".join("-" * width for width in widths)
-    return "\n".join([line(headers), separator, *[line(row) for row in rows]])

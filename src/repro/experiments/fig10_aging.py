@@ -4,18 +4,30 @@ The figure is a scatter of before- vs after-aging measured HC_first
 with per-transition population fractions; the fractions at each
 before-aging value sum to 1.0.  Obsv 12: a non-zero fraction of rows
 weakens by one grid step; Obsv 13: the strongest (128K) rows never
-change, but the worst case can drop.
+change, but the worst case can drop.  The before/after
+characterization pair runs as one orchestrated task, so repeated runs
+replay from the on-disk cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional
 
 from repro.characterization.aging_study import AgingStudy, AgingStudyResult
-from repro.experiments.common import ExperimentScale, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import ExperimentScale
 from repro.faults.aging import AGING_DROP_FRACTIONS
 from repro.faults.modules import module_by_label
+from repro.orchestration import OrchestrationContext, Task, TaskGroup, make_task
 
 
 @dataclass
@@ -24,25 +36,131 @@ class Fig10Result:
     paper_fractions: Dict[int, float]
 
     def render(self) -> str:
-        transitions = self.study.transitions()
-        rows = []
-        for (before, after), fraction in sorted(transitions.items()):
-            if before == after and fraction == 1.0:
-                continue  # uninteresting diagonal-only entries
-            rows.append(
-                [
-                    f"{before // 1024}K",
-                    f"{after // 1024}K",
-                    f"{fraction * 100:.1f}%",
-                ]
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig10Result) -> ResultSet:
+    title = (
+        f"Fig 10: aging of {result.study.module_label} "
+        f"after {result.study.days:.0f} days"
+    )
+    transitions = result.study.transitions()
+    transition_rows = []
+    display_rows = []
+    for (before, after), fraction in sorted(transitions.items()):
+        transition_rows.append((int(before), int(after), float(fraction)))
+        if before == after and fraction == 1.0:
+            continue  # uninteresting diagonal-only entries
+        display_rows.append(
+            (
+                f"{before // 1024}K",
+                f"{after // 1024}K",
+                f"{fraction * 100:.1f}%",
             )
-        return (
-            f"Fig 10: aging of {self.study.module_label} "
-            f"after {self.study.days:.0f} days\n\n"
-            + format_table(["before", "after", "fraction"], rows)
-            + f"\n\nweakened fraction: {self.study.weakened_fraction() * 100:.2f}%"
-            + f"\nworst case changed: {self.study.worst_case_changed()}"
         )
+    weakened = result.study.weakened_fraction()
+    worst_changed = result.study.worst_case_changed()
+    return ResultSet(
+        experiment="fig10",
+        title=title,
+        scalars={
+            "module": result.study.module_label,
+            "days": result.study.days,
+            "weakened_fraction": weakened,
+            "worst_case_changed": worst_changed,
+        },
+        tables=(
+            ResultTable(
+                name="transitions",
+                headers=("before", "after", "fraction"),
+                rows=transition_rows,
+            ),
+            ResultTable(
+                name="paper_fractions",
+                headers=("drop_steps", "fraction"),
+                rows=[
+                    (int(steps), float(fraction))
+                    for steps, fraction in sorted(
+                        result.paper_fractions.items()
+                    )
+                ],
+            ),
+        ),
+        layout=(
+            TextBlock(title + "\n\n"),
+            TableBlock(
+                headers=("before", "after", "fraction"),
+                rows=display_rows,
+            ),
+            TextBlock(
+                f"\n\nweakened fraction: {weakened * 100:.2f}%"
+                f"\nworst case changed: {worst_changed}"
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="transitions",
+                kind="scatter",
+                table="transitions",
+                x="before",
+                y=("after",),
+                title=title,
+                xlabel="HC_first before aging",
+                ylabel="HC_first after aging",
+                logx=True,
+                logy=True,
+            ),
+        ),
+    )
+
+
+def _aging_task(task: Task) -> AgingStudyResult:
+    """Orchestrated unit: the before/after characterization pair."""
+    module, days, config, bank = task.params
+    study = AgingStudy(module_by_label(module), config, days=days)
+    return study.run(bank=bank)
+
+
+@register
+class Fig10Experiment(Experiment):
+    name = "fig10"
+    description = "HC_first drift after 68 days of hammer stress"
+    paper_ref = "Fig. 10"
+
+    def __init__(self, module: str = "H3", days: float = 68.0) -> None:
+        self.module = module
+        self.days = days
+
+    def _config(self, scale: ExperimentScale):
+        return scale.characterization_config(
+            banks=(scale.banks[0],),
+            rows_per_bank=scale.rows_for(self.module),
+        )
+
+    def build_tasks(self, scale, orch):
+        config = self._config(scale)
+        return [
+            TaskGroup(
+                tasks=(
+                    make_task(
+                        ("fig10", "aging", self.module),
+                        _aging_task,
+                        (self.module, self.days, config, scale.banks[0]),
+                        base_seed=scale.seed,
+                    ),
+                ),
+                fingerprint=("fig10", config, self.days),
+            )
+        ]
+
+    def reduce(self, scale, outputs):
+        return Fig10Result(
+            study=outputs[("fig10", "aging", self.module)],
+            paper_fractions=dict(AGING_DROP_FRACTIONS),
+        )
+
+    def result_set(self, result):
+        return result_set(result)
 
 
 def run(
@@ -50,13 +168,6 @@ def run(
     *,
     module: str = "H3",
     days: float = 68.0,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig10Result:
-    study = AgingStudy(
-        module_by_label(module),
-        scale.characterization_config(banks=(scale.banks[0],)),
-        days=days,
-    )
-    return Fig10Result(
-        study=study.run(bank=scale.banks[0]),
-        paper_fractions=dict(AGING_DROP_FRACTIONS),
-    )
+    return Fig10Experiment(module=module, days=days).run(scale, orchestration)

@@ -10,8 +10,7 @@ same three rows of subplots as the paper's figure.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,13 +18,29 @@ import numpy as np
 from repro.core.svard import Svard
 from repro.defenses import DEFENSE_CLASSES
 from repro.defenses.base import Defense, SvardThresholds, ThresholdProvider
+from repro.experiments.api import (
+    Experiment,
+    ExperimentError,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
 from repro.experiments.common import (
+    NO_SVARD,
     ExperimentScale,
-    format_table,
     mix_baseline_task,
     scaled_profile,
+    svard_configurations,
 )
-from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
+from repro.orchestration import (
+    OrchestrationContext,
+    Task,
+    TaskGroup,
+    make_task,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.sim.metrics import MultiProgramMetrics, compute_metrics
@@ -35,8 +50,7 @@ from repro.workloads.mixes import WorkloadMix, build_traces, generate_mixes
 #: EXPERIMENTS.md, "time compression").
 DEFENSE_EPOCH_NS = 1_000_000.0
 
-#: Fig 12 configurations: No Svärd plus one profile per manufacturer.
-NO_SVARD = "No Svärd"
+TITLE = "Fig 12: Svärd performance evaluation"
 
 
 @dataclass
@@ -66,23 +80,79 @@ class Fig12Result:
         )
 
     def render(self) -> str:
-        sections = []
-        for metric_name in ("weighted_speedup", "harmonic_speedup", "max_slowdown"):
-            rows = []
-            for (defense, config, hc), metrics in sorted(self.metrics.items()):
-                rows.append(
-                    [
-                        defense,
-                        config,
-                        str(hc),
-                        f"{getattr(metrics, metric_name):.3f}",
-                    ]
-                )
-            sections.append(
+        return result_set(self).render_text()
+
+
+METRIC_NAMES = ("weighted_speedup", "harmonic_speedup", "max_slowdown")
+
+
+def result_set(result: Fig12Result) -> ResultSet:
+    metric_rows = [
+        (
+            defense,
+            config,
+            # One plotted line per (defense, config) pair -- series'ing
+            # on either column alone would interleave unrelated rows.
+            f"{defense} / {config}",
+            int(hc),
+            metrics.weighted_speedup,
+            metrics.harmonic_speedup,
+            metrics.max_slowdown,
+        )
+        for (defense, config, hc), metrics in sorted(result.metrics.items())
+    ]
+    layout: List = [TextBlock(TITLE + "\n\n")]
+    for index, metric_name in enumerate(METRIC_NAMES):
+        if index:
+            layout.append(TextBlock("\n\n"))
+        layout.append(
+            TextBlock(
                 f"{metric_name} (normalized to no-defense baseline):\n"
-                + format_table(["defense", "config", "HC_first", "value"], rows)
             )
-        return "Fig 12: Svärd performance evaluation\n\n" + "\n\n".join(sections)
+        )
+        # metric_rows columns: defense, config, defense_config,
+        # hc_first, then one column per METRIC_NAMES entry.
+        value_column = 4 + index
+        layout.append(
+            TableBlock(
+                headers=("defense", "config", "HC_first", "value"),
+                rows=[
+                    (row[0], row[1], str(row[3]), f"{row[value_column]:.3f}")
+                    for row in metric_rows
+                ],
+            )
+        )
+    return ResultSet(
+        experiment="fig12",
+        title=TITLE,
+        scalars={"n_mixes": result.n_mixes},
+        tables=(
+            ResultTable(
+                name="metrics",
+                headers=(
+                    "defense", "config", "defense_config", "hc_first",
+                    "weighted_speedup", "harmonic_speedup", "max_slowdown",
+                ),
+                rows=metric_rows,
+            ),
+        ),
+        layout=tuple(layout),
+        plots=tuple(
+            PlotSpec(
+                name=metric_name,
+                kind="line",
+                table="metrics",
+                x="hc_first",
+                y=(metric_name,),
+                series="defense_config",
+                title=f"Fig 12: {metric_name} vs worst-case HC_first",
+                xlabel="HC_first",
+                ylabel=metric_name,
+                logx=True,
+            )
+            for metric_name in METRIC_NAMES
+        ),
+    )
 
 
 def _svard_provider(
@@ -129,7 +199,7 @@ def _cached_provider(
 ) -> ThresholdProvider:
     key = (
         profile_label, hc_first,
-        scale.banks, scale.rows_per_bank, scale.seed,
+        scale.banks, scale.rows_for(profile_label), scale.seed,
     )
     if key not in _PROVIDER_MEMO:
         _PROVIDER_MEMO[key] = _svard_provider(profile_label, hc_first, scale)
@@ -156,6 +226,119 @@ def _simulation_task(task: Task) -> List[float]:
     return result.finish_times()
 
 
+@register
+class Fig12Experiment(Experiment):
+    name = "fig12"
+    description = "defense performance with and without Svärd"
+    paper_ref = "Fig. 12"
+    #: The runner's quick grid: three HC values, one profile, one mix.
+    quick_overrides = {
+        "hc_first_values": (4096, 256, 64),
+        "svard_profiles": ("S0",),
+        "n_mixes": 1,
+    }
+
+    def __init__(
+        self,
+        defenses: Optional[Sequence[str]] = None,
+        system_config: Optional[SystemConfig] = None,
+    ) -> None:
+        self.defenses = defenses
+        self.system_config = system_config
+
+    # ------------------------------------------------------------------
+
+    def _defense_names(self) -> List[str]:
+        if self.defenses is None:
+            return sorted(DEFENSE_CLASSES)
+        if not self.defenses:
+            raise ExperimentError("fig12: the explicit defense list is empty")
+        return sorted(self.defenses)
+
+    def _config(self, scale: ExperimentScale) -> SystemConfig:
+        return self.system_config or SystemConfig(
+            requests_per_core=scale.requests_per_core,
+            defense_epoch_ns=DEFENSE_EPOCH_NS,
+        )
+
+    @staticmethod
+    def _mixes(scale: ExperimentScale, config: SystemConfig) -> List[WorkloadMix]:
+        # Called from both build_tasks and reduce; mix generation must
+        # stay a pure function of (scale, config) so the two sides
+        # agree on task keys.
+        return generate_mixes(
+            scale.n_mixes, cores=config.cores, seed=scale.seed
+        )
+
+    # ------------------------------------------------------------------
+
+    def build_tasks(self, scale, orch):
+        config = self._config(scale)
+        mixes = self._mixes(scale, config)
+        tasks = [
+            make_task(
+                ("fig12", "baseline", mix.name),
+                mix_baseline_task,
+                (mix, config),
+                base_seed=scale.seed,
+            )
+            for mix in mixes
+        ]
+        tasks += [
+            make_task(
+                ("fig12", "sim", defense_name, configuration, hc, mix.name),
+                _simulation_task,
+                (mix, defense_name, configuration, hc, scale, config),
+                base_seed=scale.seed,
+            )
+            for defense_name in self._defense_names()
+            for configuration in svard_configurations(scale)
+            for hc in scale.hc_first_values
+            for mix in mixes
+        ]
+        return [TaskGroup(tasks=tuple(tasks), fingerprint=("fig12", scale, config))]
+
+    def reduce(self, scale, outputs):
+        config = self._config(scale)
+        mixes = self._mixes(scale, config)
+        configurations = svard_configurations(scale)
+
+        # Per-mix baselines: alone times (no defense) and shared baseline.
+        alone_times: Dict[str, List[float]] = {}
+        baseline: Dict[str, MultiProgramMetrics] = {}
+        for mix in mixes:
+            times = outputs[("fig12", "baseline", mix.name)]
+            alone_times[mix.name] = times["alone"]
+            baseline[mix.name] = compute_metrics(times["alone"], times["shared"])
+
+        results: Dict[Tuple[str, str, int], MultiProgramMetrics] = {}
+        for defense_name in self._defense_names():
+            for configuration in configurations:
+                for hc in scale.hc_first_values:
+                    per_mix = [
+                        compute_metrics(
+                            alone_times[mix.name],
+                            outputs[
+                                ("fig12", "sim", defense_name, configuration,
+                                 hc, mix.name)
+                            ],
+                        ).normalized_to(baseline[mix.name])
+                        for mix in mixes
+                    ]
+                    results[(defense_name, configuration, hc)] = _mean_metrics(
+                        per_mix
+                    )
+        return Fig12Result(
+            metrics=results,
+            configurations=configurations,
+            hc_values=tuple(scale.hc_first_values),
+            n_mixes=len(mixes),
+        )
+
+    def result_set(self, result):
+        return result_set(result)
+
+
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
@@ -163,66 +346,6 @@ def run(
     system_config: Optional[SystemConfig] = None,
     orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig12Result:
-    orch = orchestration or serial_context()
-    defense_names = sorted(defenses) if defenses else sorted(DEFENSE_CLASSES)
-    config = system_config or SystemConfig(
-        requests_per_core=scale.requests_per_core,
-        defense_epoch_ns=DEFENSE_EPOCH_NS,
-    )
-    configurations = (NO_SVARD,) + tuple(
-        f"Svärd-{label}" for label in scale.svard_profiles
-    )
-    mixes = generate_mixes(scale.n_mixes, cores=config.cores, seed=scale.seed)
-
-    tasks = [
-        make_task(
-            ("fig12", "baseline", mix.name),
-            mix_baseline_task,
-            (mix, config),
-            base_seed=scale.seed,
-        )
-        for mix in mixes
-    ]
-    tasks += [
-        make_task(
-            ("fig12", "sim", defense_name, configuration, hc, mix.name),
-            _simulation_task,
-            (mix, defense_name, configuration, hc, scale, config),
-            base_seed=scale.seed,
-        )
-        for defense_name in defense_names
-        for configuration in configurations
-        for hc in scale.hc_first_values
-        for mix in mixes
-    ]
-    outputs = orch.run(tasks, fingerprint=("fig12", scale, config))
-
-    # Per-mix baselines: alone times (no defense) and shared baseline.
-    alone_times: Dict[str, List[float]] = {}
-    baseline: Dict[str, MultiProgramMetrics] = {}
-    for mix in mixes:
-        times = outputs[("fig12", "baseline", mix.name)]
-        alone_times[mix.name] = times["alone"]
-        baseline[mix.name] = compute_metrics(times["alone"], times["shared"])
-
-    results: Dict[Tuple[str, str, int], MultiProgramMetrics] = {}
-    for defense_name in defense_names:
-        for configuration in configurations:
-            for hc in scale.hc_first_values:
-                per_mix = [
-                    compute_metrics(
-                        alone_times[mix.name],
-                        outputs[
-                            ("fig12", "sim", defense_name, configuration,
-                             hc, mix.name)
-                        ],
-                    ).normalized_to(baseline[mix.name])
-                    for mix in mixes
-                ]
-                results[(defense_name, configuration, hc)] = _mean_metrics(per_mix)
-    return Fig12Result(
-        metrics=results,
-        configurations=configurations,
-        hc_values=tuple(scale.hc_first_values),
-        n_mixes=len(mixes),
-    )
+    return Fig12Experiment(
+        defenses=defenses, system_config=system_config
+    ).run(scale, orchestration)

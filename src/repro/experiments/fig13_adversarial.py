@@ -17,17 +17,31 @@ import numpy as np
 from repro.core.svard import Svard
 from repro.defenses import DEFENSE_CLASSES
 from repro.defenses.base import SvardThresholds, ThresholdProvider
-from repro.experiments.common import (
-    ExperimentScale,
-    format_table,
-    scaled_profile,
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
 )
-from repro.orchestration import OrchestrationContext, Task, make_task, serial_context
+from repro.experiments.common import (
+    NO_SVARD,
+    ExperimentScale,
+    scaled_profile,
+    svard_configurations,
+)
+from repro.orchestration import (
+    OrchestrationContext,
+    Task,
+    TaskGroup,
+    make_task,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.workloads.adversarial import HydraAdversarialTrace, RrsAdversarialTrace
 
-NO_SVARD = "No Svärd"
 HC_FIRST = 64
 
 
@@ -39,17 +53,61 @@ class Fig13Result:
     raw_slowdown: Dict[Tuple[str, str], float]
 
     def render(self) -> str:
-        rows = [
-            [defense, config, f"{self.raw_slowdown[(defense, config)]:.2f}",
-             f"{value:.3f}"]
-            for (defense, config), value in sorted(self.normalized_slowdown.items())
-        ]
-        return (
-            f"Fig 13: adversarial access patterns at HC_first = {HC_FIRST}\n\n"
-            + format_table(
-                ["defense", "config", "slowdown", "norm. to No Svärd"], rows
-            )
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig13Result) -> ResultSet:
+    title = f"Fig 13: adversarial access patterns at HC_first = {HC_FIRST}"
+    data_rows = [
+        (
+            defense,
+            config,
+            result.raw_slowdown[(defense, config)],
+            value,
         )
+        for (defense, config), value in sorted(
+            result.normalized_slowdown.items()
+        )
+    ]
+    return ResultSet(
+        experiment="fig13",
+        title=title,
+        scalars={"hc_first": HC_FIRST},
+        tables=(
+            ResultTable(
+                name="slowdown",
+                headers=(
+                    "defense", "config", "raw_slowdown",
+                    "normalized_slowdown",
+                ),
+                rows=data_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(title + "\n\n"),
+            TableBlock(
+                headers=(
+                    "defense", "config", "slowdown", "norm. to No Svärd",
+                ),
+                rows=[
+                    (defense, config, f"{raw:.2f}", f"{normalized:.3f}")
+                    for defense, config, raw, normalized in data_rows
+                ],
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="slowdown",
+                kind="bar",
+                table="slowdown",
+                x="defense",
+                y=("normalized_slowdown",),
+                series="config",
+                title=title,
+                ylabel="slowdown normalized to No Svärd",
+            ),
+        ),
+    )
 
 
 #: Scaled-down row-count-cache capacity for the adversarial study:
@@ -110,54 +168,72 @@ def _attack_task(task: Task) -> List[float]:
     ).run().finish_times()
 
 
+@register
+class Fig13Experiment(Experiment):
+    name = "fig13"
+    description = "Hydra and RRS under adversarial access patterns"
+    paper_ref = "Fig. 13"
+
+    DEFENSE_NAMES = ("Hydra", "RRS")
+
+    def __init__(self, system_config: Optional[SystemConfig] = None) -> None:
+        self.system_config = system_config
+
+    def _config(self, scale: ExperimentScale) -> SystemConfig:
+        return self.system_config or SystemConfig(
+            requests_per_core=max(scale.requests_per_core, 12_000),
+            defense_epoch_ns=1_000_000.0,
+        )
+
+    def build_tasks(self, scale, orch):
+        config = self._config(scale)
+        tasks = [
+            make_task(
+                ("fig13", "baseline", defense_name),
+                _baseline_task,
+                (defense_name, config),
+                base_seed=scale.seed,
+            )
+            for defense_name in self.DEFENSE_NAMES
+        ]
+        tasks += [
+            make_task(
+                ("fig13", "attack", defense_name, configuration),
+                _attack_task,
+                (defense_name, configuration, scale, config),
+                base_seed=scale.seed,
+            )
+            for defense_name in self.DEFENSE_NAMES
+            for configuration in svard_configurations(scale)
+        ]
+        return [TaskGroup(tasks=tuple(tasks), fingerprint=("fig13", scale, config))]
+
+    def reduce(self, scale, outputs):
+        configurations = svard_configurations(scale)
+        raw: Dict[Tuple[str, str], float] = {}
+        normalized: Dict[Tuple[str, str], float] = {}
+        for defense_name in self.DEFENSE_NAMES:
+            base_times = np.array(outputs[("fig13", "baseline", defense_name)])
+            for configuration in configurations:
+                times = outputs[("fig13", "attack", defense_name, configuration)]
+                raw[(defense_name, configuration)] = float(
+                    np.mean(np.array(times) / base_times)
+                )
+            reference = raw[(defense_name, NO_SVARD)]
+            for configuration in configurations:
+                normalized[(defense_name, configuration)] = (
+                    raw[(defense_name, configuration)] / reference
+                )
+        return Fig13Result(normalized_slowdown=normalized, raw_slowdown=raw)
+
+    def result_set(self, result):
+        return result_set(result)
+
+
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
     system_config: Optional[SystemConfig] = None,
     orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig13Result:
-    orch = orchestration or serial_context()
-    config = system_config or SystemConfig(
-        requests_per_core=max(scale.requests_per_core, 12_000),
-        defense_epoch_ns=1_000_000.0,
-    )
-    configurations = (NO_SVARD,) + tuple(
-        f"Svärd-{label}" for label in scale.svard_profiles
-    )
-    defense_names = ("Hydra", "RRS")
-    tasks = [
-        make_task(
-            ("fig13", "baseline", defense_name),
-            _baseline_task,
-            (defense_name, config),
-            base_seed=scale.seed,
-        )
-        for defense_name in defense_names
-    ]
-    tasks += [
-        make_task(
-            ("fig13", "attack", defense_name, configuration),
-            _attack_task,
-            (defense_name, configuration, scale, config),
-            base_seed=scale.seed,
-        )
-        for defense_name in defense_names
-        for configuration in configurations
-    ]
-    outputs = orch.run(tasks, fingerprint=("fig13", scale, config))
-
-    raw: Dict[Tuple[str, str], float] = {}
-    normalized: Dict[Tuple[str, str], float] = {}
-    for defense_name in defense_names:
-        base_times = np.array(outputs[("fig13", "baseline", defense_name)])
-        for configuration in configurations:
-            times = outputs[("fig13", "attack", defense_name, configuration)]
-            raw[(defense_name, configuration)] = float(
-                np.mean(np.array(times) / base_times)
-            )
-        reference = raw[(defense_name, NO_SVARD)]
-        for configuration in configurations:
-            normalized[(defense_name, configuration)] = (
-                raw[(defense_name, configuration)] / reference
-            )
-    return Fig13Result(normalized_slowdown=normalized, raw_slowdown=raw)
+    return Fig13Experiment(system_config=system_config).run(scale, orchestration)

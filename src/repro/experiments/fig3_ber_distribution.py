@@ -10,7 +10,7 @@ Obsvs 1-3: rows vary, banks agree, modules differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -20,8 +20,24 @@ from repro.characterization.metrics import (
     box_stats,
     coefficient_of_variation_pct,
 )
-from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
 from repro.faults.modules import module_by_label
+
+TITLE = "Fig 3: BER distribution across rows and banks (HC=128K)"
 
 
 @dataclass
@@ -34,39 +50,87 @@ class Fig3Result:
     bank_agreement: Dict[str, float]
 
     def render(self) -> str:
-        rows = []
-        for (label, bank), stats in sorted(self.boxes.items()):
-            rows.append(
-                [
-                    label,
-                    str(bank),
-                    f"{stats.mean:.3e}",
-                    f"{stats.q1:.3e}",
-                    f"{stats.median:.3e}",
-                    f"{stats.q3:.3e}",
-                ]
-            )
-        table = format_table(
-            ["module", "bank", "mean BER", "Q1", "median", "Q3"], rows
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig3Result) -> ResultSet:
+    box_rows = [
+        (label, bank, stats.mean, stats.q1, stats.median, stats.q3)
+        for (label, bank), stats in sorted(result.boxes.items())
+    ]
+    cv_rows = [
+        (
+            label,
+            result.cv_pct[label],
+            result.paper_cv_pct[label],
+            result.bank_agreement[label],
         )
-        cv_rows = [
-            [
-                label,
-                f"{self.cv_pct[label]:.2f}%",
-                f"{self.paper_cv_pct[label]:.2f}%",
-                f"{self.bank_agreement[label]:.3f}",
-            ]
-            for label in sorted(self.cv_pct)
-        ]
-        cv_table = format_table(
-            ["module", "CV (measured)", "CV (paper)", "bank max/min"], cv_rows
-        )
-        return (
-            "Fig 3: BER distribution across rows and banks (HC=128K)\n\n"
-            + table
-            + "\n\nPer-module coefficient of variation across rows:\n\n"
-            + cv_table
-        )
+        for label in sorted(result.cv_pct)
+    ]
+    box_display = TableBlock(
+        headers=("module", "bank", "mean BER", "Q1", "median", "Q3"),
+        rows=[
+            (label, str(bank), f"{mean:.3e}", f"{q1:.3e}", f"{median:.3e}",
+             f"{q3:.3e}")
+            for label, bank, mean, q1, median, q3 in box_rows
+        ],
+    )
+    cv_display = TableBlock(
+        headers=("module", "CV (measured)", "CV (paper)", "bank max/min"),
+        rows=[
+            (label, f"{cv:.2f}%", f"{paper:.2f}%", f"{agreement:.3f}")
+            for label, cv, paper, agreement in cv_rows
+        ],
+    )
+    return ResultSet(
+        experiment="fig3",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="ber_boxes",
+                headers=("module", "bank", "mean", "q1", "median", "q3"),
+                rows=box_rows,
+            ),
+            ResultTable(
+                name="cv",
+                headers=(
+                    "module", "cv_measured_pct", "cv_paper_pct",
+                    "bank_agreement",
+                ),
+                rows=cv_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            box_display,
+            TextBlock(
+                "\n\nPer-module coefficient of variation across rows:\n\n"
+            ),
+            cv_display,
+        ),
+        plots=(
+            PlotSpec(
+                name="mean_ber",
+                kind="bar",
+                table="ber_boxes",
+                x="module",
+                y=("mean",),
+                series="bank",
+                title="Fig 3: mean BER per module and bank (HC=128K)",
+                ylabel="mean BER",
+                logy=True,
+            ),
+            PlotSpec(
+                name="cv",
+                kind="bar",
+                table="cv",
+                x="module",
+                y=("cv_measured_pct", "cv_paper_pct"),
+                title="Fig 3: BER coefficient of variation across rows",
+                ylabel="CV (%)",
+            ),
+        ),
+    )
 
 
 def run(scale: ExperimentScale = ExperimentScale()) -> Fig3Result:
@@ -86,3 +150,20 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig3Result:
     return Fig3Result(
         boxes=boxes, cv_pct=cv, paper_cv_pct=paper_cv, bank_agreement=agreement
     )
+
+
+@register
+class Fig3Experiment(Experiment):
+    name = "fig3"
+    description = "BER distribution across rows and banks"
+    paper_ref = "Fig. 3"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

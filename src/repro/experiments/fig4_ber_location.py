@@ -14,7 +14,22 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import ExperimentScale, characterize
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
+
+TITLE = "Fig 4: normalized BER vs relative row location"
 
 
 @dataclass
@@ -35,17 +50,59 @@ class Fig4Result:
     curves: Dict[str, LocationCurve]
 
     def render(self) -> str:
-        lines = ["Fig 4: normalized BER vs relative row location", ""]
-        for label, curve in sorted(self.curves.items()):
-            sampled = ", ".join(
-                f"{x:.2f}:{y:.2f}"
-                for x, y in zip(curve.centers[::len(curve.centers) // 10 or 1],
-                                curve.mean[::len(curve.centers) // 10 or 1])
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig4Result) -> ResultSet:
+    lines = [TITLE, ""]
+    curve_rows = []
+    summary_rows = []
+    for label, curve in sorted(result.curves.items()):
+        stride = len(curve.centers) // 10 or 1
+        sampled = ", ".join(
+            f"{x:.2f}:{y:.2f}"
+            for x, y in zip(curve.centers[::stride], curve.mean[::stride])
+        )
+        lines.append(
+            f"{label}: peak/trough={curve.peak_to_trough():.2f}  {sampled}"
+        )
+        summary_rows.append((label, curve.peak_to_trough()))
+        curve_rows.extend(
+            (label, float(x), float(mean), float(lo), float(hi))
+            for x, mean, lo, hi in zip(
+                curve.centers, curve.mean, curve.minimum, curve.maximum
             )
-            lines.append(
-                f"{label}: peak/trough={curve.peak_to_trough():.2f}  {sampled}"
-            )
-        return "\n".join(lines)
+        )
+    return ResultSet(
+        experiment="fig4",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="curves",
+                headers=("module", "center", "mean", "min", "max"),
+                rows=curve_rows,
+            ),
+            ResultTable(
+                name="peak_to_trough",
+                headers=("module", "ratio"),
+                rows=summary_rows,
+            ),
+        ),
+        layout=(TextBlock("\n".join(lines)),),
+        plots=(
+            PlotSpec(
+                name="curves",
+                kind="line",
+                table="curves",
+                x="center",
+                y=("mean",),
+                series="module",
+                title=TITLE,
+                xlabel="relative row location",
+                ylabel="BER / module minimum",
+            ),
+        ),
+    )
 
 
 def run(
@@ -74,3 +131,20 @@ def run(
             maximum=stack.max(axis=0),
         )
     return Fig4Result(curves=curves)
+
+
+@register
+class Fig4Experiment(Experiment):
+    name = "fig4"
+    description = "normalized BER vs relative row location"
+    paper_ref = "Fig. 4"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

@@ -11,12 +11,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.characterization.metrics import hc_first_histogram
-from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
 from repro.faults.modules import module_by_label
 from repro.faults.variation import HC_GRID
+
+TITLE = "Fig 5: HC_first distribution across rows"
 
 
 @dataclass
@@ -29,24 +44,77 @@ class Fig5Result:
     paper_minima: Dict[str, int]
 
     def render(self) -> str:
-        rows = []
-        for label in sorted(self.histograms):
-            hist = self.histograms[label]
-            populated = {k: v for k, v in hist.items() if v > 0}
-            summary = " ".join(
-                f"{k // 1024}K:{v:.2f}" for k, v in sorted(populated.items())
-            )
-            rows.append(
-                [
-                    label,
-                    f"{self.minima[label] // 1024}K",
-                    f"{self.paper_minima[label] // 1024}K",
-                    summary,
-                ]
-            )
-        return "Fig 5: HC_first distribution across rows\n\n" + format_table(
-            ["module", "min (measured)", "min (Table 5)", "histogram"], rows
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig5Result) -> ResultSet:
+    display_rows = []
+    minima_rows = []
+    histogram_rows = []
+    for label in sorted(result.histograms):
+        hist = result.histograms[label]
+        populated = {k: v for k, v in hist.items() if v > 0}
+        summary = " ".join(
+            f"{k // 1024}K:{v:.2f}" for k, v in sorted(populated.items())
         )
+        display_rows.append(
+            (
+                label,
+                f"{result.minima[label] // 1024}K",
+                f"{result.paper_minima[label] // 1024}K",
+                summary,
+            )
+        )
+        minima_rows.append(
+            (label, result.minima[label], result.paper_minima[label])
+        )
+        spread = result.bank_spread.get(label, {})
+        for grid_value, fraction in sorted(hist.items()):
+            low, high = spread.get(grid_value, (fraction, fraction))
+            histogram_rows.append(
+                (label, int(grid_value), float(fraction), float(low),
+                 float(high))
+            )
+    return ResultSet(
+        experiment="fig5",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="histogram",
+                headers=(
+                    "module", "hc_first", "fraction", "bank_min", "bank_max",
+                ),
+                rows=histogram_rows,
+            ),
+            ResultTable(
+                name="minima",
+                headers=("module", "measured_min", "paper_min"),
+                rows=minima_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=(
+                    "module", "min (measured)", "min (Table 5)", "histogram",
+                ),
+                rows=display_rows,
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="histogram",
+                kind="bar",
+                table="histogram",
+                x="hc_first",
+                y=("fraction",),
+                series="module",
+                title=TITLE,
+                xlabel="HC_first",
+                ylabel="fraction of rows",
+            ),
+        ),
+    )
 
 
 def run(scale: ExperimentScale = ExperimentScale()) -> Fig5Result:
@@ -76,3 +144,20 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig5Result:
         minima=minima,
         paper_minima=paper_minima,
     )
+
+
+@register
+class Fig5Experiment(Experiment):
+    name = "fig5"
+    description = "HC_first distribution across rows"
+    paper_ref = "Fig. 5"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

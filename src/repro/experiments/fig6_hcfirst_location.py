@@ -15,7 +15,23 @@ from typing import Dict
 
 import numpy as np
 
-from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
+
+TITLE = "Fig 6: HC_first vs relative row location (irregular, Obsv 9)"
 
 
 @dataclass
@@ -28,20 +44,58 @@ class Fig6Result:
     spread: Dict[str, float]
 
     def render(self) -> str:
-        rows = [
-            [
-                label,
-                f"{self.autocorrelation[label]:+.3f}",
-                f"{self.spread[label]:.1f}x",
-            ]
-            for label in sorted(self.binned)
-        ]
-        return (
-            "Fig 6: HC_first vs relative row location (irregular, Obsv 9)\n\n"
-            + format_table(
-                ["module", "lag-1 autocorr", "max/min HC_first"], rows
-            )
-        )
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig6Result) -> ResultSet:
+    stat_rows = [
+        (label, result.autocorrelation[label], result.spread[label])
+        for label in sorted(result.binned)
+    ]
+    curve_rows = [
+        (label, index, float(value))
+        for label in sorted(result.binned)
+        for index, value in enumerate(result.binned[label])
+    ]
+    return ResultSet(
+        experiment="fig6",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="statistics",
+                headers=("module", "lag1_autocorrelation", "spread"),
+                rows=stat_rows,
+            ),
+            ResultTable(
+                name="binned",
+                headers=("module", "bin", "normalized_hc_first"),
+                rows=curve_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=("module", "lag-1 autocorr", "max/min HC_first"),
+                rows=[
+                    (label, f"{autocorrelation:+.3f}", f"{spread:.1f}x")
+                    for label, autocorrelation, spread in stat_rows
+                ],
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="binned",
+                kind="line",
+                table="binned",
+                x="bin",
+                y=("normalized_hc_first",),
+                series="module",
+                title=TITLE,
+                xlabel="location bin",
+                ylabel="HC_first / bank min",
+            ),
+        ),
+    )
 
 
 def run(
@@ -67,3 +121,20 @@ def run(
         )
         spread[label] = float(normalized.max())
     return Fig6Result(binned=binned, autocorrelation=autocorrelation, spread=spread)
+
+
+@register
+class Fig6Experiment(Experiment):
+    name = "fig6"
+    description = "HC_first vs relative row location"
+    paper_ref = "Fig. 6"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

@@ -8,15 +8,31 @@ order of magnitude (Obsv 10) while large row-to-row variation remains
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.characterization.metrics import BoxStats, box_stats, coefficient_of_variation_pct
 from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
-from repro.experiments.common import ExperimentScale, characterize, format_table
-from repro.faults.modules import MODULES, Manufacturer, module_by_label
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
+from repro.faults.modules import MODULES, Manufacturer
+
+TITLE = "Fig 7: HC_first vs aggressor on-time (RowPress)"
 
 
 @dataclass
@@ -27,25 +43,69 @@ class Fig7Result:
     cv_pct: Dict[Tuple[str, float], float]
 
     def render(self) -> str:
-        rows = []
-        for (mfr, t_on), stats in sorted(self.boxes.items()):
-            rows.append(
-                [
-                    mfr,
-                    f"{t_on:.0f} ns",
-                    f"{stats.mean / 1024:.1f}K",
-                    f"{stats.q1 / 1024:.1f}K",
-                    f"{stats.q3 / 1024:.1f}K",
-                ]
-            )
-        return (
-            "Fig 7: HC_first vs aggressor on-time (RowPress)\n\n"
-            + format_table(["mfr", "tAggOn", "mean", "Q1", "Q3"], rows)
-        )
+        return result_set(self).render_text()
 
     def reduction_factor(self, mfr: str) -> float:
         """Mean HC_first at 36 ns over mean at 2 us."""
         return self.boxes[(mfr, 36.0)].mean / self.boxes[(mfr, 2000.0)].mean
+
+
+def result_set(result: Fig7Result) -> ResultSet:
+    box_rows = [
+        (mfr, float(t_on), stats.mean, stats.q1, stats.q3)
+        for (mfr, t_on), stats in sorted(result.boxes.items())
+    ]
+    cv_rows = [
+        (label, float(t_on), cv)
+        for (label, t_on), cv in sorted(result.cv_pct.items())
+    ]
+    return ResultSet(
+        experiment="fig7",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="boxes",
+                headers=("mfr", "t_agg_on_ns", "mean", "q1", "q3"),
+                rows=box_rows,
+            ),
+            ResultTable(
+                name="cv",
+                headers=("module", "t_agg_on_ns", "cv_pct"),
+                rows=cv_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=("mfr", "tAggOn", "mean", "Q1", "Q3"),
+                rows=[
+                    (
+                        mfr,
+                        f"{t_on:.0f} ns",
+                        f"{mean / 1024:.1f}K",
+                        f"{q1 / 1024:.1f}K",
+                        f"{q3 / 1024:.1f}K",
+                    )
+                    for mfr, t_on, mean, q1, q3 in box_rows
+                ],
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="boxes",
+                kind="line",
+                table="boxes",
+                x="t_agg_on_ns",
+                y=("mean",),
+                series="mfr",
+                title=TITLE,
+                xlabel="tAggOn (ns)",
+                ylabel="mean HC_first",
+                logx=True,
+                logy=True,
+            ),
+        ),
+    )
 
 
 def run(scale: ExperimentScale = ExperimentScale()) -> Fig7Result:
@@ -67,3 +127,29 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig7Result:
                 cv[(label, t_on)] = coefficient_of_variation_pct(measured)
             boxes[(manufacturer.value, t_on)] = box_stats(np.concatenate(values))
     return Fig7Result(boxes=boxes, cv_pct=cv)
+
+
+@register
+class Fig7Experiment(Experiment):
+    name = "fig7"
+    description = "HC_first vs aggressor on-time (RowPress)"
+    paper_ref = "Fig. 7"
+
+    def build_tasks(self, scale, orch):
+        return [
+            group
+            for t_on in T_AGG_ON_SWEEP_NS
+            for group in characterization_groups(
+                scale.modules, scale, t_agg_on_ns=t_on
+            )
+        ]
+
+    def reduce(self, scale, outputs):
+        for t_on in T_AGG_ON_SWEEP_NS:
+            absorb_characterizations(
+                scale.modules, scale, outputs, t_agg_on_ns=t_on
+            )
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

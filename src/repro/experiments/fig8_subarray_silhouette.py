@@ -4,18 +4,33 @@ The paper sweeps k-means' k over candidate subarray counts and plots
 the silhouette score: it rises to a global maximum (the inferred
 subarray count) and decreases monotonically after it.  This harness
 runs the full reverse-engineering pipeline (single-sided hammer
-probes, RowClone validation, clustering) on the bender platform.
+probes, RowClone validation, clustering) on the bender platform --
+one orchestrated task per module, so the per-module inferences fan
+out over workers and persist in the on-disk cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bender.infrastructure import TestPlatform
-from repro.experiments.common import ExperimentScale, format_table
+from repro.experiments.api import (
+    Experiment,
+    ExperimentError,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import ExperimentScale
 from repro.faults.modules import module_by_label
+from repro.orchestration import OrchestrationContext, Task, TaskGroup, make_task
 from repro.reveng.subarray import SubarrayInference, SubarrayReverseEngineer
+
+TITLE = "Fig 8: subarray reverse engineering via k-means silhouette"
 
 
 @dataclass
@@ -24,47 +39,159 @@ class Fig8Result:
     true_subarrays: Dict[str, int]
 
     def render(self) -> str:
-        rows = []
-        for label in sorted(self.inferences):
-            inference = self.inferences[label]
-            sizes = inference.subarray_sizes()
-            rows.append(
-                [
-                    label,
-                    str(inference.inferred_k),
-                    str(self.true_subarrays[label]),
-                    f"{min(sizes)}..{max(sizes)}",
-                    f"{max(inference.silhouette_by_k.values()):.3f}",
-                ]
-            )
-        return (
-            "Fig 8: subarray reverse engineering via k-means silhouette\n\n"
-            + format_table(
-                ["module", "inferred k", "true k", "subarray sizes", "peak score"],
-                rows,
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig8Result) -> ResultSet:
+    display_rows = []
+    inference_rows = []
+    silhouette_rows = []
+    for label in sorted(result.inferences):
+        inference = result.inferences[label]
+        sizes = inference.subarray_sizes()
+        peak = max(inference.silhouette_by_k.values())
+        display_rows.append(
+            (
+                label,
+                str(inference.inferred_k),
+                str(result.true_subarrays[label]),
+                f"{min(sizes)}..{max(sizes)}",
+                f"{peak:.3f}",
             )
         )
+        inference_rows.append(
+            (
+                label,
+                inference.inferred_k,
+                result.true_subarrays[label],
+                min(sizes),
+                max(sizes),
+                float(peak),
+            )
+        )
+        silhouette_rows.extend(
+            (label, int(k), float(score))
+            for k, score in sorted(inference.silhouette_by_k.items())
+        )
+    return ResultSet(
+        experiment="fig8",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="inference",
+                headers=(
+                    "module", "inferred_k", "true_k",
+                    "min_subarray_rows", "max_subarray_rows", "peak_score",
+                ),
+                rows=inference_rows,
+            ),
+            ResultTable(
+                name="silhouette",
+                headers=("module", "k", "score"),
+                rows=silhouette_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=(
+                    "module", "inferred k", "true k", "subarray sizes",
+                    "peak score",
+                ),
+                rows=display_rows,
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="silhouette",
+                kind="line",
+                table="silhouette",
+                x="k",
+                y=("score",),
+                series="module",
+                title=TITLE,
+                xlabel="k (candidate subarray count)",
+                ylabel="silhouette score",
+            ),
+        ),
+    )
+
+
+def _subarray_task(task: Task) -> Tuple[SubarrayInference, int]:
+    """Orchestrated unit: the full inference pipeline for one module."""
+    label, rows_per_bank, seed = task.params
+    spec = module_by_label(label)
+    platform = TestPlatform(spec, rows_per_bank=rows_per_bank, seed=seed)
+    platform.device.rowclone_success_rate = 1.0
+    engineer = SubarrayReverseEngineer(platform, seed=seed)
+    inference = engineer.infer(0)
+    subarray_rows = platform.geometry.subarray_rows
+    true_count = -(-rows_per_bank // subarray_rows)
+    return inference, true_count
+
+
+def _labels(scale: ExperimentScale, modules: Optional[Sequence[str]]) -> List[str]:
+    """Defaults to the Samsung modules (the figure's subject)."""
+    if modules is not None:
+        labels = list(modules)
+        if not labels:
+            raise ExperimentError("fig8: the explicit module list is empty")
+        return labels
+    labels = [label for label in scale.modules if label.startswith("S")]
+    if not labels:
+        raise ExperimentError(
+            "fig8 needs at least one Samsung (S*) module to "
+            f"reverse-engineer; the selection {tuple(scale.modules)} "
+            "contains none"
+        )
+    return labels
+
+
+@register
+class Fig8Experiment(Experiment):
+    name = "fig8"
+    description = "subarray reverse engineering (k-means silhouette)"
+    paper_ref = "Fig. 8"
+
+    def __init__(self, modules: Optional[Sequence[str]] = None) -> None:
+        self.modules = modules
+
+    def build_tasks(self, scale, orch):
+        # One group per module: the fingerprint carries exactly the
+        # inputs the inference depends on, so cache entries survive
+        # unrelated scale changes and module-subset changes.
+        return [
+            TaskGroup(
+                tasks=(
+                    make_task(
+                        ("fig8", "subarray", label),
+                        _subarray_task,
+                        (label, scale.rows_for(label), scale.seed),
+                        base_seed=scale.seed,
+                    ),
+                ),
+                fingerprint=("fig8", scale.rows_for(label), scale.seed),
+            )
+            for label in _labels(scale, self.modules)
+        ]
+
+    def reduce(self, scale, outputs):
+        inferences: Dict[str, SubarrayInference] = {}
+        true_counts: Dict[str, int] = {}
+        for label in _labels(scale, self.modules):
+            inference, true_count = outputs[("fig8", "subarray", label)]
+            inferences[label] = inference
+            true_counts[label] = true_count
+        return Fig8Result(inferences=inferences, true_subarrays=true_counts)
+
+    def result_set(self, result):
+        return result_set(result)
 
 
 def run(
     scale: ExperimentScale = ExperimentScale(),
     *,
     modules: Optional[Sequence[str]] = None,
+    orchestration: Optional[OrchestrationContext] = None,
 ) -> Fig8Result:
-    """Defaults to the Samsung modules (the figure's subject)."""
-    labels = list(modules) if modules is not None else [
-        label for label in scale.modules if label.startswith("S")
-    ]
-    inferences: Dict[str, SubarrayInference] = {}
-    true_counts: Dict[str, int] = {}
-    for label in labels:
-        spec = module_by_label(label)
-        platform = TestPlatform(
-            spec, rows_per_bank=scale.rows_per_bank, seed=scale.seed
-        )
-        platform.device.rowclone_success_rate = 1.0
-        engineer = SubarrayReverseEngineer(platform, seed=scale.seed)
-        inferences[label] = engineer.infer(0)
-        subarray_rows = platform.geometry.subarray_rows
-        true_counts[label] = -(-scale.rows_per_bank // subarray_rows)
-    return Fig8Result(inferences=inferences, true_subarrays=true_counts)
+    return Fig8Experiment(modules=modules).run(scale, orchestration)

@@ -16,11 +16,27 @@ import numpy as np
 
 from repro.analysis.correlation import FeatureCorrelation, correlate_features
 from repro.analysis.features import extract_features
-from repro.experiments.common import ExperimentScale, characterize, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+    characterize,
+)
 from repro.faults.modules import module_by_label
 
 #: The figure sweeps thresholds 0.0 .. 1.0 in steps of 0.1.
 F1_THRESHOLDS: Tuple[float, ...] = tuple(round(t / 10, 1) for t in range(11))
+
+TITLE = "Fig 9: fraction of spatial features above F1 threshold"
 
 
 @dataclass
@@ -42,21 +58,73 @@ class Fig9Result:
         )
 
     def render(self) -> str:
-        rows = []
-        for label in sorted(self.fractions):
-            curve = self.fractions[label]
-            rows.append(
-                [label]
-                + [f"{curve[t]:.2f}" for t in F1_THRESHOLDS]
-            )
-        headers = ["module"] + [f"{t:.1f}" for t in F1_THRESHOLDS]
-        strong = ", ".join(self.modules_with_strong_features()) or "none"
-        return (
-            "Fig 9: fraction of spatial features above F1 threshold\n\n"
-            + format_table(headers, rows)
-            + f"\n\nmodules with F1 > 0.7 features: {strong}"
-            + f"\nmaximum F1 observed: {self.max_f1():.3f}"
-        )
+        return result_set(self).render_text()
+
+
+def result_set(result: Fig9Result) -> ResultSet:
+    strong = ", ".join(result.modules_with_strong_features()) or "none"
+    fraction_rows = [
+        (label, float(threshold), float(result.fractions[label][threshold]))
+        for label in sorted(result.fractions)
+        for threshold in F1_THRESHOLDS
+    ]
+    correlation_rows = [
+        (label, c.feature.short_name, float(c.f1))
+        for label in sorted(result.correlations)
+        for c in result.correlations[label]
+    ]
+    return ResultSet(
+        experiment="fig9",
+        title=TITLE,
+        scalars={
+            "max_f1": result.max_f1(),
+            "strong_modules": strong,
+        },
+        tables=(
+            ResultTable(
+                name="fractions",
+                headers=("module", "threshold", "fraction"),
+                rows=fraction_rows,
+            ),
+            ResultTable(
+                name="correlations",
+                headers=("module", "feature", "f1"),
+                rows=correlation_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=("module",)
+                + tuple(f"{t:.1f}" for t in F1_THRESHOLDS),
+                rows=[
+                    (label,)
+                    + tuple(
+                        f"{result.fractions[label][t]:.2f}"
+                        for t in F1_THRESHOLDS
+                    )
+                    for label in sorted(result.fractions)
+                ],
+            ),
+            TextBlock(
+                f"\n\nmodules with F1 > 0.7 features: {strong}"
+                f"\nmaximum F1 observed: {result.max_f1():.3f}"
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="fractions",
+                kind="line",
+                table="fractions",
+                x="threshold",
+                y=("fraction",),
+                series="module",
+                title=TITLE,
+                xlabel="F1 threshold",
+                ylabel="fraction of features",
+            ),
+        ),
+    )
 
 
 def run(scale: ExperimentScale = ExperimentScale()) -> Fig9Result:
@@ -68,9 +136,9 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig9Result:
         measured = np.concatenate(
             [chars.banks[bank].measured_hc_first for bank in sorted(chars.banks)]
         )
-        params = spec.variation_params(scale.rows_per_bank)
+        params = spec.variation_params(scale.rows_for(label))
         features, matrix, _ = extract_features(
-            scale.rows_per_bank, params.subarray_rows, tuple(sorted(chars.banks))
+            scale.rows_for(label), params.subarray_rows, tuple(sorted(chars.banks))
         )
         result = correlate_features(features, matrix, measured)
         correlations[label] = result
@@ -79,3 +147,20 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig9Result:
             t: float(np.mean(f1s > t)) for t in F1_THRESHOLDS
         }
     return Fig9Result(fractions=fractions, correlations=correlations)
+
+
+@register
+class Fig9Experiment(Experiment):
+    name = "fig9"
+    description = "fraction of spatial features above F1 threshold"
+    paper_ref = "Fig. 9"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

@@ -1,0 +1,254 @@
+"""Pluggable renderers for :class:`~repro.experiments.api.ResultSet`.
+
+Three renderers ship with the repository:
+
+* ``text`` -- the paper-style fixed-width tables (byte-identical to
+  the pre-API ``render()`` output; pinned by the parity snapshots in
+  ``tests/golden/text/``).
+* ``json`` -- the full structured artifact, round-trippable through
+  :meth:`ResultSet.from_json_dict`.
+* ``mpl`` -- matplotlib paper figures (PNG + SVG) driven by the
+  declarative :class:`~repro.experiments.api.PlotSpec` entries.
+  matplotlib is imported lazily; on hosts without it the renderer
+  raises :class:`RendererUnavailable` with an actionable message
+  instead of breaking import of the package.
+
+Add a custom renderer with :func:`register_renderer`::
+
+    class CsvRenderer(Renderer):
+        format_name = "csv"
+        suffix = ".csv"
+        def render(self, result_set): ...
+
+    register_renderer(CsvRenderer())
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.experiments.api import PlotSpec, ResultSet, ResultTable
+
+
+class RendererUnavailable(RuntimeError):
+    """The renderer's backing library is not installed."""
+
+
+class Renderer(ABC):
+    """Turns a ResultSet into human- or machine-consumable output."""
+
+    #: Registry key and ``--format`` value.
+    format_name: str = ""
+    #: Suffix of files written by :meth:`write`.
+    suffix: str = ""
+
+    def check_available(self) -> None:
+        """Raise :class:`RendererUnavailable` if a dependency is missing.
+
+        Called by the CLI before any experiment executes, so a missing
+        backend fails in milliseconds instead of after minutes of
+        simulation.
+        """
+
+    @abstractmethod
+    def render(self, result_set: ResultSet) -> str:
+        """The artifact as a string (raise if inherently file-based)."""
+
+    def write(self, result_set: ResultSet, out_dir: Path) -> List[Path]:
+        """Write the artifact under ``out_dir``; return created paths."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{result_set.experiment}{self.suffix}"
+        path.write_text(self.render(result_set) + "\n")
+        return [path]
+
+
+class TextRenderer(Renderer):
+    format_name = "text"
+    suffix = ".txt"
+
+    def render(self, result_set: ResultSet) -> str:
+        return result_set.render_text()
+
+
+class JsonRenderer(Renderer):
+    format_name = "json"
+    suffix = ".json"
+
+    def render(self, result_set: ResultSet) -> str:
+        return json.dumps(
+            result_set.to_json_dict(), indent=2, sort_keys=True
+        )
+
+
+class MplRenderer(Renderer):
+    """Paper figures via matplotlib, one file pair per PlotSpec."""
+
+    format_name = "mpl"
+    suffix = ".png"
+
+    #: File formats written per plot.
+    image_formats: Sequence[str] = ("png", "svg")
+
+    def check_available(self) -> None:
+        self._matplotlib()
+
+    def render(self, result_set: ResultSet) -> str:
+        raise RendererUnavailable(
+            "the mpl renderer produces image files; use write(..., out_dir)"
+        )
+
+    def write(self, result_set: ResultSet, out_dir: Path) -> List[Path]:
+        plt = self._matplotlib()
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for spec in result_set.plots:
+            figure = self._draw(plt, result_set, spec)
+            for image_format in self.image_formats:
+                path = (
+                    out_dir
+                    / f"{result_set.experiment}_{spec.name}.{image_format}"
+                )
+                figure.savefig(path, bbox_inches="tight", dpi=150)
+                paths.append(path)
+            plt.close(figure)
+        return paths
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _matplotlib():
+        try:
+            import matplotlib
+        except ImportError as error:
+            raise RendererUnavailable(
+                "matplotlib is not installed; install it (pip install "
+                "matplotlib) to render paper figures, or use --format "
+                "text/json"
+            ) from error
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+
+    def _draw(self, plt, result_set: ResultSet, spec: PlotSpec):
+        table = result_set.table(spec.table)
+        figure, axis = plt.subplots(figsize=(6.4, 3.6))
+        series = self._split_series(table, spec)
+        if spec.kind == "bar":
+            self._bar(axis, series, table, spec)
+        else:
+            for label, rows in series.items():
+                x_index = table.headers.index(spec.x)
+                for y_column in spec.y:
+                    y_index = table.headers.index(y_column)
+                    # None cells are missing data points, not zeros.
+                    points = [
+                        (row[x_index], row[y_index])
+                        for row in rows
+                        if row[y_index] is not None
+                    ]
+                    xs = [x for x, _ in points]
+                    ys = [y for _, y in points]
+                    plot_label = (
+                        label if len(spec.y) == 1 else
+                        (f"{label} {y_column}" if label else y_column)
+                    )
+                    if spec.kind == "line":
+                        axis.plot(xs, ys, marker="o", markersize=3,
+                                  label=plot_label)
+                    else:
+                        axis.scatter(xs, ys, s=12, label=plot_label)
+        if spec.logx:
+            axis.set_xscale("log")
+        if spec.logy:
+            axis.set_yscale("log")
+        axis.set_title(spec.title or result_set.title, fontsize=9)
+        axis.set_xlabel(spec.xlabel or spec.x)
+        axis.set_ylabel(spec.ylabel or ", ".join(spec.y))
+        if any(label for label in series) or len(spec.y) > 1:
+            axis.legend(fontsize=7)
+        axis.grid(True, alpha=0.3)
+        return figure
+
+    def _bar(self, axis, series, table: ResultTable, spec: PlotSpec):
+        """Grouped bars: categories on x, one bar group per series/y."""
+        categories: List = []
+        for rows in series.values():
+            for row in rows:
+                value = row[table.headers.index(spec.x)]
+                if value not in categories:
+                    categories.append(value)
+        groups = [
+            (
+                (f"{label} {y}" if label and len(spec.y) > 1 else
+                 (label or y)),
+                {
+                    row[table.headers.index(spec.x)]:
+                        row[table.headers.index(y)]
+                    for row in rows
+                },
+            )
+            for label, rows in series.items()
+            for y in spec.y
+        ]
+        width = 0.8 / max(len(groups), 1)
+        for offset, (label, by_category) in enumerate(groups):
+            positions = [
+                index + offset * width for index in range(len(categories))
+            ]
+            # Absent categories and None cells both render as no bar.
+            heights = [
+                value if (value := by_category.get(c)) is not None else 0.0
+                for c in categories
+            ]
+            axis.bar(positions, heights, width=width, label=label)
+        axis.set_xticks(
+            [
+                index + width * (len(groups) - 1) / 2
+                for index in range(len(categories))
+            ]
+        )
+        axis.set_xticklabels([str(c) for c in categories], fontsize=7)
+
+    @staticmethod
+    def _split_series(table: ResultTable, spec: PlotSpec) -> Dict:
+        if spec.series is None:
+            return {"": list(table.rows)}
+        index = table.headers.index(spec.series)
+        series: Dict = {}
+        for row in table.rows:
+            series.setdefault(str(row[index]), []).append(row)
+        return series
+
+
+_RENDERERS: Dict[str, Renderer] = {}
+
+
+def register_renderer(renderer: Renderer) -> Renderer:
+    if not renderer.format_name:
+        raise ValueError("renderer must set format_name")
+    _RENDERERS[renderer.format_name] = renderer
+    return renderer
+
+
+def get_renderer(format_name: str) -> Renderer:
+    try:
+        return _RENDERERS[format_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {format_name!r}; known: {sorted(_RENDERERS)}"
+        ) from None
+
+
+def renderer_names() -> List[str]:
+    return sorted(_RENDERERS)
+
+
+register_renderer(TextRenderer())
+register_renderer(JsonRenderer())
+register_renderer(MplRenderer())

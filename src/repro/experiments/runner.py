@@ -1,137 +1,72 @@
-"""Run all (or selected) experiments and print their paper-style output.
+"""Generic experiment CLI, driven by the Experiment registry.
 
 Usage::
 
-    python -m repro.experiments.runner                # every experiment
-    python -m repro.experiments.runner fig5 fig12     # a subset
-    python -m repro.experiments.runner fig12 --jobs 4 # parallel sweep
+    python -m repro.experiments.runner list              # what exists
+    python -m repro.experiments.runner run               # everything
+    python -m repro.experiments.runner run fig5 fig12    # a subset
+    python -m repro.experiments.runner run fig12 --jobs 4 --progress
+    python -m repro.experiments.runner run fig12 --format json --out results/
+    python -m repro.experiments.runner run --format mpl --out figures/
+
+(The ``run`` verb is optional: ``runner fig12 --jobs 4`` still works.)
+
+Experiments self-register with :func:`repro.experiments.api.register`;
+the runner holds no per-figure code.  Each experiment may declare
+``quick_overrides`` -- reduced-grid scale defaults that keep the full
+suite interactive; explicit scale flags and ``--full`` win over them.
 
 Results are orchestrated through :mod:`repro.orchestration`: with
 ``--jobs N`` the independent simulation/characterization tasks fan out
 over N worker processes, and completed tasks persist in an on-disk
 cache (``--cache-dir``, default ``.repro_cache/``) so re-runs and
 interrupted sweeps resume instantly.  ``--no-cache`` forces fresh
-computation.  See ORCHESTRATION.md.
+computation.  See ORCHESTRATION.md and EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
-from typing import Callable, Dict, Optional
+from pathlib import Path
+from typing import Optional
 
-from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
-from repro.experiments import (
-    ablation_bins,
-    fig3_ber_distribution,
-    fig4_ber_location,
-    fig5_hcfirst_distribution,
-    fig6_hcfirst_location,
-    fig7_rowpress,
-    fig8_subarray_silhouette,
-    fig9_spatial_features,
-    fig10_aging,
-    fig12_performance,
-    fig13_adversarial,
-    sec64_hardware_cost,
-    table3_features,
-    table5_modules,
+from repro.experiments.api import (
+    ExperimentError,
+    all_experiments,
+    display_table,
 )
-from repro.experiments.common import ExperimentScale, characterize_modules
+from repro.experiments.common import ExperimentScale
+from repro.experiments.render import (
+    RendererUnavailable,
+    get_renderer,
+    renderer_names,
+)
 from repro.orchestration import OrchestrationContext, ResultCache
 
-#: ``(scale, orchestration, explicit)`` -> result.  ``explicit`` names
-#: the scale fields the user overrode on the command line, so quick
-#: presets below never silently discard an explicit flag.
-Runner = Callable[
-    [ExperimentScale, OrchestrationContext, frozenset], object
-]
+#: CLI flag dests that map 1:1 onto ``ExperimentScale`` field names.
+_SCALE_FLAGS = (
+    "seed",
+    "n_mixes",
+    "requests_per_core",
+    "rows_per_bank",
+    "banks",
+    "modules",
+    "paper_rows",
+)
 
 
-def _fig12_quick(
-    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
-):
-    """Fig 12 at a reduced grid so the full runner stays interactive.
-
-    Explicit CLI overrides (e.g. ``--n-mixes 120`` for the paper
-    grid) win over the quick-grid defaults.
-    """
-    quick = {
-        "hc_first_values": (4096, 256, 64),
-        "svard_profiles": ("S0",),
-        "n_mixes": 1,
-    }
-    trimmed = {k: v for k, v in quick.items() if k not in explicit}
-    return fig12_performance.run(replace(scale, **trimmed), orchestration=orch)
-
-
-def _ablation_bins(
-    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
-):
-    if "requests_per_core" not in explicit:
-        scale = replace(scale, requests_per_core=2500)
-    return ablation_bins.run(scale, orchestration=orch)
-
-
-def _prewarmed(run_fn: Callable[[ExperimentScale], object]) -> Runner:
-    """Fan the module characterizations out before a sequential figure.
-
-    The per-figure harnesses consume characterizations through the
-    in-memory cache in :mod:`repro.experiments.common`; pre-warming it
-    through the orchestration context gives them parallelism and disk
-    caching without touching their analysis code.
-    """
-
-    def wrapper(
-        scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
-    ):
-        characterize_modules(scale.modules, scale, orchestration=orch)
-        return run_fn(scale)
-
-    return wrapper
-
-
-def _fig7(
-    scale: ExperimentScale, orch: OrchestrationContext, explicit: frozenset
-):
-    for t_on in T_AGG_ON_SWEEP_NS:
-        characterize_modules(
-            scale.modules, scale, t_agg_on_ns=t_on, orchestration=orch
-        )
-    return fig7_rowpress.run(scale)
-
-
-EXPERIMENTS: Dict[str, Runner] = {
-    "fig3": _prewarmed(fig3_ber_distribution.run),
-    "fig4": _prewarmed(fig4_ber_location.run),
-    "fig5": _prewarmed(fig5_hcfirst_distribution.run),
-    "fig6": _prewarmed(fig6_hcfirst_location.run),
-    "fig7": _fig7,
-    "fig8": lambda scale, orch, explicit: fig8_subarray_silhouette.run(scale),
-    "fig9": _prewarmed(fig9_spatial_features.run),
-    "fig10": lambda scale, orch, explicit: fig10_aging.run(scale),
-    "fig12": _fig12_quick,
-    "fig13": lambda scale, orch, explicit: fig13_adversarial.run(
-        scale, orchestration=orch
-    ),
-    "table3": _prewarmed(table3_features.run),
-    "table5": lambda scale, orch, explicit: table5_modules.run(
-        scale, orchestration=orch
-    ),
-    "sec64": lambda scale, orch, explicit: sec64_hardware_cost.run(),
-    "ablation-bins": _ablation_bins,
-}
-
-
-def _parse_args(argv) -> argparse.Namespace:
+def _parse_run_args(argv) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.runner",
+        prog="python -m repro.experiments.runner run",
         description="Regenerate the paper's figures and tables.",
     )
     parser.add_argument(
         "names", nargs="*", metavar="EXPERIMENT",
-        help=f"experiments to run (default: all of {sorted(EXPERIMENTS)})",
+        help="experiments to run (default: every registered experiment; "
+             "see the `list` subcommand)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -151,6 +86,21 @@ def _parse_args(argv) -> argparse.Namespace:
         help="print per-task progress to stderr",
     )
     parser.add_argument(
+        "--format", dest="format_name", default="text", metavar="FMT",
+        choices=renderer_names(),
+        help=f"output renderer, one of {renderer_names()} (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write rendered artifacts into DIR instead of stdout "
+             "(--format mpl defaults to figures/)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="ignore per-experiment quick-grid presets; run the full "
+             "default scale",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None,
         help="override ExperimentScale.seed",
     )
@@ -162,11 +112,41 @@ def _parse_args(argv) -> argparse.Namespace:
         "--requests-per-core", type=int, default=None, metavar="N",
         help="override ExperimentScale.requests_per_core",
     )
+    parser.add_argument(
+        "--rows-per-bank", type=int, default=None, metavar="N",
+        help="override ExperimentScale.rows_per_bank",
+    )
+    parser.add_argument(
+        "--banks", default=None, metavar="B0,B1,...",
+        help="override ExperimentScale.banks (comma-separated indices)",
+    )
+    parser.add_argument(
+        "--modules", default=None, metavar="M0,M1,...",
+        help="override ExperimentScale.modules (comma-separated labels)",
+    )
+    parser.add_argument(
+        "--paper-rows", action="store_true", default=None,
+        help="characterize each module at its real ModuleSpec row count "
+             "instead of the uniform --rows-per-bank",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
     if args.no_cache and args.cache_dir is not None:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if args.banks is not None:
+        try:
+            args.banks = tuple(int(part) for part in args.banks.split(","))
+        except ValueError:
+            parser.error(
+                f"--banks must be comma-separated integers, got {args.banks!r}"
+            )
+        if len(set(args.banks)) != len(args.banks):
+            parser.error(f"--banks contains duplicates: {args.banks}")
+    if args.modules is not None:
+        args.modules = tuple(args.modules.split(","))
+        if len(set(args.modules)) != len(args.modules):
+            parser.error(f"--modules contains duplicates: {args.modules}")
     return args
 
 
@@ -186,32 +166,158 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
     )
 
 
-def main(argv=None) -> int:
-    args = _parse_args(sys.argv[1:] if argv is None else argv)
-    names = args.names or sorted(EXPERIMENTS)
-    overrides = {
+def _scale_for(experiment, base: ExperimentScale, explicit: frozenset,
+               full: bool) -> ExperimentScale:
+    """The base scale plus the experiment's quick-grid presets.
+
+    Explicit CLI overrides (e.g. ``--n-mixes 120`` for the paper grid)
+    and ``--full`` win over the presets.
+    """
+    if full:
+        return base
+    trimmed = {
         field: value
-        for field, value in (
-            ("seed", args.seed),
-            ("n_mixes", args.n_mixes),
-            ("requests_per_core", args.requests_per_core),
-        )
-        if value is not None
+        for field, value in experiment.quick_overrides.items()
+        if field not in explicit
     }
-    scale = replace(ExperimentScale(), **overrides)
+    return replace(base, **trimmed)
+
+
+def _cmd_list(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner list",
+        description="List every registered experiment.",
+    )
+    parser.add_argument(
+        "--format", dest="format_name", default="text",
+        choices=("text", "json"),
+    )
+    args = parser.parse_args(argv)
+    experiments = all_experiments()
+    if args.format_name == "json":
+        print(json.dumps(
+            {
+                name: {
+                    "paper_ref": experiment.paper_ref,
+                    "description": experiment.description,
+                    "quick_overrides": {
+                        key: list(value) if isinstance(value, tuple) else value
+                        for key, value in experiment.quick_overrides.items()
+                    },
+                }
+                for name, experiment in experiments.items()
+            },
+            indent=2,
+        ))
+        return 0
+    rows = [
+        (
+            name,
+            experiment.paper_ref,
+            experiment.description,
+            ", ".join(sorted(experiment.quick_overrides)) or "-",
+        )
+        for name, experiment in experiments.items()
+    ]
+    print(display_table(
+        ("experiment", "paper", "description", "quick-grid fields"), rows
+    ))
+    return 0
+
+
+def _cmd_run(argv) -> int:
+    args = _parse_run_args(argv)
+    experiments = all_experiments()
+    names = args.names or list(experiments)
+    unknown = [name for name in names if name not in experiments]
+    if unknown:
+        print(
+            f"unknown experiment {unknown[0]!r}; known: {list(experiments)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    overrides = {
+        field: getattr(args, field)
+        for field in _SCALE_FLAGS
+        if getattr(args, field) is not None
+    }
+    try:
+        base_scale = replace(ExperimentScale(), **overrides)
+    except (KeyError, ValueError) as error:
+        # ExperimentScale validates module labels and minimum sizes.
+        print(f"invalid scale: {error}", file=sys.stderr)
+        return 1
     explicit = frozenset(overrides)
+
+    renderer = get_renderer(args.format_name)
+    try:
+        # Fail on a missing backend before any experiment executes.
+        renderer.check_available()
+    except RendererUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is None and args.format_name == "mpl":
+        out_dir = Path("figures")
+
+    json_documents = []
+    failed = []
+    json_stdout = args.format_name == "json" and out_dir is None
+
+    def flush_json() -> None:
+        # In json-to-stdout mode, stdout is always one parseable
+        # document.  The shape follows the *request*: a bare object
+        # when a single experiment succeeded, an array otherwise --
+        # including the empty array when failures left no results.
+        if not json_stdout:
+            return
+        document = (
+            json_documents[0]
+            if len(names) == 1 and json_documents
+            else json_documents
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+
     with build_context(args) as orch:
         for name in names:
-            if name not in EXPERIMENTS:
-                print(
-                    f"unknown experiment {name!r}; "
-                    f"known: {sorted(EXPERIMENTS)}"
-                )
-                return 1
-            print("=" * 72)
-            result = EXPERIMENTS[name](scale, orch, explicit)
-            print(result.render())
-            print()
+            experiment = experiments[name]
+            scale = _scale_for(experiment, base_scale, explicit, args.full)
+            try:
+                result_set = experiment.run_result_set(scale, orch)
+            except ExperimentError as error:
+                # A selection invalid for one experiment should not
+                # abort the rest of a multi-experiment run.
+                print(f"error: {name}: {error}", file=sys.stderr)
+                failed.append(name)
+                continue
+            if out_dir is not None:
+                try:
+                    paths = renderer.write(result_set, out_dir)
+                except RendererUnavailable as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                for path in paths:
+                    print(f"wrote {path}")
+                if not paths:
+                    print(
+                        f"{name}: nothing to write for format "
+                        f"{args.format_name!r}"
+                    )
+            elif args.format_name == "text":
+                print("=" * 72)
+                print(result_set.render_text())
+                print()
+            elif args.format_name == "json":
+                json_documents.append(result_set.to_json_dict())
+            else:
+                print(renderer.render(result_set))
+        flush_json()
+        if failed:
+            print(
+                f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
+                file=sys.stderr,
+            )
         if orch.stats.submitted:
             where = (
                 f"cache at {orch.cache.directory}"
@@ -225,7 +331,33 @@ def main(argv=None) -> int:
                 f"({orch.jobs} job{'s' if orch.jobs != 1 else ''}, {where})",
                 file=sys.stderr,
             )
-    return 0
+    return 1 if failed else 0
+
+
+_TOP_LEVEL_HELP = """\
+usage: python -m repro.experiments.runner {list,run} ...
+
+subcommands:
+  list    enumerate every registered experiment (--format text|json)
+  run     run experiments and render their artifacts (the default:
+          bare experiment names imply `run`)
+
+`python -m repro.experiments.runner run --help` shows the run flags.
+See EXPERIMENTS.md for the Experiment API and output formats.
+"""
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(_TOP_LEVEL_HELP, end="")
+        return 0
+    if argv and argv[0] == "list":
+        return _cmd_list(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    # Bare experiment names (the pre-registry CLI) imply `run`.
+    return _cmd_run(argv)
 
 
 if __name__ == "__main__":

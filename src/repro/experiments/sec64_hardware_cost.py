@@ -11,7 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.area_model import SvardAreaModel
-from repro.experiments.common import format_table
+from repro.experiments.api import (
+    Experiment,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+
+TITLE = "Section 6.4: Svärd hardware cost"
 
 
 @dataclass
@@ -19,26 +28,87 @@ class Sec64Result:
     model: SvardAreaModel
 
     def render(self) -> str:
-        m = self.model
-        rows = [
-            ["table area / bank", f"{m.table_area_per_bank_mm2():.3f} mm^2", "0.056 mm^2"],
-            ["table area total", f"{m.total_table_area_mm2():.2f} mm^2", "7.17 mm^2"],
-            ["CPU area overhead", f"{m.cpu_area_overhead_fraction() * 100:.2f}%", "0.86%"],
-            [
-                "lookup hidden under ACT",
-                str(m.lookup_hidden_under_activation()),
-                "True",
-            ],
-            [
-                "in-DRAM array growth",
-                f"{m.in_dram_overhead_fraction() * 100:.4f}%",
-                "0.006%",
-            ],
-        ]
-        return "Section 6.4: Svärd hardware cost\n\n" + format_table(
-            ["quantity", "model", "paper"], rows
-        )
+        return result_set(self).render_text()
+
+
+def result_set(result: Sec64Result) -> ResultSet:
+    m = result.model
+    display_rows = [
+        ["table area / bank", f"{m.table_area_per_bank_mm2():.3f} mm^2", "0.056 mm^2"],
+        ["table area total", f"{m.total_table_area_mm2():.2f} mm^2", "7.17 mm^2"],
+        ["CPU area overhead", f"{m.cpu_area_overhead_fraction() * 100:.2f}%", "0.86%"],
+        [
+            "lookup hidden under ACT",
+            str(m.lookup_hidden_under_activation()),
+            "True",
+        ],
+        [
+            "in-DRAM array growth",
+            f"{m.in_dram_overhead_fraction() * 100:.4f}%",
+            "0.006%",
+        ],
+    ]
+    return ResultSet(
+        experiment="sec64",
+        title=TITLE,
+        scalars={
+            "table_area_per_bank_mm2": m.table_area_per_bank_mm2(),
+            "total_table_area_mm2": m.total_table_area_mm2(),
+            "cpu_area_overhead_fraction": m.cpu_area_overhead_fraction(),
+            "lookup_hidden_under_activation": m.lookup_hidden_under_activation(),
+            "in_dram_overhead_fraction": m.in_dram_overhead_fraction(),
+        },
+        tables=(
+            ResultTable(
+                name="costs",
+                headers=("quantity", "model", "paper"),
+                rows=[
+                    (
+                        "table_area_per_bank_mm2",
+                        m.table_area_per_bank_mm2(),
+                        0.056,
+                    ),
+                    ("total_table_area_mm2", m.total_table_area_mm2(), 7.17),
+                    (
+                        "cpu_area_overhead_pct",
+                        m.cpu_area_overhead_fraction() * 100,
+                        0.86,
+                    ),
+                    (
+                        "lookup_hidden_under_activation",
+                        m.lookup_hidden_under_activation(),
+                        True,
+                    ),
+                    (
+                        "in_dram_overhead_pct",
+                        m.in_dram_overhead_fraction() * 100,
+                        0.006,
+                    ),
+                ],
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=("quantity", "model", "paper"),
+                rows=display_rows,
+            ),
+        ),
+    )
 
 
 def run(model: SvardAreaModel = SvardAreaModel()) -> Sec64Result:
     return Sec64Result(model=model)
+
+
+@register
+class Sec64Experiment(Experiment):
+    name = "sec64"
+    description = "Svärd metadata hardware cost estimates"
+    paper_ref = "Section 6.4"
+
+    def reduce(self, scale, outputs):
+        return run()
+
+    def result_set(self, result):
+        return result_set(result)

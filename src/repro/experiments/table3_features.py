@@ -14,11 +14,26 @@ from typing import Dict, List
 import numpy as np
 
 from repro.analysis.correlation import FeatureCorrelation, strong_features
-from repro.experiments.common import ExperimentScale, format_table
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
+)
 from repro.experiments.fig9_spatial_features import run as run_fig9
 
 #: Paper's Table 3: per-module average F1 of strong features.
 PAPER_TABLE3_F1 = {"S0": 0.77, "S1": 0.71, "S3": 0.75, "S4": 0.76}
+
+TITLE = "Table 3: spatial features with F1 > 0.7"
 
 
 @dataclass
@@ -32,24 +47,66 @@ class Table3Result:
         return float(np.mean([c.f1 for c in features]))
 
     def render(self) -> str:
-        rows = []
-        for label in sorted(self.strong):
-            features = self.strong[label]
-            if not features:
-                continue
-            names = ", ".join(c.feature.short_name for c in features)
-            expected = PAPER_TABLE3_F1.get(label)
-            rows.append(
-                [
-                    label,
-                    names,
-                    f"{self.average_f1(label):.2f}",
-                    f"{expected:.2f}" if expected else "-",
-                ]
+        return result_set(self).render_text()
+
+
+def result_set(result: Table3Result) -> ResultSet:
+    display_rows = []
+    summary_rows = []
+    feature_rows = []
+    for label in sorted(result.strong):
+        features = result.strong[label]
+        if not features:
+            continue
+        names = ", ".join(c.feature.short_name for c in features)
+        expected = PAPER_TABLE3_F1.get(label)
+        average = result.average_f1(label)
+        display_rows.append(
+            (
+                label,
+                names,
+                f"{average:.2f}",
+                f"{expected:.2f}" if expected is not None else "-",
             )
-        return "Table 3: spatial features with F1 > 0.7\n\n" + format_table(
-            ["module", "features", "avg F1", "paper avg F1"], rows
         )
+        summary_rows.append((label, average, expected))
+        feature_rows.extend(
+            (label, c.feature.short_name, float(c.f1)) for c in features
+        )
+    return ResultSet(
+        experiment="table3",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="strong_features",
+                headers=("module", "feature", "f1"),
+                rows=feature_rows,
+            ),
+            ResultTable(
+                name="average_f1",
+                headers=("module", "average_f1", "paper_average_f1"),
+                rows=summary_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=("module", "features", "avg F1", "paper avg F1"),
+                rows=display_rows,
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="average_f1",
+                kind="bar",
+                table="average_f1",
+                x="module",
+                y=("average_f1", "paper_average_f1"),
+                title=TITLE,
+                ylabel="average F1 of strong features",
+            ),
+        ),
+    )
 
 
 def run(scale: ExperimentScale = ExperimentScale()) -> Table3Result:
@@ -59,3 +116,20 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Table3Result:
         for label, correlations in fig9.correlations.items()
     }
     return Table3Result(strong=strong)
+
+
+@register
+class Table3Experiment(Experiment):
+    name = "table3"
+    description = "spatial features with F1 > 0.7"
+    paper_ref = "Table 3"
+
+    def build_tasks(self, scale, orch):
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        absorb_characterizations(scale.modules, scale, outputs)
+        return run(scale)
+
+    def result_set(self, result):
+        return result_set(result)

@@ -9,17 +9,28 @@ paper's published values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-import numpy as np
 
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    register,
+)
 from repro.experiments.common import (
     ExperimentScale,
+    absorb_characterizations,
+    characterization_groups,
     characterize_modules,
-    format_table,
 )
-from repro.faults.modules import MODULES, module_by_label
+from repro.faults.modules import module_by_label
 from repro.orchestration import OrchestrationContext
+
+TITLE = "Table 5: tested modules, measured vs paper HC_first"
 
 
 @dataclass
@@ -44,46 +55,88 @@ class Table5Result:
     rows: Dict[str, Table5Row]
 
     def render(self) -> str:
-        table_rows = []
-        for label in sorted(self.rows):
-            row = self.rows[label]
-            table_rows.append(
-                [
-                    row.label,
-                    row.vendor,
-                    f"{row.density_gb}Gb-{row.die_revision}",
-                    row.organization,
-                    f"{row.measured_min // 1024}K",
-                    f"{row.measured_avg / 1024:.1f}K",
-                    f"{row.measured_max // 1024}K",
-                    f"{row.paper_min // 1024}K",
-                    f"{row.paper_avg / 1024:.1f}K",
-                    f"{row.paper_max // 1024}K",
-                ]
+        return result_set(self).render_text()
+
+
+def result_set(result: Table5Result) -> ResultSet:
+    display_rows = []
+    data_rows = []
+    for label in sorted(result.rows):
+        row = result.rows[label]
+        display_rows.append(
+            (
+                row.label,
+                row.vendor,
+                f"{row.density_gb}Gb-{row.die_revision}",
+                row.organization,
+                f"{row.measured_min // 1024}K",
+                f"{row.measured_avg / 1024:.1f}K",
+                f"{row.measured_max // 1024}K",
+                f"{row.paper_min // 1024}K",
+                f"{row.paper_avg / 1024:.1f}K",
+                f"{row.paper_max // 1024}K",
             )
-        return (
-            "Table 5: tested modules, measured vs paper HC_first\n\n"
-            + format_table(
-                [
+        )
+        data_rows.append(
+            (
+                row.label,
+                row.vendor,
+                row.freq_mts,
+                row.density_gb,
+                row.die_revision,
+                row.organization,
+                row.rows_per_bank,
+                row.measured_min,
+                row.measured_avg,
+                row.measured_max,
+                row.paper_min,
+                row.paper_avg,
+                row.paper_max,
+            )
+        )
+    return ResultSet(
+        experiment="table5",
+        title=TITLE,
+        tables=(
+            ResultTable(
+                name="modules",
+                headers=(
+                    "module", "vendor", "freq_mts", "density_gb",
+                    "die_revision", "organization", "rows_per_bank",
+                    "measured_min", "measured_avg", "measured_max",
+                    "paper_min", "paper_avg", "paper_max",
+                ),
+                rows=data_rows,
+            ),
+        ),
+        layout=(
+            TextBlock(TITLE + "\n\n"),
+            TableBlock(
+                headers=(
                     "module", "vendor", "die", "org",
                     "min", "avg", "max",
                     "min(p)", "avg(p)", "max(p)",
-                ],
-                table_rows,
-            )
-        )
-
-
-def run(
-    scale: ExperimentScale = ExperimentScale(),
-    *,
-    orchestration: Optional[OrchestrationContext] = None,
-) -> Table5Result:
-    # One task per (module, bank): the whole registry characterizes in
-    # parallel instead of module-by-module.
-    characterizations = characterize_modules(
-        scale.modules, scale, orchestration=orchestration
+                ),
+                rows=display_rows,
+            ),
+        ),
+        plots=(
+            PlotSpec(
+                name="hc_first",
+                kind="bar",
+                table="modules",
+                x="module",
+                y=("measured_avg", "paper_avg"),
+                title=TITLE,
+                ylabel="average HC_first",
+            ),
+        ),
     )
+
+
+def _assemble(
+    scale: ExperimentScale, characterizations
+) -> Table5Result:
     rows: Dict[str, Table5Row] = {}
     for label in scale.modules:
         spec = module_by_label(label)
@@ -105,3 +158,35 @@ def run(
             paper_max=spec.hc_max,
         )
     return Table5Result(rows=rows)
+
+
+@register
+class Table5Experiment(Experiment):
+    name = "table5"
+    description = "tested-module registry, measured vs paper HC_first"
+    paper_ref = "Table 5"
+
+    def build_tasks(self, scale, orch):
+        # One task per (module, bank): the whole registry characterizes
+        # in parallel instead of module-by-module.
+        return characterization_groups(scale.modules, scale)
+
+    def reduce(self, scale, outputs):
+        characterizations = absorb_characterizations(
+            scale.modules, scale, outputs
+        )
+        return _assemble(scale, characterizations)
+
+    def result_set(self, result):
+        return result_set(result)
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    orchestration: Optional[OrchestrationContext] = None,
+) -> Table5Result:
+    characterizations = characterize_modules(
+        scale.modules, scale, orchestration=orchestration
+    )
+    return _assemble(scale, characterizations)

@@ -22,7 +22,7 @@ from repro.orchestration.hashing import (
     derive_task_seed,
     stable_hash,
 )
-from repro.orchestration.task import Task, make_task, run_task
+from repro.orchestration.task import Task, TaskGroup, make_task, run_task
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -32,6 +32,7 @@ __all__ = [
     "OrchestrationStats",
     "ResultCache",
     "Task",
+    "TaskGroup",
     "canonicalize",
     "code_version",
     "default_cache_dir",

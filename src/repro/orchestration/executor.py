@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
-from repro.orchestration.task import Task, run_task
+from repro.orchestration.task import Task, TaskGroup, run_task
 
 #: ``progress(done, total, key)`` called after every finished task.
 ProgressCallback = Callable[[int, int, TaskKey], None]
@@ -82,7 +82,21 @@ class OrchestrationContext:
         outside ``task.key`` that influences results (by convention the
         full ``ExperimentScale`` and ``SystemConfig``).
         """
-        tasks = list(tasks)
+        return self.run_groups([TaskGroup(tasks=tuple(tasks),
+                                          fingerprint=fingerprint)])
+
+    def run_groups(
+        self, groups: Sequence[TaskGroup]
+    ) -> Dict[TaskKey, Any]:
+        """Execute several fingerprint-scoped groups as ONE submission.
+
+        Cache entries are keyed per group (``task.key`` under that
+        group's ``fingerprint``), but all cache misses fan out over the
+        pool together -- groups are a cache-scoping construct, not an
+        execution barrier.  Task keys must be unique across the whole
+        submission.
+        """
+        tasks = [task for group in groups for task in group.tasks]
         keys = [task.key for task in tasks]
         if len(set(keys)) != len(keys):
             raise ValueError("duplicate task keys in one submission")
@@ -93,19 +107,22 @@ class OrchestrationContext:
         results: Dict[TaskKey, Any] = {}
         pending: List[Tuple[Task, Optional[str]]] = []
 
-        for task in tasks:
-            if self.cache is not None:
-                entry_key = self.cache.entry_key(task.key, fingerprint)
-                hit, value = self.cache.load(entry_key)
-                if hit:
-                    results[task.key] = value
-                    self.stats.hits += 1
-                    done += 1
-                    self._report(done, total, task.key)
-                    continue
-                pending.append((task, entry_key))
-            else:
-                pending.append((task, None))
+        for group in groups:
+            for task in group.tasks:
+                if self.cache is not None:
+                    entry_key = self.cache.entry_key(
+                        task.key, group.fingerprint
+                    )
+                    hit, value = self.cache.load(entry_key)
+                    if hit:
+                        results[task.key] = value
+                        self.stats.hits += 1
+                        done += 1
+                        self._report(done, total, task.key)
+                        continue
+                    pending.append((task, entry_key))
+                else:
+                    pending.append((task, None))
 
         entry_keys = {task.key: entry_key for task, entry_key in pending}
         for key, value in self._execute([task for task, _ in pending]):

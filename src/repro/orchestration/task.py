@@ -48,6 +48,26 @@ class Task:
         return self.fn(self)
 
 
+@dataclass(frozen=True)
+class TaskGroup:
+    """Tasks sharing one cache fingerprint, submitted together.
+
+    Experiments decompose into one or more groups; tasks within a
+    group fan out in a single submission, and the group's
+    ``fingerprint`` scopes the on-disk cache (by convention it captures
+    every scale/config input outside the task keys).  Grouping by
+    fingerprint keeps cache entries shareable between experiments that
+    submit the same underlying work -- e.g. the per-(module, bank)
+    characterizations -- while still invalidating on any scale change.
+    """
+
+    tasks: Tuple[Task, ...]
+    fingerprint: Any = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+
+
 def make_task(
     key: TaskKey, fn: Callable[[Task], Any], params: Any = None, *,
     base_seed: int = 0,

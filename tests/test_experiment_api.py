@@ -1,0 +1,583 @@
+"""The Experiment API: registry, ResultSet artifacts, renderers, CLI.
+
+Covers the acceptance criteria of the API redesign:
+
+* every harness module registers exactly one experiment and the
+  runner's ``list`` subcommand enumerates them;
+* ``--format text`` output is byte-identical to the pre-redesign
+  ``render()`` tables (parity snapshots in ``tests/golden/text/``,
+  captured at the pre-redesign commit; regenerate intentionally with
+  ``pytest tests/test_experiment_api.py --update-golden``);
+* ResultSet artifacts round-trip through their JSON form exactly;
+* fig8/fig10 run through orchestrated tasks, and a warm-cache replay
+  executes zero simulations;
+* ``--paper-rows`` wires ``ModuleSpec.rows_per_bank`` into the
+  characterization geometry (validated on a tiny synthetic module).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ablation_bins,
+    fig3_ber_distribution,
+    fig4_ber_location,
+    fig5_hcfirst_distribution,
+    fig6_hcfirst_location,
+    fig7_rowpress,
+    fig8_subarray_silhouette,
+    fig9_spatial_features,
+    fig10_aging,
+    fig12_performance,
+    fig13_adversarial,
+    sec64_hardware_cost,
+    table3_features,
+    table5_modules,
+)
+from repro.experiments import api, render, runner
+from repro.experiments.api import (
+    Experiment,
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    TableBlock,
+    TextBlock,
+    all_experiments,
+)
+from repro.experiments.common import (
+    _CHARACTERIZATION_CACHE,
+    ExperimentScale,
+    characterize_modules,
+    scaled_profile,
+)
+from repro.faults.modules import MODULES, Manufacturer, ModuleSpec
+from repro.orchestration import OrchestrationContext, ResultCache
+
+TEXT_GOLDEN_DIR = Path(__file__).parent / "golden" / "text"
+
+MPL_AVAILABLE = importlib.util.find_spec("matplotlib") is not None
+
+# ----------------------------------------------------------------------
+# Parity scales: small enough for the test suite, matching
+# tests/golden/text/*.txt (captured at the pre-redesign commit).
+# ----------------------------------------------------------------------
+
+ONE_MODULE = ExperimentScale(
+    rows_per_bank=1024, banks=(1, 4), modules=("H1", "M1", "S0"), seed=1
+)
+FEATURE_SCALE = ExperimentScale(rows_per_bank=2048, banks=(1, 4), seed=1)
+FIG8_SCALE = ExperimentScale(
+    rows_per_bank=512, banks=(0,), modules=("H1", "M1", "S0"), seed=2
+)
+FIG10_SCALE = ExperimentScale(rows_per_bank=2048, banks=(1,), seed=0)
+PERF_SCALE = ExperimentScale(
+    rows_per_bank=1024,
+    banks=(1, 4),
+    n_mixes=1,
+    requests_per_core=1200,
+    hc_first_values=(1024, 64),
+    svard_profiles=("S0",),
+    seed=3,
+)
+FIG13_SCALE = ExperimentScale(
+    rows_per_bank=1024, banks=(1,), svard_profiles=("S0",),
+    requests_per_core=6000, seed=3,
+)
+ABLATION_SCALE = ExperimentScale(
+    rows_per_bank=1024, banks=(1, 4), requests_per_core=1200, seed=3
+)
+
+#: name -> zero-argument callable returning the rich result at the
+#: parity scale.
+PARITY_RUNS = {
+    "fig3": lambda: fig3_ber_distribution.run(ONE_MODULE),
+    "fig4": lambda: fig4_ber_location.run(ONE_MODULE),
+    "fig5": lambda: fig5_hcfirst_distribution.run(ONE_MODULE),
+    "fig6": lambda: fig6_hcfirst_location.run(ONE_MODULE),
+    "fig7": lambda: fig7_rowpress.run(ONE_MODULE),
+    "fig8": lambda: fig8_subarray_silhouette.run(FIG8_SCALE),
+    "fig9": lambda: fig9_spatial_features.run(FEATURE_SCALE),
+    "fig10": lambda: fig10_aging.run(FIG10_SCALE),
+    "fig12": lambda: fig12_performance.run(
+        PERF_SCALE, defenses=("PARA", "RRS")
+    ),
+    "fig13": lambda: fig13_adversarial.run(FIG13_SCALE),
+    "table3": lambda: table3_features.run(FEATURE_SCALE),
+    "table5": lambda: table5_modules.run(ONE_MODULE),
+    "sec64": lambda: sec64_hardware_cost.run(),
+    "ablation-bins": lambda: ablation_bins.run(
+        ABLATION_SCALE, defense="PARA", hc_first=64, profile_label="S0",
+        bin_sweep=(1, 4, 16),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def parity_result_sets():
+    """Run every experiment once at its parity scale; cache per module."""
+    results = {}
+    for name, run in PARITY_RUNS.items():
+        result = run()
+        results[name] = (result, all_experiments()[name].result_set(result))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_every_harness_module_registers_exactly_one(self):
+        api.load_all()
+        by_module = {}
+        for experiment in all_experiments().values():
+            by_module.setdefault(type(experiment).__module__, []).append(
+                experiment.name
+            )
+        for module_name in api.harness_module_names():
+            assert len(by_module.get(module_name, [])) == 1, (
+                f"{module_name} must register exactly one experiment, "
+                f"got {by_module.get(module_name, [])}"
+            )
+
+    def test_all_fourteen_present(self):
+        assert sorted(all_experiments()) == sorted(PARITY_RUNS)
+
+    def test_metadata_complete(self):
+        for name, experiment in all_experiments().items():
+            assert experiment.name == name
+            assert experiment.description
+            assert experiment.paper_ref
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            api.get_experiment("fig99")
+
+    def test_register_rejects_duplicate_names(self):
+        class Duplicate(Experiment):
+            name = "fig3"
+
+            def reduce(self, scale, outputs):
+                return None
+
+            def result_set(self, result):
+                return ResultSet(experiment="fig3", title="")
+
+        with pytest.raises(ValueError, match="already registered"):
+            api.register(Duplicate)
+
+
+# ----------------------------------------------------------------------
+# Text parity and JSON round-trip
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(PARITY_RUNS))
+def test_text_parity_with_pre_redesign_render(
+    name, parity_result_sets, request
+):
+    """The text renderer reproduces the pre-redesign tables exactly."""
+    result, result_set = parity_result_sets[name]
+    rendered = render.get_renderer("text").render(result_set) + "\n"
+    path = TEXT_GOLDEN_DIR / f"{name}.txt"
+    if request.config.getoption("--update-golden"):
+        TEXT_GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        return
+    assert rendered == path.read_text(), f"{name} text output drifted"
+    # The rich result's render() is the same pipeline.
+    assert result.render() + "\n" == rendered
+
+
+@pytest.mark.parametrize("name", sorted(PARITY_RUNS))
+def test_resultset_json_roundtrip(name, parity_result_sets):
+    _, result_set = parity_result_sets[name]
+    dumped = json.dumps(result_set.to_json_dict(), sort_keys=True)
+    restored = ResultSet.from_json_dict(json.loads(dumped))
+    assert restored == result_set
+    # A second trip is a fixed point.
+    assert json.dumps(restored.to_json_dict(), sort_keys=True) == dumped
+
+
+class TestResultSetValidation:
+    def test_rejects_non_scalar_cells(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            ResultTable(name="t", headers=("a",), rows=((object(),),))
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ResultTable(name="t", headers=("a", "b"), rows=((1,),))
+
+    def test_rejects_ragged_display_rows(self):
+        with pytest.raises(ValueError, match="does not match"):
+            TableBlock(headers=("a", "b"), rows=(("x",),))
+
+    def test_rejects_duplicate_table_names(self):
+        table = ResultTable(name="t", headers=("a",), rows=((1,),))
+        with pytest.raises(ValueError, match="duplicate table"):
+            ResultSet(experiment="x", title="x", tables=(table, table))
+
+    def test_rejects_unknown_plot_kind(self):
+        with pytest.raises(ValueError, match="unknown plot kind"):
+            PlotSpec(name="p", kind="pie", table="t", x="a", y=("b",))
+
+    def test_table_lookup_and_column(self):
+        table = ResultTable(
+            name="t", headers=("a", "b"), rows=((1, 2), (3, 4))
+        )
+        result_set = ResultSet(experiment="x", title="x", tables=(table,))
+        assert result_set.table("t").column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            result_set.table("missing")
+
+
+# ----------------------------------------------------------------------
+# Orchestrated fig8/fig10: warm cache replays zero simulations
+# ----------------------------------------------------------------------
+
+
+class TestOrchestratedSequentialHarnesses:
+    def _contexts(self, tmp_path):
+        cold = OrchestrationContext(jobs=1, cache=ResultCache(tmp_path))
+        warm = OrchestrationContext(jobs=1, cache=ResultCache(tmp_path))
+        return cold, warm
+
+    def test_fig8_warm_cache_executes_nothing(self, tmp_path):
+        scale = ExperimentScale(rows_per_bank=512, banks=(0,), seed=2)
+        cold, warm = self._contexts(tmp_path)
+        first = fig8_subarray_silhouette.run(
+            scale, modules=("S0",), orchestration=cold
+        )
+        assert cold.stats.executed == 1 and cold.stats.hits == 0
+        second = fig8_subarray_silhouette.run(
+            scale, modules=("S0",), orchestration=warm
+        )
+        assert warm.stats.executed == 0
+        assert warm.stats.hits == warm.stats.submitted == 1
+        assert second.render() == first.render()
+        assert second.inferences["S0"].inferred_k == first.inferences["S0"].inferred_k
+
+    def test_fig8_modules_share_one_pool_submission(self, monkeypatch):
+        """Per-module groups batch into one _execute -> --jobs fans out."""
+        from repro.orchestration import serial_context
+
+        scale = ExperimentScale(rows_per_bank=512, banks=(0,), seed=2)
+        orch = serial_context()
+        submissions = []
+        original = orch._execute
+
+        def spy(tasks):
+            submissions.append(len(tasks))
+            return original(tasks)
+
+        monkeypatch.setattr(orch, "_execute", spy)
+        fig8_subarray_silhouette.run(
+            scale, modules=("S0", "S3"), orchestration=orch
+        )
+        assert submissions == [2]
+
+    def test_distinct_fingerprint_groups_batch_together(self, monkeypatch):
+        """Fig 7's three tAggOn sweeps execute as a single submission."""
+        from repro.experiments.fig7_rowpress import Fig7Experiment
+        from repro.orchestration import serial_context
+
+        scale = ExperimentScale(
+            rows_per_bank=256, banks=(1,), modules=("S0",), seed=11
+        )
+        orch = serial_context()
+        submissions = []
+        original = orch._execute
+
+        def spy(tasks):
+            submissions.append(len(tasks))
+            return original(tasks)
+
+        monkeypatch.setattr(orch, "_execute", spy)
+        Fig7Experiment().run(scale, orch)
+        # 3 tAggOn groups x 1 module x 1 bank, one batched submission.
+        assert submissions == [3]
+
+    def test_fig10_warm_cache_executes_nothing(self, tmp_path):
+        scale = ExperimentScale(rows_per_bank=1024, banks=(1,), seed=0)
+        cold, warm = self._contexts(tmp_path)
+        first = fig10_aging.run(scale, orchestration=cold)
+        assert cold.stats.executed == 1 and cold.stats.hits == 0
+        second = fig10_aging.run(scale, orchestration=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.hits == warm.stats.submitted == 1
+        assert second.render() == first.render()
+
+
+# ----------------------------------------------------------------------
+# --paper-rows: per-module real row counts
+# ----------------------------------------------------------------------
+
+
+def _tiny_spec(label: str) -> ModuleSpec:
+    return ModuleSpec(
+        label=label,
+        manufacturer=Manufacturer.SAMSUNG,
+        n_chips=8,
+        density_gb=8,
+        die_revision="B",
+        organization="x8",
+        freq_mts=3200,
+        mfr_date=None,
+        rows_per_bank=256,
+        hc_min=8192,
+        hc_avg=16384,
+        hc_max=32768,
+        ber_mean=5e-3,
+        ber_cv_pct=4.0,
+        n_ber_periods=2.0,
+        subarray_rows=64,
+    )
+
+
+class TestPaperRows:
+    def test_rows_for(self, monkeypatch):
+        monkeypatch.setitem(MODULES, "T9", _tiny_spec("T9"))
+        uniform = ExperimentScale(modules=("T9",), banks=(1,), seed=7)
+        paper = ExperimentScale(
+            modules=("T9",), banks=(1,), seed=7, paper_rows=True
+        )
+        assert uniform.rows_for("T9") == 2048
+        assert paper.rows_for("T9") == 256
+
+    def test_characterization_uses_module_rows(self, monkeypatch):
+        monkeypatch.setitem(MODULES, "T9", _tiny_spec("T9"))
+        scale = ExperimentScale(
+            modules=("T9",), banks=(1,), seed=7, paper_rows=True
+        )
+        try:
+            chars = characterize_modules(["T9"], scale)
+            assert chars["T9"].banks[1].rows == 256
+            profile = scaled_profile("T9", 64, scale)
+            assert profile.rows_per_bank == 256
+        finally:
+            for key in [k for k in _CHARACTERIZATION_CACHE if k[0] == "T9"]:
+                del _CHARACTERIZATION_CACHE[key]
+
+    def test_runner_flag_parses(self):
+        args = runner._parse_run_args(["fig5", "--paper-rows"])
+        assert args.paper_rows is True
+        args = runner._parse_run_args(["fig5"])
+        assert args.paper_rows is None
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+
+
+class TestRenderers:
+    def test_registry(self):
+        assert set(render.renderer_names()) >= {"text", "json", "mpl"}
+        with pytest.raises(KeyError, match="unknown format"):
+            render.get_renderer("yaml")
+
+    def test_text_write(self, tmp_path, parity_result_sets):
+        _, result_set = parity_result_sets["sec64"]
+        (path,) = render.get_renderer("text").write(result_set, tmp_path)
+        assert path.name == "sec64.txt"
+        assert path.read_text() == result_set.render_text() + "\n"
+
+    def test_json_write_roundtrips(self, tmp_path, parity_result_sets):
+        _, result_set = parity_result_sets["fig5"]
+        (path,) = render.get_renderer("json").write(result_set, tmp_path)
+        restored = ResultSet.from_json_dict(json.loads(path.read_text()))
+        assert restored == result_set
+
+    def test_mpl_render_is_file_based(self, parity_result_sets):
+        _, result_set = parity_result_sets["fig5"]
+        with pytest.raises(render.RendererUnavailable, match="image files"):
+            render.get_renderer("mpl").render(result_set)
+
+    @pytest.mark.skipif(MPL_AVAILABLE, reason="matplotlib installed")
+    def test_mpl_unavailable_raises_actionable_error(
+        self, tmp_path, parity_result_sets
+    ):
+        _, result_set = parity_result_sets["fig5"]
+        with pytest.raises(render.RendererUnavailable, match="matplotlib"):
+            render.get_renderer("mpl").write(result_set, tmp_path)
+
+    @pytest.mark.skipif(not MPL_AVAILABLE, reason="matplotlib missing")
+    def test_mpl_writes_figures(self, tmp_path, parity_result_sets):
+        for name in ("fig5", "fig12", "fig13", "fig10"):
+            _, result_set = parity_result_sets[name]
+            paths = render.get_renderer("mpl").write(result_set, tmp_path)
+            assert paths, f"{name} produced no figures"
+            for path in paths:
+                assert path.exists() and path.stat().st_size > 0
+
+    def test_custom_renderer_plugs_in(self):
+        class NullRenderer(render.Renderer):
+            format_name = "null"
+            suffix = ".null"
+
+            def render(self, result_set):
+                return result_set.experiment
+
+        try:
+            render.register_renderer(NullRenderer())
+            assert render.get_renderer("null").render(
+                ResultSet(experiment="x", title="x")
+            ) == "x"
+        finally:
+            del render._RENDERERS["null"]
+
+    def test_every_plot_spec_references_real_columns(self, parity_result_sets):
+        for name, (_, result_set) in parity_result_sets.items():
+            for spec in result_set.plots:
+                table = result_set.table(spec.table)
+                assert spec.x in table.headers, (name, spec.name)
+                for y in spec.y:
+                    assert y in table.headers, (name, spec.name)
+                if spec.series is not None:
+                    assert spec.series in table.headers, (name, spec.name)
+
+
+# ----------------------------------------------------------------------
+# Runner CLI
+# ----------------------------------------------------------------------
+
+
+class TestRunnerCli:
+    def test_list_enumerates_all(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in PARITY_RUNS:
+            assert name in out
+
+    def test_list_json(self, capsys):
+        assert runner.main(["list", "--format", "json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert sorted(listing) == sorted(PARITY_RUNS)
+        assert listing["fig12"]["quick_overrides"]["n_mixes"] == 1
+
+    def test_run_text_stdout(self, capsys):
+        assert runner.main(["run", "sec64"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 6.4: Svärd hardware cost" in out
+        assert "=" * 72 in out
+
+    def test_legacy_invocation_without_run_verb(self, capsys):
+        assert runner.main(["sec64"]) == 0
+        assert "Svärd hardware cost" in capsys.readouterr().out
+
+    def test_run_json_out(self, tmp_path, capsys):
+        assert runner.main(
+            ["run", "sec64", "--format", "json", "--out", str(tmp_path)]
+        ) == 0
+        restored = ResultSet.from_json_dict(
+            json.loads((tmp_path / "sec64.json").read_text())
+        )
+        assert restored.experiment == "sec64"
+        assert restored.meta["paper_ref"] == "Section 6.4"
+        assert restored.meta["scale"]["rows_per_bank"] == 2048
+
+    def test_fig8_with_no_samsung_modules_fails_cleanly(self, capsys):
+        code = runner.main(
+            ["run", "fig8", "--modules", "H1", "--rows-per-bank", "512"]
+        )
+        assert code == 1
+        assert "Samsung" in capsys.readouterr().err
+
+    def test_failed_single_json_run_still_emits_a_document(self, capsys):
+        code = runner.main(
+            ["run", "fig8", "--modules", "H1", "--rows-per-bank", "512",
+             "--format", "json"]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_multi_run_continues_past_failed_experiment(self, capsys):
+        code = runner.main(
+            ["run", "fig8", "sec64", "--modules", "H1",
+             "--rows-per-bank", "512", "--format", "json"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "Samsung" in captured.err
+        assert "1 experiment(s) failed: fig8" in captured.err
+        # The array shape follows the request (2 experiments), and
+        # sec64 still ran and reached stdout despite fig8's failure.
+        (document,) = json.loads(captured.out)
+        assert document["experiment"] == "sec64"
+
+    def test_top_level_help_mentions_both_subcommands(self, capsys):
+        assert runner.main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "list" in out and "run" in out
+
+    def test_run_json_stdout_single_is_object(self, capsys):
+        assert runner.main(["run", "sec64", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["experiment"] == "sec64"
+
+    def test_run_json_stdout_multiple_is_parseable_array(self, capsys):
+        assert runner.main(
+            ["run", "sec64", "sec64", "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [d["experiment"] for d in document] == ["sec64", "sec64"]
+
+    def test_unknown_experiment(self, capsys):
+        assert runner.main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.skipif(MPL_AVAILABLE, reason="matplotlib installed")
+    def test_mpl_without_matplotlib_fails_cleanly(self, tmp_path, capsys):
+        code = runner.main(
+            ["run", "sec64", "--format", "mpl", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "matplotlib" in capsys.readouterr().err
+
+    def test_quick_overrides_respect_explicit_flags(self):
+        experiment = all_experiments()["fig12"]
+        base = ExperimentScale(n_mixes=7)
+        quick = runner._scale_for(
+            experiment, base, frozenset({"n_mixes"}), full=False
+        )
+        assert quick.n_mixes == 7  # explicit flag wins
+        assert quick.svard_profiles == ("S0",)  # preset applies
+        assert quick.hc_first_values == (4096, 256, 64)
+        full = runner._scale_for(
+            experiment, base, frozenset({"n_mixes"}), full=True
+        )
+        assert full == base
+
+    def test_scale_flag_parsing(self):
+        args = runner._parse_run_args(
+            ["fig5", "--banks", "1,4", "--modules", "H1,S0",
+             "--rows-per-bank", "512"]
+        )
+        assert args.banks == (1, 4)
+        assert args.modules == ("H1", "S0")
+        assert args.rows_per_bank == 512
+
+    def test_malformed_banks_is_a_clean_parser_error(self, capsys):
+        with pytest.raises(SystemExit):
+            runner._parse_run_args(["fig5", "--banks", "a"])
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_duplicate_banks_and_modules_are_parser_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            runner._parse_run_args(["fig5", "--banks", "1,1"])
+        assert "duplicates" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            runner._parse_run_args(["fig5", "--modules", "S0,S0"])
+        assert "duplicates" in capsys.readouterr().err
+
+    def test_invalid_module_label_fails_cleanly(self, capsys):
+        assert runner.main(["run", "sec64", "--modules", "BOGUS"]) == 1
+        assert "invalid scale" in capsys.readouterr().err
+
+    def test_invalid_rows_per_bank_fails_cleanly(self, capsys):
+        assert runner.main(["run", "sec64", "--rows-per-bank", "8"]) == 1
+        assert "invalid scale" in capsys.readouterr().err

@@ -19,7 +19,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import fig12_performance, table3_features, table5_modules
+from repro.experiments import (
+    fig3_ber_distribution,
+    fig5_hcfirst_distribution,
+    fig12_performance,
+    table3_features,
+    table5_modules,
+)
 from repro.experiments.common import ExperimentScale
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -122,6 +128,29 @@ def test_table3_feature_ranks(golden):
         for label, features in sorted(result.strong.items())
         if features
     })
+
+
+def test_fig3_resultset(golden):
+    """Characterization-side snapshot via the ResultSet JSON artifact.
+
+    Pins the full structured output (typed tables, scalars, and the
+    rendered layout) of the Fig 3 harness, not just headline numbers:
+    any drift in the fault model or the BER statistics shows up as a
+    concrete JSON diff.
+    """
+    result = fig3_ber_distribution.run(MODULE_SCALE)
+    golden(
+        "fig3_resultset", fig3_ber_distribution.result_set(result).to_json_dict()
+    )
+
+
+def test_fig5_resultset(golden):
+    """Ditto for the HC_first distribution (Fig 5)."""
+    result = fig5_hcfirst_distribution.run(MODULE_SCALE)
+    golden(
+        "fig5_resultset",
+        fig5_hcfirst_distribution.result_set(result).to_json_dict(),
+    )
 
 
 def test_table5_rows(golden):
