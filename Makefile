@@ -1,19 +1,29 @@
 # Developer entry points.  Everything runs from a clean checkout with
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
-#   make test         tier-1 test suite (what CI gates on)
-#   make smoke        runner `list` + every experiment at tiny scale (JSON)
-#   make figures      render all matplotlib paper figures into figures/
-#   make bench-smoke  tier-1 tests + a 2-job orchestrated Fig 12 smoke
-#   make bench        full pytest-benchmark suite (cold caches)
-#   make golden       regenerate tests/golden/*.json snapshots
-#   make clean-cache  drop the on-disk orchestration result cache
+#   make test           tier-1 test suite (what CI gates on)
+#   make smoke          runner `list` + every experiment at tiny scale (JSON)
+#   make recipes-smoke  every checked-in recipe at tiny scale on the queue
+#                       backend (1 worker), byte-diffed against serial
+#   make figures        render all matplotlib paper figures into figures/
+#   make bench-smoke    tier-1 tests + a 2-job orchestrated Fig 12 smoke
+#   make bench          full pytest-benchmark suite (cold caches)
+#   make bench-backends serial vs process vs 2-worker queue timings
+#                       -> BENCH_backends.json
+#   make golden         regenerate tests/golden/*.json snapshots
+#   make clean-cache    drop the on-disk orchestration result cache
+#
+# Distributed sweeps: `make worker` attaches one worker process to the
+# default queue (`.repro_cache/queue`); start as many as you have
+# cores/hosts, then submit with
+# `python -m repro.experiments.runner recipe run <name> --backend queue`.
 
 PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test smoke figures bench-smoke bench golden clean-cache
+.PHONY: test smoke recipes-smoke figures bench-smoke bench bench-backends \
+        golden worker clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,8 +48,17 @@ bench-smoke: test
 	$(PYTHON) -m repro.experiments.runner run fig12 \
 		--jobs $(JOBS) --cache-dir .repro_cache/bench-smoke --progress
 
+recipes-smoke:
+	$(PYTHON) scripts/recipes_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-backends:
+	$(PYTHON) scripts/bench_backends.py
+
+worker:
+	$(PYTHON) -m repro.experiments.runner worker --poll-interval 0.2
 
 golden:
 	$(PYTHON) -m pytest tests/test_golden.py tests/test_experiment_api.py \

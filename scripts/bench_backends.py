@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""`make bench-backends`: time the execution backends against each other.
+
+Runs a smoke-scale Fig 12 sweep (31 orchestrated tasks) through each
+backend twice -- cold cache, then warm cache -- and writes
+``BENCH_backends.json`` at the repository root:
+
+* ``serial``     -- in-process reference.
+* ``process_j2`` -- local pool, 2 workers.
+* ``queue_w2``   -- file-based job queue drained by 2 external
+  ``runner worker`` processes (the submitter only waits), i.e. the
+  full lease/publish/collect round-trip per task.
+
+All three must produce bit-identical metrics (asserted); the JSON
+captures wall-clock plus per-backend bookkeeping so the relative
+orchestration overhead is tracked over time.  On a single-core
+container the pool and queue backends show their coordination cost
+rather than a speedup; on real multi-core hosts the same numbers turn
+into the scaling win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import fig12_performance  # noqa: E402
+from repro.experiments.common import ExperimentScale  # noqa: E402
+from repro.orchestration import (  # noqa: E402
+    OrchestrationContext,
+    ProcessBackend,
+    QueueBackend,
+    ResultCache,
+    SerialBackend,
+    default_queue_dir,
+)
+
+#: Smoke-scale Fig 12 grid: 1 baseline + 5 defenses x 2 configs x
+#: 3 HC_first values x 1 mix = 31 tasks.
+SCALE = ExperimentScale(
+    rows_per_bank=512,
+    banks=(1,),
+    n_mixes=1,
+    requests_per_core=1500,
+    hc_first_values=(4096, 256, 64),
+    svard_profiles=("S0",),
+    seed=0,
+)
+
+QUEUE_WORKERS = 2
+
+
+def run_fig12(ctx: OrchestrationContext):
+    return fig12_performance.run(SCALE, orchestration=ctx)
+
+
+def timed(ctx: OrchestrationContext):
+    start = time.perf_counter()
+    result = run_fig12(ctx)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def spawn_workers(cache_dir: Path, count: int):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments.runner", "worker",
+                "--cache-dir", str(cache_dir),
+                "--poll-interval", "0.05",
+                "--quiet",
+            ],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        for _ in range(count)
+    ]
+
+
+def bench_backend(label: str, make_context, scratch: Path):
+    """``(timings dict, cold Fig12Result)`` for one backend config."""
+    cache_dir = scratch / f"cache-{label}"
+    cold_ctx = make_context(cache_dir)
+    cold_result, cold_s = timed(cold_ctx)
+    cold_ctx.close()
+    assert cold_ctx.stats.hits == 0, f"{label}: cold run saw cache hits"
+
+    warm_ctx = make_context(cache_dir)
+    warm_result, warm_s = timed(warm_ctx)
+    warm_ctx.close()
+    assert warm_ctx.stats.executed == 0, f"{label}: warm run executed tasks"
+    assert warm_result.metrics == cold_result.metrics
+
+    print(f"  {label:<12} cold {cold_s:7.2f}s   warm {warm_s:6.3f}s "
+          f"({cold_ctx.stats.submitted} tasks)")
+    return {
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "tasks": cold_ctx.stats.submitted,
+        "cold_executed": cold_ctx.stats.executed,
+        "warm_hits": warm_ctx.stats.hits,
+    }, cold_result
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="bench-backends-"))
+    results = {}
+    reference = {}
+
+    print(f"bench-backends: fig12 smoke grid, {QUEUE_WORKERS} queue workers")
+
+    results["serial"], reference["serial"] = bench_backend(
+        "serial",
+        lambda cache_dir: OrchestrationContext(
+            cache=ResultCache(cache_dir), backend=SerialBackend()
+        ),
+        scratch,
+    )
+
+    results["process_j2"], reference["process_j2"] = bench_backend(
+        "process_j2",
+        lambda cache_dir: OrchestrationContext(
+            jobs=2, cache=ResultCache(cache_dir), backend=ProcessBackend(2)
+        ),
+        scratch,
+    )
+
+    queue_cache = scratch / "cache-queue_w2"
+    workers = spawn_workers(queue_cache, QUEUE_WORKERS)
+    try:
+        results["queue_w2"], reference["queue_w2"] = bench_backend(
+            "queue_w2",
+            lambda cache_dir: OrchestrationContext(
+                cache=ResultCache(cache_dir),
+                backend=QueueBackend(
+                    default_queue_dir(cache_dir),
+                    participate=False,
+                    poll_interval=0.05,
+                ),
+            ),
+            scratch,
+        )
+    finally:
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.wait(timeout=30)
+
+    # The whole point of pluggable backends: identical results.
+    assert reference["serial"].metrics == reference["process_j2"].metrics
+    assert reference["serial"].metrics == reference["queue_w2"].metrics
+    print("  all backends bit-identical")
+
+    document = {
+        "bench": "backends",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "grid": "fig12 smoke (1 mix, 3 HC values, Svärd-S0, 512 rows)",
+        "queue_workers": QUEUE_WORKERS,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": results,
+    }
+    out_path = ROOT / "BENCH_backends.json"
+    out_path.write_text(json.dumps(document, indent=2, ensure_ascii=False) + "\n")
+    print(f"wrote {out_path}")
+    shutil.rmtree(scratch, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""`make recipes-smoke`: cross-check every recipe across backends.
+
+For every checked-in recipe, run its tiny ``--smoke`` grid twice
+through the real CLI:
+
+1. on the **serial** backend into a fresh cache (the reference), and
+2. on the **queue** backend with one external ``runner worker``
+   process doing all the execution (the submitter passes
+   ``--queue-wait``), into a second fresh cache;
+
+then byte-compare the two ResultSet JSON trees.  Any divergence --
+ordering, floats, metadata -- fails the target, which pins the
+acceptance property "N workers draining one queue produce ResultSet
+JSON byte-identical to a serial run".
+
+Everything happens in a temp directory; the working tree is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def tree(path: Path) -> dict:
+    return {
+        str(p.relative_to(path)): p.read_bytes()
+        for p in sorted(path.rglob("*"))
+        if p.is_file()
+    }
+
+
+def check_recipe(name: str, work: Path, env: dict) -> bool:
+    serial_out = work / "serial"
+    queue_out = work / "queue"
+    queue_cache = work / "cache-queue"
+
+    subprocess.run(
+        RUNNER + [
+            "recipe", "run", name, "--smoke",
+            "--cache-dir", str(work / "cache-serial"),
+            "--format", "json", "--out", str(serial_out),
+        ],
+        check=True, env=env, stdout=subprocess.DEVNULL,
+    )
+
+    worker = subprocess.Popen(
+        RUNNER + [
+            "worker",
+            "--cache-dir", str(queue_cache),
+            "--poll-interval", "0.05",
+            "--quiet",
+        ],
+        env=env, stdout=subprocess.DEVNULL,
+    )
+    try:
+        subprocess.run(
+            RUNNER + [
+                "recipe", "run", name, "--smoke",
+                "--backend", "queue", "--queue-wait",
+                "--cache-dir", str(queue_cache),
+                "--format", "json", "--out", str(queue_out),
+            ],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+            timeout=1800,
+        )
+    finally:
+        worker.terminate()
+        worker.wait(timeout=30)
+
+    serial_tree = tree(serial_out)
+    queue_tree = tree(queue_out)
+    ok = True
+    if set(serial_tree) != set(queue_tree):
+        print(f"  FILE SET MISMATCH: serial={sorted(serial_tree)} "
+              f"queue={sorted(queue_tree)}")
+        ok = False
+    for rel in sorted(set(serial_tree) & set(queue_tree)):
+        if serial_tree[rel] != queue_tree[rel]:
+            print(f"  BYTE MISMATCH in {rel}")
+            ok = False
+    return ok
+
+
+def main() -> int:
+    env = cli_env()
+    listing = subprocess.check_output(
+        RUNNER + ["recipe", "list", "--format", "json"], env=env, text=True
+    )
+    names = sorted(json.loads(listing))
+    print(f"recipes-smoke: {len(names)} recipe(s): {', '.join(names)}")
+
+    scratch = Path(tempfile.mkdtemp(prefix="recipes-smoke-"))
+    failures = []
+    try:
+        for name in names:
+            print(f"[{name}] serial vs queue(1 worker), smoke scale ...")
+            work = scratch / name
+            work.mkdir(parents=True)
+            if check_recipe(name, work, env):
+                print(f"[{name}] OK: ResultSet JSON byte-identical")
+            else:
+                failures.append(name)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if failures:
+        print(f"recipes-smoke FAILED for: {', '.join(failures)}")
+        return 1
+    print("recipes-smoke: all recipes byte-identical across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
 from repro.characterization.runner import (
     BankProfile,
     CharacterizationConfig,
@@ -63,6 +64,10 @@ class ExperimentScale:
     requests_per_core: int = 4000
     hc_first_values: Tuple[int, ...] = (4096, 2048, 1024, 512, 256, 128, 64)
     svard_profiles: Tuple[str, ...] = ("H1", "M0", "S0")
+    #: The RowPress aggressor-on-time sweep (Fig 7); the paper's three
+    #: points by default.  Recipes override this for denser sweeps
+    #: beyond Fig 7's 36 ns / 0.5 us / 2 us.
+    t_agg_on_sweep_ns: Tuple[float, ...] = T_AGG_ON_SWEEP_NS
     seed: int = 0
     #: Use each module's *real* row count (``ModuleSpec.rows_per_bank``)
     #: instead of the uniform ``rows_per_bank`` -- the paper-scale
@@ -76,6 +81,16 @@ class ExperimentScale:
             module_by_label(label)
         for label in self.svard_profiles:
             module_by_label(label)
+        # Task keys and cache fingerprints canonicalize floats exactly,
+        # so 36 and 36.0 would name different entries; normalize here.
+        sweep = tuple(float(t_on) for t_on in self.t_agg_on_sweep_ns)
+        if not sweep:
+            raise ValueError("t_agg_on_sweep_ns must not be empty")
+        if any(t_on <= 0 for t_on in sweep):
+            raise ValueError("t_agg_on_sweep_ns values must be positive")
+        if len(set(sweep)) != len(sweep):
+            raise ValueError(f"t_agg_on_sweep_ns contains duplicates: {sweep}")
+        object.__setattr__(self, "t_agg_on_sweep_ns", sweep)
 
     def rows_for(self, label: str) -> int:
         """Bank row count for one module under this scale."""

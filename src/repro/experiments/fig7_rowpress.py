@@ -4,6 +4,11 @@ Per manufacturer, the paper shows HC_first box distributions at
 tAggOn of 36 ns, 0.5 us, and 2 us: the boxes shift down roughly an
 order of magnitude (Obsv 10) while large row-to-row variation remains
 (Obsv 11).
+
+The sweep points come from ``ExperimentScale.t_agg_on_sweep_ns``
+(default: the paper's three points), so recipes -- e.g. the
+checked-in ``fig7-taggon-sweep`` -- can densify the sweep without
+touching this harness.
 """
 
 from __future__ import annotations
@@ -14,7 +19,6 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.characterization.metrics import BoxStats, box_stats, coefficient_of_variation_pct
-from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
 from repro.experiments.api import (
     Experiment,
     PlotSpec,
@@ -118,7 +122,7 @@ def run(scale: ExperimentScale = ExperimentScale()) -> Fig7Result:
         ]
         if not labels:
             continue
-        for t_on in T_AGG_ON_SWEEP_NS:
+        for t_on in scale.t_agg_on_sweep_ns:
             values = []
             for label in labels:
                 chars = characterize(label, scale, t_agg_on_ns=t_on)
@@ -138,14 +142,14 @@ class Fig7Experiment(Experiment):
     def build_tasks(self, scale, orch):
         return [
             group
-            for t_on in T_AGG_ON_SWEEP_NS
+            for t_on in scale.t_agg_on_sweep_ns
             for group in characterization_groups(
                 scale.modules, scale, t_agg_on_ns=t_on
             )
         ]
 
     def reduce(self, scale, outputs):
-        for t_on in T_AGG_ON_SWEEP_NS:
+        for t_on in scale.t_agg_on_sweep_ns:
             absorb_characterizations(
                 scale.modules, scale, outputs, t_agg_on_ns=t_on
             )

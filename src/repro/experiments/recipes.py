@@ -1,0 +1,302 @@
+"""Declarative sweep recipes: named, versioned experiment manifests.
+
+A :class:`Recipe` captures what used to be an ad-hoc pile of CLI flags
+-- *which* experiments to run, at *what* scale, over *which* seeds --
+as a registered, versioned manifest that is diffable, shareable, and
+runnable on any execution backend::
+
+    python -m repro.experiments.runner recipe list
+    python -m repro.experiments.runner recipe run fig12-paper-grid \\
+        --backend queue --queue-wait --out results/     # workers drain it
+    python -m repro.experiments.runner recipe run fig12-paper-grid --smoke
+
+Because every task a recipe submits flows through the sha256-keyed
+result cache, a recipe run is **resumable purely from cache state**:
+interrupt it anywhere, re-run the same command, and only missing
+tasks execute.  Combined with the queue backend this is the "run the
+paper grid on K workers overnight, re-render instantly from cache"
+one-liner the ROADMAP asks for.
+
+Manifest format (JSON, ``recipe show`` / ``from_manifest``)::
+
+    {
+      "format": 1,
+      "name": "fig12-paper-grid",
+      "version": 1,
+      "description": "...",
+      "experiments": ["fig12"],
+      "overrides": {"n_mixes": 120},
+      "seeds": [0],
+      "smoke_overrides": {"n_mixes": 1, ...}
+    }
+
+``overrides``/``smoke_overrides`` name :class:`ExperimentScale`
+fields; unknown fields or experiments fail at validation, not halfway
+through a sweep.  ``version`` is bumped whenever a recipe's manifest
+changes meaning, so result directories can be attributed to the exact
+grid that produced them (each ResultSet's ``meta.recipe`` echoes
+name, version, and seed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.experiments.api import all_experiments
+from repro.experiments.common import ExperimentScale
+
+#: Bumped when the manifest envelope changes shape.
+MANIFEST_FORMAT = 1
+
+_SCALE_FIELDS = frozenset(f.name for f in fields(ExperimentScale))
+
+
+class RecipeError(ValueError):
+    """A malformed recipe or manifest (user-facing, one-line)."""
+
+
+def _freeze(value: Any) -> Any:
+    """Lists (from JSON manifests) become tuples, recursively."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _check_overrides(overrides: Mapping[str, Any], where: str) -> Dict[str, Any]:
+    unknown = sorted(set(overrides) - _SCALE_FIELDS)
+    if unknown:
+        raise RecipeError(
+            f"{where}: unknown ExperimentScale field(s) {unknown}; "
+            f"known: {sorted(_SCALE_FIELDS)}"
+        )
+    return {name: _freeze(value) for name, value in overrides.items()}
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """One declarative sweep: experiments x scale overrides x seeds."""
+
+    name: str
+    version: int
+    description: str
+    experiments: Tuple[str, ...]
+    #: ``ExperimentScale`` field overrides defining the full-scale grid.
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: The seed matrix: the whole grid runs once per seed.
+    seeds: Tuple[int, ...] = (0,)
+    #: Extra overrides applied on top for ``--smoke`` runs (tiny scale,
+    #: used by ``make recipes-smoke`` to cross-check backends).
+    smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
+    paper_ref: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RecipeError("recipe must have a name")
+        if self.version < 1:
+            raise RecipeError(f"recipe {self.name}: version must be >= 1")
+        if not self.experiments:
+            raise RecipeError(f"recipe {self.name}: no experiments listed")
+        object.__setattr__(self, "experiments", tuple(self.experiments))
+        if not self.seeds:
+            raise RecipeError(f"recipe {self.name}: empty seed matrix")
+        seeds = tuple(int(seed) for seed in self.seeds)
+        if len(set(seeds)) != len(seeds):
+            raise RecipeError(f"recipe {self.name}: duplicate seeds {seeds}")
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(
+            self,
+            "overrides",
+            _check_overrides(self.overrides, f"recipe {self.name}"),
+        )
+        object.__setattr__(
+            self,
+            "smoke_overrides",
+            _check_overrides(
+                self.smoke_overrides, f"recipe {self.name} (smoke)"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def validate_experiments(self) -> None:
+        """Check the experiment names against the live registry.
+
+        Deferred out of ``__post_init__`` so building a Recipe object
+        never forces every harness module to import.
+        """
+        known = all_experiments()
+        unknown = [name for name in self.experiments if name not in known]
+        if unknown:
+            raise RecipeError(
+                f"recipe {self.name}: unknown experiment(s) {unknown}; "
+                f"known: {list(known)}"
+            )
+
+    def scale(self, seed: int, *, smoke: bool = False) -> ExperimentScale:
+        """The ExperimentScale for one cell of the seed matrix."""
+        overrides = dict(self.overrides)
+        if smoke:
+            overrides.update(self.smoke_overrides)
+        overrides["seed"] = int(seed)
+        try:
+            return replace(ExperimentScale(), **overrides)
+        except (KeyError, TypeError, ValueError) as error:
+            # TypeError covers wrong-typed manifest values (e.g. a JSON
+            # string where a number belongs) hitting scale validation.
+            raise RecipeError(f"recipe {self.name}: invalid scale: {error}")
+
+    def runs(self, *, smoke: bool = False) -> List[Tuple[str, int, ExperimentScale]]:
+        """Every ``(experiment, seed, scale)`` cell, in manifest order."""
+        return [
+            (experiment, seed, self.scale(seed, smoke=smoke))
+            for seed in self.seeds
+            for experiment in self.experiments
+        ]
+
+    # ------------------------------------------------------------------
+    # Manifest round-trip
+    # ------------------------------------------------------------------
+
+    def to_manifest(self) -> Dict[str, Any]:
+        def plain(value: Any) -> Any:
+            if isinstance(value, tuple):
+                return [plain(item) for item in value]
+            return value
+
+        return {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "experiments": list(self.experiments),
+            "overrides": {k: plain(v) for k, v in sorted(self.overrides.items())},
+            "seeds": list(self.seeds),
+            "smoke_overrides": {
+                k: plain(v) for k, v in sorted(self.smoke_overrides.items())
+            },
+            "paper_ref": self.paper_ref,
+        }
+
+    @classmethod
+    def from_manifest(cls, data: Mapping[str, Any]) -> "Recipe":
+        if not isinstance(data, Mapping) or data.get("format") != MANIFEST_FORMAT:
+            raise RecipeError(
+                f"unrecognized recipe manifest (want format {MANIFEST_FORMAT}): "
+                f"{data!r:.120}"
+            )
+        try:
+            return cls(
+                name=data["name"],
+                version=data["version"],
+                description=data.get("description", ""),
+                experiments=tuple(data["experiments"]),
+                overrides=data.get("overrides", {}),
+                seeds=tuple(data.get("seeds", (0,))),
+                smoke_overrides=data.get("smoke_overrides", {}),
+                paper_ref=data.get("paper_ref", ""),
+            )
+        except KeyError as error:
+            raise RecipeError(f"recipe manifest missing key {error}")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_RECIPES: Dict[str, Recipe] = {}
+
+
+def register_recipe(recipe: Recipe) -> Recipe:
+    existing = _RECIPES.get(recipe.name)
+    if existing is not None and existing != recipe:
+        raise RecipeError(f"recipe name {recipe.name!r} already registered")
+    _RECIPES[recipe.name] = recipe
+    return recipe
+
+
+def get_recipe(name_or_path: Union[str, Path]) -> Recipe:
+    """A registered recipe by name, or a manifest loaded from a path.
+
+    Anything that does not match a registered name is treated as a
+    JSON manifest file, so ad-hoc grids can be run without editing
+    this module: ``runner recipe run my-sweep.json``.
+    """
+    name = str(name_or_path)
+    if name in _RECIPES:
+        return _RECIPES[name]
+    path = Path(name)
+    if path.suffix == ".json" or path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise RecipeError(
+                f"unknown recipe {name!r} (and no such manifest file); "
+                f"known: {sorted(_RECIPES)}"
+            )
+        except (OSError, json.JSONDecodeError) as error:
+            raise RecipeError(f"cannot load recipe manifest {name}: {error}")
+        return Recipe.from_manifest(data)
+    raise RecipeError(
+        f"unknown recipe {name!r}; known: {sorted(_RECIPES)} "
+        "(or pass a path to a manifest .json)"
+    )
+
+
+def all_recipes() -> Dict[str, Recipe]:
+    """``{name: recipe}`` for every registered recipe, sorted by name."""
+    return {name: _RECIPES[name] for name in sorted(_RECIPES)}
+
+
+# ----------------------------------------------------------------------
+# Checked-in recipes
+# ----------------------------------------------------------------------
+
+#: Fig 12 at paper scale: the full 120-workload-mix grid over all five
+#: defenses, all three Svärd profiles, and the paper's seven HC_first
+#: points -- the sweep behind the headline 1.2x+ speedup numbers.
+#: ~14k simulation tasks at default geometry; run it on the queue
+#: backend with as many workers as you have cores/hosts and let the
+#: cache absorb interruptions.
+FIG12_PAPER_GRID = register_recipe(Recipe(
+    name="fig12-paper-grid",
+    version=1,
+    description="Fig 12 performance grid at paper scale (120 mixes)",
+    experiments=("fig12",),
+    overrides={"n_mixes": 120},
+    seeds=(0,),
+    smoke_overrides={
+        "n_mixes": 1,
+        "rows_per_bank": 512,
+        "banks": (1,),
+        "requests_per_core": 600,
+        "hc_first_values": (64,),
+        "svard_profiles": ("S0",),
+    },
+    paper_ref="Fig. 12",
+))
+
+#: RowPress beyond Fig 7's three points: a log-spaced tAggOn sweep
+#: from the minimum tRAS out to 8 us, per-module CVs included
+#: (ROADMAP's "multi-tAggOn RowPress sweeps" item).
+FIG7_TAGGON_SWEEP = register_recipe(Recipe(
+    name="fig7-taggon-sweep",
+    version=1,
+    description="RowPress HC_first sweep over 8 tAggOn points (36 ns - 8 us)",
+    experiments=("fig7",),
+    overrides={
+        "t_agg_on_sweep_ns": (
+            36.0, 72.0, 150.0, 300.0, 500.0, 1000.0, 2000.0, 8000.0,
+        ),
+    },
+    seeds=(0,),
+    smoke_overrides={
+        "rows_per_bank": 256,
+        "banks": (1,),
+        "modules": ("H1", "M0", "S0"),
+        "t_agg_on_sweep_ns": (36.0, 2000.0),
+    },
+    paper_ref="Fig. 7 (extended)",
+))

@@ -1,12 +1,17 @@
 """Pluggable renderers for :class:`~repro.experiments.api.ResultSet`.
 
-Three renderers ship with the repository:
+Five renderers ship with the repository:
 
 * ``text`` -- the paper-style fixed-width tables (byte-identical to
   the pre-API ``render()`` output; pinned by the parity snapshots in
   ``tests/golden/text/``).
 * ``json`` -- the full structured artifact, round-trippable through
   :meth:`ResultSet.from_json_dict`.
+* ``csv`` -- the typed tables as RFC-4180 CSV, one file per
+  ``ResultTable`` under ``--out`` (stdout mode concatenates them with
+  ``# table:`` separators).
+* ``latex`` -- one ``table``/``tabular`` environment per
+  ``ResultTable``, cells escaped, ready to ``\\input`` into a paper.
 * ``mpl`` -- matplotlib paper figures (PNG + SVG) driven by the
   declarative :class:`~repro.experiments.api.PlotSpec` entries.
   matplotlib is imported lazily; on hosts without it the renderer
@@ -25,6 +30,8 @@ Add a custom renderer with :func:`register_renderer`::
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from abc import ABC, abstractmethod
 from pathlib import Path
@@ -82,6 +89,134 @@ class JsonRenderer(Renderer):
         return json.dumps(
             result_set.to_json_dict(), indent=2, sort_keys=True
         )
+
+
+class CsvRenderer(Renderer):
+    """The typed tables as CSV -- the analysis-pipeline format.
+
+    ``write`` produces one file per table
+    (``<experiment>.<table>.csv``); ``render`` (stdout mode)
+    concatenates them behind ``# table: <name>`` comment lines so the
+    output stays a single document.  Scalars travel as a synthetic
+    two-column ``scalars`` table when present.
+    """
+
+    format_name = "csv"
+    suffix = ".csv"
+
+    def render(self, result_set: ResultSet) -> str:
+        parts = [
+            f"# table: {name}\n{body}"
+            for name, body in self._documents(result_set)
+        ]
+        return "\n".join(parts).rstrip("\n")
+
+    def write(self, result_set: ResultSet, out_dir: Path) -> List[Path]:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for name, body in self._documents(result_set):
+            path = out_dir / f"{result_set.experiment}.{name}{self.suffix}"
+            path.write_text(body)
+            paths.append(path)
+        return paths
+
+    def _documents(self, result_set: ResultSet) -> List[tuple]:
+        documents = []
+        if result_set.scalars:
+            documents.append(
+                ("scalars", self._csv(
+                    ("scalar", "value"),
+                    sorted(result_set.scalars.items()),
+                ))
+            )
+        documents.extend(
+            (table.name, self._csv(table.headers, table.rows))
+            for table in result_set.tables
+        )
+        return documents
+
+    @staticmethod
+    def _csv(headers: Sequence, rows: Sequence[Sequence]) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(headers)
+        writer.writerows(rows)
+        return buffer.getvalue()
+
+
+class LatexRenderer(Renderer):
+    """One ``table`` environment per ResultTable, paper-paste ready."""
+
+    format_name = "latex"
+    suffix = ".tex"
+
+    #: LaTeX special characters, escaped in cell/caption text.
+    _ESCAPES = {
+        "\\": r"\textbackslash{}",
+        "&": r"\&",
+        "%": r"\%",
+        "$": r"\$",
+        "#": r"\#",
+        "_": r"\_",
+        "{": r"\{",
+        "}": r"\}",
+        "~": r"\textasciitilde{}",
+        "^": r"\textasciicircum{}",
+    }
+
+    def render(self, result_set: ResultSet) -> str:
+        blocks = [f"% {result_set.experiment}: {result_set.title}"]
+        if result_set.scalars:
+            # Headline scalars travel as a synthetic two-column table,
+            # mirroring CsvRenderer -- dropping them silently would
+            # lose e.g. fig12's mean-improvement numbers.
+            blocks.append(self._table(result_set, ResultTable(
+                name="scalars",
+                headers=("scalar", "value"),
+                rows=tuple(sorted(result_set.scalars.items())),
+            )))
+        for table in result_set.tables:
+            blocks.append(self._table(result_set, table))
+        return "\n\n".join(blocks)
+
+    # ------------------------------------------------------------------
+
+    def _table(self, result_set: ResultSet, table: ResultTable) -> str:
+        columns = "l" * len(table.headers)
+        header = " & ".join(
+            rf"\textbf{{{self._escape(h)}}}" for h in table.headers
+        )
+        body = "\n".join(
+            "    " + " & ".join(self._cell(cell) for cell in row) + r" \\"
+            for row in table.rows
+        )
+        caption = self._escape(f"{result_set.title} -- {table.name}")
+        label = f"tab:{result_set.experiment}-{table.name}"
+        return "\n".join([
+            r"\begin{table}[h]",
+            r"  \centering",
+            rf"  \caption{{{caption}}}",
+            rf"  \label{{{label}}}",
+            rf"  \begin{{tabular}}{{{columns}}}",
+            r"    \hline",
+            f"    {header} \\\\",
+            r"    \hline",
+            body,
+            r"    \hline",
+            r"  \end{tabular}",
+            r"\end{table}",
+        ])
+
+    def _cell(self, value) -> str:
+        if value is None:
+            return "--"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return self._escape(str(value))
+
+    def _escape(self, text: str) -> str:
+        return "".join(self._ESCAPES.get(ch, ch) for ch in text)
 
 
 class MplRenderer(Renderer):
@@ -251,4 +386,6 @@ def renderer_names() -> List[str]:
 
 register_renderer(TextRenderer())
 register_renderer(JsonRenderer())
+register_renderer(CsvRenderer())
+register_renderer(LatexRenderer())
 register_renderer(MplRenderer())

@@ -9,6 +9,11 @@ Usage::
     python -m repro.experiments.runner run fig12 --format json --out results/
     python -m repro.experiments.runner run --format mpl --out figures/
 
+    python -m repro.experiments.runner recipe list       # checked-in sweeps
+    python -m repro.experiments.runner recipe run fig12-paper-grid \\
+        --backend queue --out results/
+    python -m repro.experiments.runner worker            # drain the queue
+
 (The ``run`` verb is optional: ``runner fig12 --jobs 4`` still works.)
 
 Experiments self-register with :func:`repro.experiments.api.register`;
@@ -16,11 +21,14 @@ the runner holds no per-figure code.  Each experiment may declare
 ``quick_overrides`` -- reduced-grid scale defaults that keep the full
 suite interactive; explicit scale flags and ``--full`` win over them.
 
-Results are orchestrated through :mod:`repro.orchestration`: with
-``--jobs N`` the independent simulation/characterization tasks fan out
-over N worker processes, and completed tasks persist in an on-disk
-cache (``--cache-dir``, default ``.repro_cache/``) so re-runs and
-interrupted sweeps resume instantly.  ``--no-cache`` forces fresh
+Execution is pluggable (``--backend serial|process|queue``):
+``process`` fans tasks out over ``--jobs`` local worker processes;
+``queue`` publishes them into a file-based job queue
+(``--queue-dir``, default ``<cache-dir>/queue``) that any number of
+``runner worker`` processes -- including on other hosts sharing the
+filesystem -- drain cooperatively.  Completed tasks persist in the
+on-disk cache (``--cache-dir``, default ``.repro_cache/``) so re-runs
+and interrupted sweeps resume instantly; ``--no-cache`` forces fresh
 computation.  See ORCHESTRATION.md and EXPERIMENTS.md.
 """
 
@@ -31,7 +39,7 @@ import json
 import sys
 from dataclasses import replace
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.api import (
     ExperimentError,
@@ -39,12 +47,28 @@ from repro.experiments.api import (
     display_table,
 )
 from repro.experiments.common import ExperimentScale
+from repro.experiments.recipes import (
+    Recipe,
+    RecipeError,
+    all_recipes,
+    get_recipe,
+)
 from repro.experiments.render import (
     RendererUnavailable,
     get_renderer,
     renderer_names,
 )
-from repro.orchestration import OrchestrationContext, ResultCache
+from repro.orchestration import (
+    BACKEND_NAMES,
+    BackendError,
+    OrchestrationContext,
+    QueueWorker,
+    ResultCache,
+    create_backend,
+    default_queue_dir,
+)
+from repro.orchestration.jobqueue import JobQueue
+from repro.orchestration.worker import stderr_log
 
 #: CLI flag dests that map 1:1 onto ``ExperimentScale`` field names.
 _SCALE_FLAGS = (
@@ -54,23 +78,31 @@ _SCALE_FLAGS = (
     "rows_per_bank",
     "banks",
     "modules",
+    "t_agg_on_sweep_ns",
     "paper_rows",
 )
 
 
-def _parse_run_args(argv) -> argparse.Namespace:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.runner run",
-        description="Regenerate the paper's figures and tables.",
-    )
-    parser.add_argument(
-        "names", nargs="*", metavar="EXPERIMENT",
-        help="experiments to run (default: every registered experiment; "
-             "see the `list` subcommand)",
-    )
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for orchestrated tasks (default: 1, serial)",
+        help="worker processes for the process backend (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help="execution backend (default: serial, or process when "
+             "--jobs > 1); `queue` drains through a shared job-queue "
+             "directory that `runner worker` processes also serve",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="job-queue directory for --backend queue "
+             "(default: <cache-dir>/queue)",
+    )
+    parser.add_argument(
+        "--queue-wait", action="store_true",
+        help="with --backend queue: do not execute tasks in this "
+             "process; wait for workers to drain the queue",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -85,6 +117,9 @@ def _parse_run_args(argv) -> argparse.Namespace:
         "--progress", action="store_true",
         help="print per-task progress to stderr",
     )
+
+
+def _add_render_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format", dest="format_name", default="text", metavar="FMT",
         choices=renderer_names(),
@@ -95,6 +130,41 @@ def _parse_run_args(argv) -> argparse.Namespace:
         help="write rendered artifacts into DIR instead of stdout "
              "(--format mpl defaults to figures/)",
     )
+
+
+def _validate_execution_flags(parser, args) -> None:
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.jobs > 1 and args.backend in ("serial", "queue"):
+        # Accepting the flag and running single-threaded would look
+        # like 8-way parallelism that silently never happened.
+        parser.error(
+            f"--jobs has no effect on the {args.backend} backend; "
+            "drop it (queue scaling comes from `runner worker` count)"
+        )
+    if args.no_cache and args.cache_dir is not None:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if args.no_cache and args.backend == "queue":
+        parser.error("--backend queue publishes results through the "
+                     "cache; drop --no-cache")
+    if args.queue_dir is not None and args.backend != "queue":
+        parser.error("--queue-dir requires --backend queue")
+    if args.queue_wait and args.backend != "queue":
+        parser.error("--queue-wait requires --backend queue")
+
+
+def _parse_run_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner run",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help="experiments to run (default: every registered experiment; "
+             "see the `list` subcommand)",
+    )
+    _add_execution_flags(parser)
+    _add_render_flags(parser)
     parser.add_argument(
         "--full", action="store_true",
         help="ignore per-experiment quick-grid presets; run the full "
@@ -125,15 +195,18 @@ def _parse_run_args(argv) -> argparse.Namespace:
         help="override ExperimentScale.modules (comma-separated labels)",
     )
     parser.add_argument(
+        "--t-agg-on", dest="t_agg_on_sweep_ns", default=None,
+        metavar="NS0,NS1,...",
+        help="override ExperimentScale.t_agg_on_sweep_ns, the RowPress "
+             "tAggOn sweep points in ns (fig7; default 36,500,2000)",
+    )
+    parser.add_argument(
         "--paper-rows", action="store_true", default=None,
         help="characterize each module at its real ModuleSpec row count "
              "instead of the uniform --rows-per-bank",
     )
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
-    if args.no_cache and args.cache_dir is not None:
-        parser.error("--no-cache and --cache-dir are mutually exclusive")
+    _validate_execution_flags(parser, args)
     if args.banks is not None:
         try:
             args.banks = tuple(int(part) for part in args.banks.split(","))
@@ -147,6 +220,16 @@ def _parse_run_args(argv) -> argparse.Namespace:
         args.modules = tuple(args.modules.split(","))
         if len(set(args.modules)) != len(args.modules):
             parser.error(f"--modules contains duplicates: {args.modules}")
+    if args.t_agg_on_sweep_ns is not None:
+        try:
+            args.t_agg_on_sweep_ns = tuple(
+                float(part) for part in args.t_agg_on_sweep_ns.split(",")
+            )
+        except ValueError:
+            parser.error(
+                "--t-agg-on must be comma-separated numbers, got "
+                f"{args.t_agg_on_sweep_ns!r}"
+            )
     return args
 
 
@@ -159,11 +242,86 @@ def _progress_line(done: int, total: int, key) -> None:
 
 def build_context(args: argparse.Namespace) -> OrchestrationContext:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    backend = None
+    if args.backend is not None:
+        queue_dir = args.queue_dir
+        if queue_dir is None and args.backend == "queue":
+            queue_dir = default_queue_dir(cache.directory)
+        backend = create_backend(
+            args.backend,
+            jobs=args.jobs,
+            queue_dir=queue_dir,
+            participate=not args.queue_wait,
+        )
     return OrchestrationContext(
         jobs=args.jobs,
         cache=cache,
         progress=_progress_line if args.progress else None,
+        backend=backend,
     )
+
+
+def _print_orchestration_stats(orch: OrchestrationContext) -> None:
+    if not orch.stats.submitted:
+        return
+    where = (
+        f"cache at {orch.cache.directory}"
+        if orch.cache is not None
+        else "cache disabled"
+    )
+    print(
+        f"[orchestration] {orch.stats.submitted} tasks: "
+        f"{orch.stats.hits} cache hits, "
+        f"{orch.stats.executed} executed "
+        f"(backend: {orch.backend.describe()}, {where})",
+        file=sys.stderr,
+    )
+
+
+def _emit_result_set(
+    result_set, renderer, format_name: str, out_dir: Optional[Path],
+    json_documents: List[dict],
+) -> Optional[int]:
+    """Render one ResultSet to stdout or ``out_dir``.
+
+    Shared by ``run`` and ``recipe run``; returns an exit code for a
+    fatal renderer error, ``None`` otherwise.
+    """
+    if out_dir is not None:
+        try:
+            paths = renderer.write(result_set, out_dir)
+        except RendererUnavailable as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for path in paths:
+            print(f"wrote {path}")
+        if not paths:
+            print(
+                f"{result_set.experiment}: nothing to write for format "
+                f"{format_name!r}"
+            )
+    elif format_name == "text":
+        print("=" * 72)
+        print(result_set.render_text())
+        print()
+    elif format_name == "json":
+        json_documents.append(result_set.to_json_dict())
+    else:
+        print(renderer.render(result_set))
+    return None
+
+
+def _flush_json_stdout(json_documents: List[dict], requested: int) -> None:
+    # In json-to-stdout mode, stdout is always one parseable document.
+    # The shape follows the *request*: a bare object when a single
+    # result was requested and succeeded, an array otherwise --
+    # including the empty array when failures left no results.
+    document = (
+        json_documents[0]
+        if requested == 1 and json_documents
+        else json_documents
+    )
+    print(json.dumps(document, indent=2, sort_keys=True))
 
 
 def _scale_for(experiment, base: ExperimentScale, explicit: frozenset,
@@ -261,23 +419,9 @@ def _cmd_run(argv) -> int:
     if out_dir is None and args.format_name == "mpl":
         out_dir = Path("figures")
 
-    json_documents = []
-    failed = []
+    json_documents: List[dict] = []
+    failed: List[str] = []
     json_stdout = args.format_name == "json" and out_dir is None
-
-    def flush_json() -> None:
-        # In json-to-stdout mode, stdout is always one parseable
-        # document.  The shape follows the *request*: a bare object
-        # when a single experiment succeeded, an array otherwise --
-        # including the empty array when failures left no results.
-        if not json_stdout:
-            return
-        document = (
-            json_documents[0]
-            if len(names) == 1 and json_documents
-            else json_documents
-        )
-        print(json.dumps(document, indent=2, sort_keys=True))
 
     with build_context(args) as orch:
         for name in names:
@@ -285,65 +429,288 @@ def _cmd_run(argv) -> int:
             scale = _scale_for(experiment, base_scale, explicit, args.full)
             try:
                 result_set = experiment.run_result_set(scale, orch)
+            except BackendError as error:
+                # Backend failures (misconfiguration, a task that died
+                # on a worker) abort the whole run: later experiments
+                # would hit the same wall.
+                print(f"error: {error}", file=sys.stderr)
+                return 1
             except ExperimentError as error:
                 # A selection invalid for one experiment should not
                 # abort the rest of a multi-experiment run.
                 print(f"error: {name}: {error}", file=sys.stderr)
                 failed.append(name)
                 continue
-            if out_dir is not None:
-                try:
-                    paths = renderer.write(result_set, out_dir)
-                except RendererUnavailable as error:
-                    print(f"error: {error}", file=sys.stderr)
-                    return 2
-                for path in paths:
-                    print(f"wrote {path}")
-                if not paths:
-                    print(
-                        f"{name}: nothing to write for format "
-                        f"{args.format_name!r}"
-                    )
-            elif args.format_name == "text":
-                print("=" * 72)
-                print(result_set.render_text())
-                print()
-            elif args.format_name == "json":
-                json_documents.append(result_set.to_json_dict())
-            else:
-                print(renderer.render(result_set))
-        flush_json()
+            code = _emit_result_set(
+                result_set, renderer, args.format_name, out_dir,
+                json_documents,
+            )
+            if code is not None:
+                return code
+        if json_stdout:
+            _flush_json_stdout(json_documents, len(names))
         if failed:
             print(
                 f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
                 file=sys.stderr,
             )
-        if orch.stats.submitted:
-            where = (
-                f"cache at {orch.cache.directory}"
-                if orch.cache is not None
-                else "cache disabled"
-            )
-            print(
-                f"[orchestration] {orch.stats.submitted} tasks: "
-                f"{orch.stats.hits} cache hits, "
-                f"{orch.stats.executed} executed "
-                f"({orch.jobs} job{'s' if orch.jobs != 1 else ''}, {where})",
-                file=sys.stderr,
-            )
+        _print_orchestration_stats(orch)
     return 1 if failed else 0
 
 
+# ----------------------------------------------------------------------
+# `worker`: attach this process to a job-queue directory
+# ----------------------------------------------------------------------
+
+
+def _cmd_worker(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner worker",
+        description="Claim and execute tasks from a shared job-queue "
+                    "directory until killed (or idle past --idle-timeout). "
+                    "Run as many of these as you have cores/hosts; results "
+                    "land in the shared result cache.",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="job-queue directory (default: <cache-dir>/queue)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result cache (default: $REPRO_CACHE_DIR or "
+             ".repro_cache/); must be the same directory the submitter "
+             "uses",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="S",
+        help="seconds between queue scans when idle (default: 0.2)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="exit after S seconds without claiming a task "
+             "(default: run until killed)",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after claiming N tasks (default: unlimited)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="S",
+        help="also reclaim peers' leases older than S seconds "
+             "(default: leave reclaim to submitters)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-task log lines on stderr",
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    queue_dir = (
+        Path(args.queue_dir)
+        if args.queue_dir is not None
+        else default_queue_dir(cache.directory)
+    )
+    worker = QueueWorker(
+        JobQueue(queue_dir),
+        cache,
+        poll_interval=args.poll_interval,
+        idle_timeout=args.idle_timeout,
+        max_tasks=args.max_tasks,
+        lease_timeout=args.lease_timeout,
+        log=None if args.quiet else stderr_log,
+    )
+    try:
+        stats = worker.run()
+    except KeyboardInterrupt:
+        stats = worker.stats
+        stderr_log("interrupted; exiting (any stale lease will be reclaimed)")
+    print(
+        f"[worker] done: {stats.claimed} claimed, {stats.completed} "
+        f"completed, {stats.failed} failed, {stats.refused} refused",
+        file=sys.stderr,
+    )
+    return 1 if stats.failed else 0
+
+
+# ----------------------------------------------------------------------
+# `recipe`: declarative sweep manifests
+# ----------------------------------------------------------------------
+
+
+def _cmd_recipe_list(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner recipe list",
+        description="List every checked-in sweep recipe.",
+    )
+    parser.add_argument(
+        "--format", dest="format_name", default="text",
+        choices=("text", "json"),
+    )
+    args = parser.parse_args(argv)
+    recipes = all_recipes()
+    if args.format_name == "json":
+        print(json.dumps(
+            {name: recipe.to_manifest() for name, recipe in recipes.items()},
+            indent=2,
+        ))
+        return 0
+    rows = [
+        (
+            name,
+            f"v{recipe.version}",
+            recipe.paper_ref,
+            ", ".join(recipe.experiments),
+            f"{len(recipe.seeds)} seed{'s' if len(recipe.seeds) != 1 else ''}",
+            recipe.description,
+        )
+        for name, recipe in recipes.items()
+    ]
+    print(display_table(
+        ("recipe", "ver", "paper", "experiments", "seed matrix",
+         "description"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_recipe_show(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner recipe show",
+        description="Print one recipe's manifest as JSON.",
+    )
+    parser.add_argument("name", metavar="RECIPE")
+    args = parser.parse_args(argv)
+    try:
+        recipe = get_recipe(args.name)
+    except RecipeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(recipe.to_manifest(), indent=2))
+    return 0
+
+
+def _recipe_out_dir(out_dir: Path, recipe: Recipe, seed: int) -> Path:
+    """Deterministic artifact layout: one subdirectory per seed."""
+    return out_dir / f"seed{seed}"
+
+
+def _cmd_recipe_run(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner recipe run",
+        description="Run a declarative sweep recipe on any backend. "
+                    "Re-running resumes purely from cache state.",
+    )
+    parser.add_argument(
+        "name", metavar="RECIPE",
+        help="a registered recipe name (see `recipe list`) or a path "
+             "to a manifest .json",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="apply the recipe's smoke_overrides (tiny scale, used by "
+             "`make recipes-smoke` to cross-check backends)",
+    )
+    _add_execution_flags(parser)
+    _add_render_flags(parser)
+    args = parser.parse_args(argv)
+    _validate_execution_flags(parser, args)
+
+    try:
+        recipe = get_recipe(args.name)
+        recipe.validate_experiments()
+        runs = recipe.runs(smoke=args.smoke)
+    except RecipeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    renderer = get_renderer(args.format_name)
+    try:
+        renderer.check_available()
+    except RendererUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is None and args.format_name == "mpl":
+        out_dir = Path("figures") / recipe.name
+
+    experiments = all_experiments()
+    json_documents: List[dict] = []
+    json_stdout = args.format_name == "json" and out_dir is None
+    failed: List[str] = []
+
+    with build_context(args) as orch:
+        for experiment_name, seed, scale in runs:
+            cell = f"{experiment_name}@seed{seed}"
+            print(f"[recipe {recipe.name} v{recipe.version}] {cell}",
+                  file=sys.stderr)
+            try:
+                result_set = experiments[experiment_name].run_result_set(
+                    scale, orch
+                )
+            except BackendError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            except ExperimentError as error:
+                print(f"error: {cell}: {error}", file=sys.stderr)
+                failed.append(cell)
+                continue
+            result_set.meta["recipe"] = {
+                "name": recipe.name,
+                "version": recipe.version,
+                "seed": seed,
+                "smoke": args.smoke,
+            }
+            code = _emit_result_set(
+                result_set,
+                renderer,
+                args.format_name,
+                None if out_dir is None
+                else _recipe_out_dir(out_dir, recipe, seed),
+                json_documents,
+            )
+            if code is not None:
+                return code
+        if json_stdout:
+            _flush_json_stdout(json_documents, len(runs))
+        if failed:
+            print(
+                f"{len(failed)} recipe cell(s) failed: {', '.join(failed)}",
+                file=sys.stderr,
+            )
+        _print_orchestration_stats(orch)
+    return 1 if failed else 0
+
+
+def _cmd_recipe(argv) -> int:
+    if argv and argv[0] == "list":
+        return _cmd_recipe_list(argv[1:])
+    if argv and argv[0] == "show":
+        return _cmd_recipe_show(argv[1:])
+    if argv and argv[0] == "run":
+        return _cmd_recipe_run(argv[1:])
+    print(
+        "usage: python -m repro.experiments.runner recipe {list,show,run} ...",
+        file=sys.stderr,
+    )
+    return 2
+
+
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
   run     run experiments and render their artifacts (the default:
           bare experiment names imply `run`)
+  recipe  declarative sweep manifests: `recipe list`, `recipe show
+          NAME`, `recipe run NAME [--smoke]` -- the checked-in
+          paper-scale grids, runnable on any backend
+  worker  attach this process to a job-queue directory and execute
+          tasks published by `--backend queue` submitters
 
 `python -m repro.experiments.runner run --help` shows the run flags.
-See EXPERIMENTS.md for the Experiment API and output formats.
+See EXPERIMENTS.md for the Experiment API and output formats, and
+ORCHESTRATION.md for backends, the queue/worker model, and the cache.
 """
 
 
@@ -354,6 +721,10 @@ def main(argv=None) -> int:
         return 0
     if argv and argv[0] == "list":
         return _cmd_list(argv[1:])
+    if argv and argv[0] == "recipe":
+        return _cmd_recipe(argv[1:])
+    if argv and argv[0] == "worker":
+        return _cmd_worker(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     # Bare experiment names (the pre-registry CLI) imply `run`.

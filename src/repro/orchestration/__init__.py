@@ -1,9 +1,22 @@
 """Parallel experiment orchestration with an on-disk result cache.
 
 See ORCHESTRATION.md at the repository root for the task model, the
-cache layout, and the invalidation rules.
+execution-backend protocol, the worker/queue model, the cache layout,
+and the invalidation rules.
 """
 
+from repro.orchestration.backends import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    PendingTask,
+    ProcessBackend,
+    QueueBackend,
+    QueueTaskFailed,
+    SerialBackend,
+    create_backend,
+    default_backend,
+)
 from repro.orchestration.cache import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
@@ -16,6 +29,12 @@ from repro.orchestration.executor import (
     OrchestrationStats,
     serial_context,
 )
+from repro.orchestration.jobqueue import (
+    JobQueue,
+    TaskEnvelope,
+    default_queue_dir,
+)
+from repro.orchestration.worker import QueueWorker, WorkerStats
 from repro.orchestration.hashing import (
     canonicalize,
     code_version,
@@ -25,14 +44,29 @@ from repro.orchestration.hashing import (
 from repro.orchestration.task import Task, TaskGroup, make_task, run_task
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "ExecutionBackend",
+    "JobQueue",
     "OrchestrationContext",
     "OrchestrationStats",
+    "PendingTask",
+    "ProcessBackend",
+    "QueueBackend",
+    "QueueTaskFailed",
+    "QueueWorker",
     "ResultCache",
+    "SerialBackend",
     "Task",
+    "TaskEnvelope",
     "TaskGroup",
+    "WorkerStats",
+    "create_backend",
+    "default_backend",
+    "default_queue_dir",
     "canonicalize",
     "code_version",
     "default_cache_dir",

@@ -1,0 +1,89 @@
+"""Pluggable execution backends.
+
+Three implementations ship with the repository (see each module):
+
+* ``serial``  -- in-process, the zero-dependency reference.
+* ``process`` -- local ``multiprocessing`` pool (``--jobs N``).
+* ``queue``   -- file-based job queue on a shared filesystem; any
+  number of ``runner worker`` processes drain one sweep and publish
+  results through the shared result cache.
+
+:func:`create_backend` is the factory the CLI uses; experiments never
+talk to backends directly -- they hand task groups to an
+:class:`~repro.orchestration.executor.OrchestrationContext`, which
+delegates raw execution to whichever backend it was built with.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.orchestration.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    PendingTask,
+)
+from repro.orchestration.backends.process import ProcessBackend
+from repro.orchestration.backends.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    QueueBackend,
+    QueueTaskFailed,
+)
+from repro.orchestration.backends.serial import SerialBackend
+
+#: ``--backend`` values, in documentation order.
+BACKEND_NAMES = ("serial", "process", "queue")
+
+
+def create_backend(
+    name: str,
+    *,
+    jobs: int = 1,
+    queue_dir: Union[str, Path, None] = None,
+    participate: bool = True,
+    poll_interval: float = 0.2,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+) -> ExecutionBackend:
+    """Build a backend by registry name.
+
+    ``queue_dir`` is required for the queue backend (the runner
+    defaults it to ``<cache_dir>/queue``); the other options are
+    ignored by backends they do not apply to.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(jobs)
+    if name == "queue":
+        if queue_dir is None:
+            raise BackendError("the queue backend needs a queue directory")
+        return QueueBackend(
+            queue_dir,
+            participate=participate,
+            poll_interval=poll_interval,
+            lease_timeout=lease_timeout,
+        )
+    raise BackendError(
+        f"unknown backend {name!r}; known: {list(BACKEND_NAMES)}"
+    )
+
+
+def default_backend(jobs: int = 1) -> ExecutionBackend:
+    """What a context uses when no backend is named: jobs decide."""
+    return SerialBackend() if jobs == 1 else ProcessBackend(jobs)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
+    "DEFAULT_LEASE_TIMEOUT",
+    "ExecutionBackend",
+    "PendingTask",
+    "ProcessBackend",
+    "QueueBackend",
+    "QueueTaskFailed",
+    "SerialBackend",
+    "create_backend",
+    "default_backend",
+]

@@ -1,0 +1,87 @@
+"""The execution-backend protocol.
+
+An :class:`ExecutionBackend` is the machinery that turns a batch of
+cache-miss tasks into ``(key, result)`` pairs.  The
+:class:`~repro.orchestration.executor.OrchestrationContext` owns the
+*policy* -- cache lookups, statistics, progress reporting -- and
+delegates raw execution to a backend, so the same experiment code runs
+in-process (``serial``), across a local pool (``process``), or across
+any number of worker processes sharing a filesystem (``queue``)
+without changing a line.
+
+Contract:
+
+* ``execute`` receives the pending :class:`PendingTask` batch (tasks
+  the cache could not answer) and yields ``(task.key, result)`` pairs
+  -- in **any** order; the context reassembles by key.  Each pending
+  task must be answered exactly once.
+* Tasks are pure functions of their parameters (see
+  ``repro.orchestration.task``), so every backend produces
+  bit-identical results; the determinism suite in
+  ``tests/test_backends.py`` enforces serial == process == queue.
+* A backend that persists results into the shared
+  :class:`~repro.orchestration.cache.ResultCache` itself (the queue
+  backend: its workers publish results) sets ``publishes_to_cache`` so
+  the context does not store them a second time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.hashing import TaskKey
+from repro.orchestration.task import Task
+
+
+@dataclass(frozen=True)
+class PendingTask:
+    """One cache miss handed to a backend.
+
+    ``entry_key`` is the on-disk cache address the context computed for
+    the task (``None`` when caching is disabled); the queue backend
+    uses it to name queue files and to watch for results published by
+    workers.
+    """
+
+    task: Task
+    entry_key: Optional[str] = None
+
+
+class BackendError(RuntimeError):
+    """A backend-level failure (misconfiguration, failed remote task)."""
+
+
+class ExecutionBackend(ABC):
+    """Executes batches of pending tasks for an OrchestrationContext."""
+
+    #: Registry key and ``--backend`` value.
+    name: str = ""
+
+    #: True when completed results are already persisted in the shared
+    #: cache by the time ``execute`` yields them (queue workers store
+    #: results themselves); the context then skips its own ``store``.
+    publishes_to_cache: bool = False
+
+    @abstractmethod
+    def execute(
+        self,
+        pending: Sequence[PendingTask],
+        cache: Optional[ResultCache] = None,
+    ) -> Iterator[Tuple[TaskKey, Any]]:
+        """Run every pending task; yield ``(task.key, result)`` pairs.
+
+        Results may arrive in any order but each pending task must be
+        answered exactly once.  ``cache`` is the context's result
+        cache (``None`` when caching is disabled); backends that
+        publish through it validate it up front.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (worker pools etc.); idempotent."""
+
+    def describe(self) -> str:
+        """One-line human summary for the runner's stats trailer."""
+        return self.name

@@ -1,0 +1,258 @@
+"""Shared-filesystem job-queue backend.
+
+The submitter publishes every cache miss into a
+:class:`~repro.orchestration.jobqueue.JobQueue` directory and then
+watches the shared :class:`~repro.orchestration.cache.ResultCache` for
+the results to appear.  Any number of ``runner worker`` processes --
+on this host or on any host mounting the same filesystem -- claim
+tasks via atomic lease renames, execute them, and publish results
+through the same sha256-keyed cache the serial and process backends
+use.  The cache *is* the result channel, which buys three properties
+for free:
+
+* **resumability** -- kill anything, restart it, and only uncached
+  tasks run again;
+* **N-way sharing** -- several submitters can drain one sweep (a task
+  already queued or leased is not enqueued twice);
+* **bit-identical results** -- workers run the same pure task
+  functions, so a queue run is indistinguishable from a serial one.
+
+By default the submitter *participates*: while waiting it claims and
+executes queued tasks itself, so a queue run with zero workers still
+completes (it degenerates to a serial run with extra file traffic).
+Pass ``participate=False`` (CLI ``--queue-wait``) to leave all
+execution to workers.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.orchestration.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    PendingTask,
+)
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.hashing import TaskKey
+from repro.orchestration.jobqueue import JobQueue, TaskEnvelope
+from repro.orchestration.worker import execute_lease
+
+#: How long a lease may sit untouched before the submitter assumes its
+#: worker died and makes the task claimable again.  Characterization
+#: tasks at paper scale run minutes, not hours; an over-eager reclaim
+#: only wastes a duplicate execution, never correctness.
+DEFAULT_LEASE_TIMEOUT = 600.0
+
+#: A waiting (non-participating) submitter prints a queue-state line
+#: to stderr this often while stalled, so "no workers attached" or
+#: "all workers refuse my code version" is visible instead of silent.
+STALL_REPORT_INTERVAL = 60.0
+
+
+@dataclass
+class QueueBackendStats:
+    """What one submitter saw while draining its batch."""
+
+    enqueued: int = 0
+    already_in_flight: int = 0
+    local_executed: int = 0
+    remote_completed: int = 0
+    leases_reclaimed: int = 0
+    requeued: int = 0
+
+
+class QueueTaskFailed(BackendError):
+    """A worker recorded a failure for one of our tasks."""
+
+
+class QueueBackend(ExecutionBackend):
+    """Drains a sweep through a file-based job queue."""
+
+    name = "queue"
+    publishes_to_cache = True
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        *,
+        participate: bool = True,
+        poll_interval: float = 0.2,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    ) -> None:
+        self.queue = JobQueue(queue_dir)
+        self.participate = participate
+        self.poll_interval = poll_interval
+        self.lease_timeout = lease_timeout
+        self.stats = QueueBackendStats()
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        pending: Sequence[PendingTask],
+        cache: Optional[ResultCache] = None,
+    ) -> Iterator[Tuple[TaskKey, Any]]:
+        if cache is None:
+            raise BackendError(
+                "the queue backend publishes results through the shared "
+                "result cache and cannot run with caching disabled "
+                "(drop --no-cache)"
+            )
+        for item in pending:
+            if item.entry_key is None:
+                raise BackendError(
+                    "queue backend received a pending task without a "
+                    "cache entry key"
+                )
+        self.queue.ensure()
+
+        envelopes: Dict[str, TaskEnvelope] = {
+            item.entry_key: TaskEnvelope(
+                entry_key=item.entry_key,
+                task=item.task,
+                cache_version=cache.version,
+            )
+            for item in pending
+        }
+        outstanding: Dict[str, PendingTask] = {}
+        for item in pending:
+            self.queue.clear_failure(item.entry_key)  # fresh attempt
+            if self.queue.enqueue(envelopes[item.entry_key]):
+                self.stats.enqueued += 1
+            else:
+                self.stats.already_in_flight += 1
+            outstanding[item.entry_key] = item
+
+        last_reclaim = time.monotonic()
+        last_progress = time.monotonic()
+        while outstanding:
+            progressed = False
+            # Collect everything workers have published since last look.
+            for entry_key in list(outstanding):
+                item = outstanding[entry_key]
+                if not cache.path_for(entry_key).exists():
+                    failure = self.queue.failure_for(entry_key)
+                    if failure is not None:
+                        raise QueueTaskFailed(
+                            f"task {item.task.key} failed on worker "
+                            f"{failure.worker}: {failure.error}\n"
+                            f"{failure.traceback}"
+                        )
+                    continue
+                hit, value = cache.load(entry_key)
+                if not hit:
+                    # The entry existed a moment ago but did not load:
+                    # either a writer raced us (next poll wins) or the
+                    # file was corrupt and load just *deleted* it.  The
+                    # vanished-task sweep below republishes the latter
+                    # case, so neither can strand the sweep.
+                    continue
+                del outstanding[entry_key]
+                # The result may have arrived from outside the queue
+                # (another submitter's cache); drop our now-moot task
+                # file so workers stop seeing it.
+                self.queue.discard_task(entry_key)
+                self.stats.remote_completed += 1
+                progressed = True
+                yield item.task.key, value
+
+            if not outstanding:
+                break
+
+            if self.participate:
+                # Only claim tasks from our own source tree: executing
+                # a foreign-version submitter's task here would publish
+                # results computed by the wrong code under its key (the
+                # same refusal QueueWorker makes).  The claim filter
+                # skips such tasks without starving our own behind them.
+                lease = self.queue.claim(
+                    accept=lambda envelope:
+                        envelope.cache_version == cache.version
+                )
+                if lease is not None:
+                    entry_key = lease.envelope.entry_key
+                    ok = execute_lease(lease, cache, self.queue)
+                    # The claimed task may belong to another submitter
+                    # sharing this queue; its owner collects (or
+                    # surfaces the failure of) that one, not us.
+                    item = outstanding.pop(entry_key, None)
+                    if item is not None:
+                        if not ok:
+                            failure = self.queue.failure_for(entry_key)
+                            detail = (
+                                f"{failure.error}\n{failure.traceback}"
+                                if failure is not None
+                                else "(failure record missing)"
+                            )
+                            raise QueueTaskFailed(
+                                f"task {item.task.key} failed: {detail}"
+                            )
+                        hit, value = cache.load(entry_key)
+                        if not hit:  # pragma: no cover - store just ran
+                            raise BackendError(
+                                f"result for {item.task.key} vanished "
+                                "immediately after store"
+                            )
+                        self.stats.local_executed += 1
+                        yield item.task.key, value
+                    progressed = True
+
+            if not progressed:
+                now = time.monotonic()
+                if now - last_reclaim >= max(self.poll_interval * 10, 1.0):
+                    self.stats.leases_reclaimed += self.queue.reclaim_stale(
+                        self.lease_timeout
+                    )
+                    self.stats.requeued += self._requeue_vanished(
+                        outstanding, envelopes, cache
+                    )
+                    last_reclaim = now
+                if now - last_progress >= STALL_REPORT_INTERVAL:
+                    print(
+                        f"[queue] waiting on {len(outstanding)} task(s): "
+                        f"{self.queue.pending_count()} queued, "
+                        f"{self.queue.leased_count()} leased at "
+                        f"{self.queue.directory} -- attach workers with "
+                        "`runner worker` (same --cache-dir and code "
+                        "version)",
+                        file=sys.stderr,
+                    )
+                    last_progress = now
+                time.sleep(self.poll_interval)
+            else:
+                last_progress = time.monotonic()
+
+    def _requeue_vanished(
+        self,
+        outstanding: Dict[str, PendingTask],
+        envelopes: Dict[str, TaskEnvelope],
+        cache: ResultCache,
+    ) -> int:
+        """Republish outstanding tasks that exist *nowhere* anymore.
+
+        The submitter is the source of truth: it still holds every
+        Task object, so a task with no queue file, no lease, no
+        failure record, and no cache entry -- e.g. a worker completed
+        it but the stored result was later corrupted and discarded by
+        ``cache.load`` -- is simply enqueued again instead of being
+        waited on forever.  Pure tasks make the retry free of risk.
+        """
+        requeued = 0
+        for entry_key in outstanding:
+            if (
+                cache.path_for(entry_key).exists()
+                or self.queue.failure_for(entry_key) is not None
+            ):
+                continue  # a poll will collect (or surface) it
+            if self.queue.enqueue(envelopes[entry_key]):
+                requeued += 1
+        return requeued
+
+    def describe(self) -> str:
+        mode = "participating" if self.participate else "waiting"
+        return f"queue at {self.queue.directory} ({mode})"

@@ -1,0 +1,29 @@
+"""In-process execution: the zero-dependency default backend."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.orchestration.backends.base import ExecutionBackend, PendingTask
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.hashing import TaskKey
+from repro.orchestration.task import run_task
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every task in the calling process, in submission order.
+
+    This is the reference implementation the other backends are tested
+    against, and the fallback wherever multiprocessing (or a shared
+    filesystem) is unavailable.
+    """
+
+    name = "serial"
+
+    def execute(
+        self,
+        pending: Sequence[PendingTask],
+        cache: Optional[ResultCache] = None,
+    ) -> Iterator[Tuple[TaskKey, Any]]:
+        for item in pending:
+            yield run_task(item.task)

@@ -1,28 +1,37 @@
-"""Fan tasks out over processes, short-circuiting through the cache.
+"""Execution policy: cache short-circuiting over a pluggable backend.
 
 :class:`OrchestrationContext` is the single object experiments thread
-through their ``run()`` functions.  It bundles the worker count, the
-optional on-disk :class:`~repro.orchestration.cache.ResultCache`, a
-progress callback, and run statistics.  The default context
-(``jobs=1``, no cache) reproduces the old sequential behavior exactly,
-so every experiment still works with no arguments.
+through their ``run()`` functions.  It owns the *policy* -- the
+optional on-disk :class:`~repro.orchestration.cache.ResultCache`, the
+progress callback, and run statistics -- and delegates raw execution
+of cache misses to an
+:class:`~repro.orchestration.backends.ExecutionBackend` (``serial``,
+``process``, or ``queue``; see ``repro/orchestration/backends/``).
+The default context (``jobs=1``, no cache) reproduces the old
+sequential behavior exactly, so every experiment still works with no
+arguments.
 
 Execution contract: tasks are pure functions of their parameters, so
 the mapping returned by :meth:`OrchestrationContext.run` is
-bit-identical whether tasks ran serially, across a pool, or came out
-of a warm cache -- the determinism suite in
-``tests/test_orchestration.py`` enforces this.
+bit-identical whichever backend ran the tasks and whether they came
+out of a warm cache -- the determinism suites in
+``tests/test_orchestration.py`` and ``tests/test_backends.py`` enforce
+this.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.orchestration.backends import (
+    ExecutionBackend,
+    PendingTask,
+    default_backend,
+)
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
-from repro.orchestration.task import Task, TaskGroup, run_task
+from repro.orchestration.task import Task, TaskGroup
 
 #: ``progress(done, total, key)`` called after every finished task.
 ProgressCallback = Callable[[int, int, TaskKey], None]
@@ -49,6 +58,7 @@ class OrchestrationContext:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -56,14 +66,13 @@ class OrchestrationContext:
         self.cache = cache
         self.progress = progress
         self.stats = OrchestrationStats()
-        self._pool = None
+        #: ``backend`` wins when given; otherwise ``jobs`` picks the
+        #: classic behavior (1 = serial, N = local process pool).
+        self.backend = backend if backend is not None else default_backend(jobs)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release backend resources, e.g. worker pools (idempotent)."""
+        self.backend.close()
 
     def __enter__(self) -> "OrchestrationContext":
         return self
@@ -92,9 +101,9 @@ class OrchestrationContext:
 
         Cache entries are keyed per group (``task.key`` under that
         group's ``fingerprint``), but all cache misses fan out over the
-        pool together -- groups are a cache-scoping construct, not an
-        execution barrier.  Task keys must be unique across the whole
-        submission.
+        backend together -- groups are a cache-scoping construct, not
+        an execution barrier.  Task keys must be unique across the
+        whole submission.
         """
         tasks = [task for group in groups for task in group.tasks]
         keys = [task.key for task in tasks]
@@ -105,7 +114,7 @@ class OrchestrationContext:
         total = len(tasks)
         done = 0
         results: Dict[TaskKey, Any] = {}
-        pending: List[Tuple[Task, Optional[str]]] = []
+        pending: List[PendingTask] = []
 
         for group in groups:
             for task in group.tasks:
@@ -120,13 +129,14 @@ class OrchestrationContext:
                         done += 1
                         self._report(done, total, task.key)
                         continue
-                    pending.append((task, entry_key))
+                    pending.append(PendingTask(task=task, entry_key=entry_key))
                 else:
-                    pending.append((task, None))
+                    pending.append(PendingTask(task=task))
 
-        entry_keys = {task.key: entry_key for task, entry_key in pending}
-        for key, value in self._execute([task for task, _ in pending]):
-            if self.cache is not None:
+        entry_keys = {item.task.key: item.entry_key for item in pending}
+        store = self.cache is not None and not self.backend.publishes_to_cache
+        for key, value in self._execute(pending):
+            if store:
                 self.cache.store(entry_keys[key], key, value)
             results[key] = value
             self.stats.executed += 1
@@ -139,21 +149,14 @@ class OrchestrationContext:
 
     # ------------------------------------------------------------------
 
-    def _execute(self, tasks: List[Task]):
-        """Yield ``(key, result)`` in submission order."""
-        if self.jobs == 1 or len(tasks) < 2:
-            for task in tasks:
-                yield run_task(task)
-            return
-        if self._pool is None:
-            # One pool per context, reused across submissions (a full
-            # runner invocation submits once per experiment), so
-            # per-worker memos stay warm and fork cost is paid once.
-            self._pool = multiprocessing.get_context().Pool(self.jobs)
-        # imap (not unordered) keeps results in submission order so
-        # progress output is stable; tasks are coarse enough that
-        # head-of-line blocking is negligible.
-        yield from self._pool.imap(run_task, tasks)
+    def _execute(self, pending: List[PendingTask]):
+        """Yield ``(key, result)`` pairs from the backend.
+
+        Kept as a separate method so tests can spy on batch sizes; the
+        order of results follows the backend (the queue backend yields
+        in completion order, the others in submission order).
+        """
+        yield from self.backend.execute(pending, self.cache)
 
     def _report(self, done: int, total: int, key: TaskKey) -> None:
         if self.progress is not None:

@@ -1,0 +1,331 @@
+"""File-based job queue: lease files and atomic renames.
+
+The queue is a directory (by convention ``<cache_dir>/queue``) shared
+between one or more *submitters* (an
+:class:`~repro.orchestration.backends.queue.QueueBackend` inside a
+runner process) and any number of *workers* (``runner worker``
+processes) -- on one host or on several hosts sharing a filesystem.
+No daemon, no sockets, no locks beyond what ``os.rename`` gives us:
+
+```
+queue/
+  tasks/<entry_key>.task    pickled TaskEnvelope, awaiting a claim
+  leases/<entry_key>.task   the same file, claimed by some worker
+  failed/<entry_key>.pkl    failure record for a task that raised
+```
+
+State transitions are single atomic renames, so two workers can never
+both own a task:
+
+* **enqueue**   -- write to a temp file, ``os.replace`` into ``tasks/``.
+* **claim**     -- ``os.rename(tasks/X, leases/X)``; losing the race
+  raises ``FileNotFoundError`` and the claimer just moves on.  The
+  lease file's mtime is bumped to record the claim time.
+* **complete**  -- the worker stores the result in the shared
+  :class:`~repro.orchestration.cache.ResultCache` (atomic in its own
+  right) and unlinks the lease.  *The cache is the result channel*:
+  submitters detect completion by watching for the entry key to become
+  loadable.
+* **fail**      -- a failure record lands in ``failed/`` (temp file +
+  ``os.replace``) and the lease is unlinked; submitters surface it.
+* **reclaim**   -- a lease older than ``lease_timeout`` belongs to a
+  worker presumed dead; ``os.rename(leases/X, tasks/X)`` makes the
+  task claimable again.  Reclaiming a lease whose worker was merely
+  slow is harmless: tasks are pure and cache stores are atomic, so a
+  duplicated execution wastes time but can never corrupt a result.
+
+Queue files are ordinary pickles, exactly like the cache entries next
+to them: a local/cluster artifact, not an interchange format.  Do not
+attach workers to queue directories from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Union
+
+from repro.orchestration.hashing import TaskKey
+from repro.orchestration.task import Task
+
+#: Bumped when the on-disk envelope format changes.
+ENVELOPE_FORMAT = 1
+
+#: Subdirectory of a cache directory conventionally used as the queue.
+DEFAULT_QUEUE_SUBDIR = "queue"
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """What travels through the queue: one task plus its cache address.
+
+    ``cache_version`` pins the submitter's code fingerprint; a worker
+    whose source tree differs refuses the task (its results would be
+    published under a key computed by different code).
+    """
+
+    entry_key: str
+    task: Task
+    cache_version: str
+
+    def to_payload(self) -> dict:
+        return {
+            "format": ENVELOPE_FORMAT,
+            "entry_key": self.entry_key,
+            "task": self.task,
+            "cache_version": self.cache_version,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "TaskEnvelope":
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != ENVELOPE_FORMAT
+            or not isinstance(payload.get("task"), Task)
+        ):
+            raise QueueFormatError(f"unrecognized task envelope: {payload!r}")
+        return cls(
+            entry_key=payload["entry_key"],
+            task=payload["task"],
+            cache_version=payload["cache_version"],
+        )
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Why one task failed, published for the submitter to surface."""
+
+    entry_key: str
+    task_key: TaskKey
+    error: str
+    traceback: str
+    worker: str
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A claimed task: the envelope plus its lease file."""
+
+    envelope: TaskEnvelope
+    path: Path
+
+
+class QueueFormatError(RuntimeError):
+    """A queue file did not contain what its name promised."""
+
+
+def worker_identity() -> str:
+    """``host:pid``, recorded in failure records for debugging."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class JobQueue:
+    """One queue directory; safe for any number of concurrent users."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.tasks_dir = self.directory / "tasks"
+        self.leases_dir = self.directory / "leases"
+        self.failed_dir = self.directory / "failed"
+
+    def ensure(self) -> "JobQueue":
+        for path in (self.tasks_dir, self.leases_dir, self.failed_dir):
+            path.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------------
+    # Submitter side
+    # ------------------------------------------------------------------
+
+    def enqueue(self, envelope: TaskEnvelope) -> bool:
+        """Publish one task; ``False`` if it is already in flight.
+
+        "In flight" means a task or lease file for the same entry key
+        already exists -- e.g. a second submitter sharing the sweep, or
+        a leftover from an interrupted run that a worker can still
+        finish.
+        """
+        self.ensure()
+        task_path = self._task_path(envelope.entry_key)
+        if task_path.exists() or self._lease_path(envelope.entry_key).exists():
+            return False
+        self._atomic_write_pickle(envelope.to_payload(), task_path)
+        return True
+
+    def failure_for(self, entry_key: str) -> Optional[FailureRecord]:
+        path = self.failed_dir / f"{entry_key}.pkl"
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except (FileNotFoundError, OSError):
+            return None
+        except Exception:
+            # A half-readable failure record still means the task
+            # failed; synthesize a minimal one.
+            return FailureRecord(
+                entry_key=entry_key,
+                task_key=(),
+                error="unreadable failure record",
+                traceback="",
+                worker="unknown",
+            )
+        if isinstance(record, FailureRecord):
+            return record
+        return None
+
+    def clear_failure(self, entry_key: str) -> None:
+        self._unlink_quietly(self.failed_dir / f"{entry_key}.pkl")
+
+    def discard_task(self, entry_key: str) -> None:
+        """Drop an unclaimed task file (its result arrived elsewhere)."""
+        self._unlink_quietly(self._task_path(entry_key))
+
+    def reclaim_stale(self, lease_timeout: float) -> int:
+        """Return leases older than ``lease_timeout`` seconds to ``tasks/``."""
+        reclaimed = 0
+        now = time.time()
+        for lease_path in self._listdir(self.leases_dir):
+            try:
+                age = now - lease_path.stat().st_mtime
+            except OSError:
+                continue
+            if age < lease_timeout:
+                continue
+            try:
+                os.rename(lease_path, self.tasks_dir / lease_path.name)
+                reclaimed += 1
+            except OSError:
+                continue  # someone else beat us to it
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def claim(
+        self,
+        accept: Optional[Callable[[TaskEnvelope], bool]] = None,
+    ) -> Optional[Lease]:
+        """Atomically take one queued task; ``None`` when none qualify.
+
+        ``accept`` filters envelopes *after* the atomic rename: a task
+        it rejects is put straight back and scanning continues, so an
+        unacceptable task (e.g. one published by a submitter on a
+        different code version) can never starve the claimable ones
+        behind it.  Corrupt task files (truncated writes from a
+        submitter killed at the wrong instant never happen -- enqueue
+        is atomic -- but a stray file someone dropped in ``tasks/``
+        might) are claimed, discarded, and skipped.
+        """
+        self.ensure()
+        for task_path in sorted(self._listdir(self.tasks_dir)):
+            lease_path = self.leases_dir / task_path.name
+            try:
+                os.rename(task_path, lease_path)
+            except OSError:
+                continue  # lost the race; try the next file
+            os.utime(lease_path)  # claim time, for stale-lease reclaim
+            try:
+                with open(lease_path, "rb") as handle:
+                    envelope = TaskEnvelope.from_payload(pickle.load(handle))
+            except Exception:
+                self._unlink_quietly(lease_path)
+                continue
+            if accept is not None and not accept(envelope):
+                try:
+                    os.rename(lease_path, task_path)
+                except OSError:
+                    pass
+                continue
+            return Lease(envelope=envelope, path=lease_path)
+        return None
+
+    def complete(self, lease: Lease) -> None:
+        """The result is in the cache; retire the lease."""
+        self._unlink_quietly(lease.path)
+
+    def fail(self, lease: Lease, error: BaseException) -> None:
+        record = FailureRecord(
+            entry_key=lease.envelope.entry_key,
+            task_key=lease.envelope.task.key,
+            error=f"{type(error).__name__}: {error}",
+            traceback="".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+            worker=worker_identity(),
+        )
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write_pickle(
+            record, self.failed_dir / f"{lease.envelope.entry_key}.pkl"
+        )
+        self._unlink_quietly(lease.path)
+
+    def release(self, lease: Lease) -> None:
+        """Put a claimed task back unexecuted (e.g. version mismatch)."""
+        try:
+            os.rename(lease.path, self.tasks_dir / lease.path.name)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return len(self._listdir(self.tasks_dir))
+
+    def leased_count(self) -> int:
+        return len(self._listdir(self.leases_dir))
+
+    # ------------------------------------------------------------------
+
+    def _task_path(self, entry_key: str) -> Path:
+        return self.tasks_dir / f"{entry_key}.task"
+
+    def _lease_path(self, entry_key: str) -> Path:
+        return self.leases_dir / f"{entry_key}.task"
+
+    def _listdir(self, directory: Path) -> List[Path]:
+        try:
+            return [
+                directory / name
+                for name in os.listdir(directory)
+                if not name.startswith(".")
+            ]
+        except FileNotFoundError:
+            return []
+
+    def _atomic_write_pickle(self, payload: Any, destination: Path) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=destination.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _unlink_quietly(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def default_queue_dir(cache_directory: Union[str, Path]) -> Path:
+    """The conventional queue location inside a shared cache dir."""
+    return Path(cache_directory) / DEFAULT_QUEUE_SUBDIR

@@ -1,0 +1,153 @@
+"""The queue worker: claim, execute, publish, repeat.
+
+``runner worker`` wraps :class:`QueueWorker` in a CLI; the queue
+backend reuses :func:`execute_lease` for its own local participation.
+A worker is stateless between tasks -- kill it at any instant and the
+worst case is one stale lease, which a submitter or another worker
+reclaims after ``lease_timeout`` (results live in the shared cache,
+so nothing completed is ever lost or recomputed).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.jobqueue import JobQueue, Lease, worker_identity
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did across its lifetime."""
+
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    refused: int = 0
+    reclaimed: int = 0
+
+
+def execute_lease(lease: Lease, cache: ResultCache, queue: JobQueue) -> bool:
+    """Run one claimed task end to end; ``True`` on success.
+
+    The result is stored in the cache *before* the lease is retired, so
+    a crash between the two leaves a stale lease whose re-execution is
+    a cheap cache overwrite -- never a lost result.  A task that raises
+    produces a failure record for the submitter instead of killing the
+    worker.  An operator interrupt (Ctrl-C / SystemExit) is *not* a
+    task failure: the task goes straight back to the queue for another
+    worker, keeping the "kill a worker at any instant" contract.
+    """
+    try:
+        result = lease.envelope.task.execute()
+        cache.store(lease.envelope.entry_key, lease.envelope.task.key, result)
+    except (KeyboardInterrupt, SystemExit):
+        queue.release(lease)
+        raise
+    except BaseException as error:  # noqa: BLE001 -- published, not hidden
+        queue.fail(lease, error)
+        return False
+    queue.complete(lease)
+    return True
+
+
+class QueueWorker:
+    """Drains a queue directory until told (or timed out) to stop."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: ResultCache,
+        *,
+        poll_interval: float = 0.2,
+        idle_timeout: Optional[float] = None,
+        max_tasks: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.queue = queue
+        self.cache = cache
+        self.poll_interval = poll_interval
+        #: Exit after this many seconds without claiming anything
+        #: (``None`` = run until killed).
+        self.idle_timeout = idle_timeout
+        self.max_tasks = max_tasks
+        #: When set, this worker also reclaims leases of dead peers.
+        self.lease_timeout = lease_timeout
+        self.stats = WorkerStats()
+        self.log = log or (lambda message: None)
+        #: Entry keys already refused for version mismatch (warn once).
+        self._refused_keys = set()
+
+    def run(self) -> WorkerStats:
+        self.queue.ensure()
+        self.log(f"worker {worker_identity()} attached to {self.queue.directory}")
+        last_claim = time.monotonic()
+        while True:
+            if self.max_tasks is not None and self.stats.claimed >= self.max_tasks:
+                break
+            lease = self.queue.claim(accept=self._accept)
+            if lease is None:
+                if self.lease_timeout is not None:
+                    self.stats.reclaimed += self.queue.reclaim_stale(
+                        self.lease_timeout
+                    )
+                if (
+                    self.idle_timeout is not None
+                    and time.monotonic() - last_claim >= self.idle_timeout
+                ):
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            last_claim = time.monotonic()
+            self.stats.claimed += 1
+            self._run_one(lease)
+        self.log(
+            f"worker {worker_identity()} exiting: "
+            f"{self.stats.completed} completed, {self.stats.failed} failed, "
+            f"{self.stats.refused} refused"
+        )
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _accept(self, envelope) -> bool:
+        """Claim filter: refuse tasks from a different source tree.
+
+        Publishing results computed by different code under the
+        submitter's key would silently poison the cache; refused tasks
+        stay queued for a matching worker (or the submitter itself)
+        and -- because the filter skips rather than blocks -- never
+        starve claimable tasks behind them.
+        """
+        if envelope.cache_version == self.cache.version:
+            return True
+        if envelope.entry_key not in self._refused_keys:
+            self._refused_keys.add(envelope.entry_key)
+            self.stats.refused += 1
+            self.log(
+                f"refused {self._label(envelope.task.key)}: code version "
+                f"{self.cache.version} != submitter "
+                f"{envelope.cache_version} (update this worker's checkout)"
+            )
+        return False
+
+    def _run_one(self, lease: Lease) -> None:
+        envelope = lease.envelope
+        if execute_lease(lease, self.cache, self.queue):
+            self.stats.completed += 1
+            self.log(f"completed {self._label(envelope.task.key)}")
+        else:
+            self.stats.failed += 1
+            self.log(f"FAILED {self._label(envelope.task.key)}")
+
+    @staticmethod
+    def _label(key) -> str:
+        return "/".join(str(part) for part in key)
+
+
+def stderr_log(message: str) -> None:
+    print(f"[worker] {message}", file=sys.stderr, flush=True)

@@ -1,0 +1,454 @@
+"""Execution-backend equivalence, queue/lease mechanics, and
+concurrent-cache-writer safety.
+
+The contract: every backend produces bit-identical results for the
+same task batch (tasks are pure), the file-based job queue never loses
+or duplicates a task even across worker crashes, and two processes
+hammering one ``.repro_cache/`` directory can never corrupt an entry.
+"""
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig12_performance
+from repro.experiments.common import ExperimentScale
+from repro.orchestration import (
+    BackendError,
+    JobQueue,
+    OrchestrationContext,
+    ProcessBackend,
+    QueueBackend,
+    QueueTaskFailed,
+    QueueWorker,
+    ResultCache,
+    SerialBackend,
+    TaskEnvelope,
+    create_backend,
+    default_backend,
+    default_queue_dir,
+    make_task,
+)
+
+#: Matches tests/test_orchestration.py's TINY fig12 grid (3 tasks).
+TINY = ExperimentScale(
+    rows_per_bank=1024,
+    banks=(1,),
+    n_mixes=1,
+    requests_per_core=600,
+    hc_first_values=(64,),
+    svard_profiles=("S0",),
+    seed=5,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _double(task):
+    return task.params * 2
+
+
+def _boom(task):
+    raise RuntimeError(f"task {task.key} exploded")
+
+
+def _interrupt(task):
+    raise KeyboardInterrupt
+
+
+def _fig12(scale, orchestration=None):
+    return fig12_performance.run(
+        scale, defenses=("PARA",), orchestration=orchestration
+    )
+
+
+def _queue_context(tmp_path, **backend_kwargs):
+    cache = ResultCache(tmp_path / "cache")
+    backend = QueueBackend(
+        default_queue_dir(cache.directory), **backend_kwargs
+    )
+    return OrchestrationContext(cache=cache, backend=backend), backend
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence: serial == process == queue, bit-identical.
+# ----------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    def test_all_backends_bit_identical(self, tmp_path):
+        serial = _fig12(TINY)
+
+        process_ctx = OrchestrationContext(backend=ProcessBackend(2))
+        process = _fig12(TINY, process_ctx)
+        process_ctx.close()
+
+        queue_ctx, backend = _queue_context(tmp_path)
+        queued = _fig12(TINY, queue_ctx)
+
+        assert serial.metrics == process.metrics
+        assert serial.metrics == queued.metrics
+        # The participating submitter executed everything itself ...
+        assert backend.stats.local_executed == 3
+        assert backend.stats.enqueued == 3
+        # ... and a warm re-run over the same cache recalls all of it.
+        warm_ctx, _ = _queue_context(tmp_path)
+        warm = _fig12(TINY, warm_ctx)
+        assert warm.metrics == serial.metrics
+        assert warm_ctx.stats.hits == warm_ctx.stats.submitted == 3
+        assert warm_ctx.stats.executed == 0
+
+    def test_default_backend_selection(self):
+        assert isinstance(default_backend(1), SerialBackend)
+        assert isinstance(default_backend(4), ProcessBackend)
+        assert OrchestrationContext(jobs=1).backend.name == "serial"
+        assert OrchestrationContext(jobs=3).backend.name == "process"
+
+    def test_create_backend_factory(self, tmp_path):
+        assert create_backend("serial").name == "serial"
+        assert create_backend("process", jobs=2).name == "process"
+        queue = create_backend("queue", queue_dir=tmp_path / "q")
+        assert queue.name == "queue"
+        with pytest.raises(BackendError, match="unknown backend"):
+            create_backend("slurm")
+        with pytest.raises(BackendError, match="queue directory"):
+            create_backend("queue")
+
+    def test_queue_backend_requires_cache(self, tmp_path):
+        ctx = OrchestrationContext(
+            backend=QueueBackend(tmp_path / "q"), cache=None
+        )
+        with pytest.raises(BackendError, match="cache"):
+            ctx.run([make_task(("t",), _double, 1)])
+
+
+# ----------------------------------------------------------------------
+# Queue mechanics: leases, crash recovery, sharing, failures.
+# ----------------------------------------------------------------------
+
+
+class TestQueueMechanics:
+    def test_participating_submitter_drains_alone(self, tmp_path):
+        ctx, backend = _queue_context(tmp_path)
+        tasks = [make_task((i,), _double, i) for i in range(5)]
+        assert ctx.run(tasks, fingerprint="fp") == {
+            (i,): i * 2 for i in range(5)
+        }
+        queue = backend.queue
+        assert queue.pending_count() == 0
+        assert queue.leased_count() == 0
+
+    def test_restart_resumes_without_recomputing_cached_tasks(self, tmp_path):
+        """Kill a sweep part-way; the re-run only executes the rest."""
+        tasks = [make_task((i,), _double, i) for i in range(6)]
+
+        first_ctx, _ = _queue_context(tmp_path)
+        first_ctx.run(tasks[:4], fingerprint="fp")  # "crashed" after 4
+
+        resumed_ctx, backend = _queue_context(tmp_path)
+        results = resumed_ctx.run(tasks, fingerprint="fp")
+        assert results == {(i,): i * 2 for i in range(6)}
+        assert resumed_ctx.stats.hits == 4
+        assert resumed_ctx.stats.executed == 2
+        assert backend.stats.enqueued == 2  # only the missing tasks
+
+    def test_stale_lease_of_dead_worker_reclaimed(self, tmp_path):
+        """A lease whose worker died becomes claimable again."""
+        ctx, backend = _queue_context(
+            tmp_path, lease_timeout=0.5, poll_interval=0.05
+        )
+        queue = backend.queue.ensure()
+        task = make_task(("t",), _double, 21)
+        entry_key = ctx.cache.entry_key(task.key, "fp")
+        queue.enqueue(TaskEnvelope(
+            entry_key=entry_key, task=task, cache_version=ctx.cache.version
+        ))
+        # A worker claims the task and dies without completing it.
+        lease = queue.claim()
+        assert lease is not None
+        stale = time.time() - 3600
+        os.utime(lease.path, (stale, stale))
+
+        # The submitter sees nothing claimable at first, reclaims the
+        # stale lease, and finishes the sweep itself.
+        assert ctx.run([task], fingerprint="fp") == {("t",): 42}
+        assert backend.stats.leases_reclaimed == 1
+        assert backend.stats.already_in_flight == 1
+        assert queue.leased_count() == 0
+
+    def test_task_already_in_flight_not_enqueued_twice(self, tmp_path):
+        ctx, backend = _queue_context(tmp_path)
+        queue = backend.queue.ensure()
+        task = make_task(("t",), _double, 3)
+        entry_key = ctx.cache.entry_key(task.key, "fp")
+        queue.enqueue(TaskEnvelope(
+            entry_key=entry_key, task=task, cache_version=ctx.cache.version
+        ))
+        assert ctx.run([task], fingerprint="fp") == {("t",): 6}
+        assert backend.stats.enqueued == 0
+        assert backend.stats.already_in_flight == 1
+
+    def test_failing_task_surfaces_with_traceback(self, tmp_path):
+        ctx, _ = _queue_context(tmp_path)
+        with pytest.raises(QueueTaskFailed, match="exploded"):
+            ctx.run([make_task(("t",), _boom)], fingerprint="fp")
+
+    def test_failure_record_cleared_on_retry(self, tmp_path):
+        ctx, backend = _queue_context(tmp_path)
+        with pytest.raises(QueueTaskFailed):
+            ctx.run([make_task(("t",), _boom)], fingerprint="fp")
+        assert backend.queue.failure_for(
+            ctx.cache.entry_key(("t",), "fp")
+        ) is not None
+        # A fresh attempt at the same key starts clean (e.g. after the
+        # underlying flakiness was fixed without a code change).
+        retry_ctx, _ = _queue_context(tmp_path)
+        good = make_task(("t",), _double, 4)
+        assert retry_ctx.run([good], fingerprint="fp") == {("t",): 8}
+
+    def test_worker_refuses_version_mismatch(self, tmp_path):
+        """A worker from a different source tree must not poison keys."""
+        cache = ResultCache(tmp_path / "cache", version="v-submitter")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        task = make_task(("t",), _double, 21)
+        queue.enqueue(TaskEnvelope(
+            entry_key=cache.entry_key(task.key, "fp"),
+            task=task,
+            cache_version="v-submitter",
+        ))
+        worker = QueueWorker(
+            queue,
+            ResultCache(tmp_path / "cache", version="v-other"),
+            poll_interval=0.01,
+            idle_timeout=0.05,
+            max_tasks=1,
+        )
+        stats = worker.run()
+        assert stats.refused == 1
+        assert stats.completed == 0
+        assert queue.pending_count() == 1  # released, still claimable
+
+    def test_participating_submitter_refuses_foreign_version_task(
+        self, tmp_path
+    ):
+        """A participating submitter must not execute another
+        submitter's task if the source trees differ (same refusal a
+        worker makes)."""
+        ctx, backend = _queue_context(tmp_path, poll_interval=0.01)
+        queue = backend.queue.ensure()
+        foreign = make_task(("foreign",), _double, 7)
+        # "0"*64 sorts before any sha256 entry key, so a naive
+        # claim-first-then-release submitter would starve on it.
+        queue.enqueue(TaskEnvelope(
+            entry_key="0" * 64, task=foreign, cache_version="some-other-tree"
+        ))
+        own = make_task(("own",), _double, 2)
+        assert ctx.run([own], fingerprint="fp") == {("own",): 4}
+        # The foreign task is untouched: still queued, never executed,
+        # no failure recorded.
+        assert queue.pending_count() == 1
+        assert queue.failure_for("0" * 64) is None
+
+    def test_interrupted_task_released_not_failed(self, tmp_path):
+        """Ctrl-C mid-task re-queues the task; it is not a failure."""
+        from repro.orchestration.worker import execute_lease
+
+        cache = ResultCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        task = make_task(("t",), _interrupt)
+        entry_key = cache.entry_key(task.key, "fp")
+        queue.enqueue(TaskEnvelope(
+            entry_key=entry_key, task=task, cache_version=cache.version
+        ))
+        lease = queue.claim()
+        with pytest.raises(KeyboardInterrupt):
+            execute_lease(lease, cache, queue)
+        assert queue.failure_for(entry_key) is None
+        assert queue.pending_count() == 1  # claimable by another worker
+        assert queue.leased_count() == 0
+
+    def test_vanished_result_republished_not_waited_on_forever(
+        self, tmp_path
+    ):
+        """A completed task whose stored result is later discarded as
+        corrupt must be re-enqueued by the submitter, not waited on
+        until the heat death of the universe."""
+        import threading
+
+        from repro.orchestration import PendingTask
+        from repro.orchestration.worker import execute_lease
+
+        cache = ResultCache(tmp_path / "cache")
+        backend = QueueBackend(
+            default_queue_dir(cache.directory),
+            participate=False,
+            poll_interval=0.01,
+        )
+        queue = backend.queue
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, "fp")
+
+        results = {}
+
+        def drain():
+            for key, value in backend.execute(
+                [PendingTask(task=task, entry_key=entry_key)], cache
+            ):
+                results[key] = value
+
+        submitter = threading.Thread(target=drain)
+        submitter.start()
+        try:
+            # Act as the first worker: complete the task, then have the
+            # stored result turn to garbage before the submitter reads
+            # it (the corrupt-entry case cache recovery exists for).
+            lease = self._claim_eventually(queue)
+            result = lease.envelope.task.execute()
+            cache.path_for(entry_key).parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            cache.path_for(entry_key).write_bytes(b"\x80\x04 torn")
+            queue.complete(lease)
+
+            # The submitter discards the corrupt entry and republishes;
+            # a second worker pass completes it for real.
+            lease = self._claim_eventually(queue, timeout=30)
+            assert execute_lease(lease, cache, queue)
+        finally:
+            submitter.join(timeout=30)
+        assert not submitter.is_alive(), "submitter never drained"
+        assert results == {("t",): 42}
+        assert backend.stats.requeued >= 1
+
+    @staticmethod
+    def _claim_eventually(queue, timeout: float = 10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            lease = queue.claim()
+            if lease is not None:
+                return lease
+            time.sleep(0.01)
+        raise AssertionError("no task became claimable in time")
+
+    def test_external_worker_process_drains_queue(self, tmp_path):
+        """The acceptance path: a real `runner worker` subprocess
+        executes every task while the submitter only waits."""
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        backend = QueueBackend(
+            default_queue_dir(cache_dir),
+            participate=False,
+            poll_interval=0.05,
+        )
+        ctx = OrchestrationContext(cache=cache, backend=backend)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments.runner", "worker",
+                "--cache-dir", str(cache_dir),
+                "--poll-interval", "0.05",
+                "--idle-timeout", "60",
+                "--max-tasks", "4",
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            tasks = [make_task((i,), _double, i) for i in range(4)]
+            results = ctx.run(tasks, fingerprint="fp")
+        finally:
+            try:
+                worker.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait()
+        assert results == {(i,): i * 2 for i in range(4)}
+        assert backend.stats.local_executed == 0
+        assert backend.stats.remote_completed == 4
+        assert worker.returncode == 0, worker.stderr.read()
+
+
+# ----------------------------------------------------------------------
+# Concurrent cache writers: one .repro_cache/, many processes.
+# ----------------------------------------------------------------------
+
+
+def _hammer_cache(directory, offsets, barrier):
+    """Worker-process body: store many entries into one shared cache."""
+    cache = ResultCache(directory, version="vX")
+    barrier.wait()  # maximize write overlap between the processes
+    for offset in offsets:
+        for index in range(25):
+            entry_key = cache.entry_key(("entry", index), "fp")
+            cache.store(entry_key, ("entry", index), index * 10 + offset)
+
+
+class TestConcurrentCacheWriters:
+    def test_two_processes_one_cache_no_corruption(self, tmp_path):
+        """Two processes racing on the same entries never corrupt them.
+
+        Both write the full key range simultaneously (os.replace makes
+        each store atomic), so afterwards every entry must load as one
+        of the two written values -- never a torn mix, never a
+        validation failure.
+        """
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(
+                target=_hammer_cache, args=(tmp_path, [offset], barrier)
+            )
+            for offset in (1, 2)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+            assert writer.exitcode == 0
+
+        cache = ResultCache(tmp_path, version="vX")
+        for index in range(25):
+            hit, value = cache.load(cache.entry_key(("entry", index), "fp"))
+            assert hit
+            assert value in (index * 10 + 1, index * 10 + 2)
+        assert cache.stats.corrupt_discarded == 0
+
+    def test_corrupt_entry_recovered_under_queue_backend(self, tmp_path):
+        """Queue runs recompute corrupt entries like every other path."""
+        ctx, backend = _queue_context(tmp_path)
+        task = make_task(("t",), _double, 21)
+        assert ctx.run([task], fingerprint="fp") == {("t",): 42}
+
+        entry_key = ctx.cache.entry_key(task.key, "fp")
+        ctx.cache.path_for(entry_key).write_bytes(b"\x80\x04 torn write")
+
+        fresh_ctx, fresh_backend = _queue_context(tmp_path)
+        assert fresh_ctx.run([task], fingerprint="fp") == {("t",): 42}
+        assert fresh_ctx.cache.stats.corrupt_discarded == 1
+        assert fresh_ctx.stats.executed == 1
+        assert fresh_backend.stats.local_executed == 1
+        # The recomputed entry is valid again.
+        again_ctx, _ = _queue_context(tmp_path)
+        assert again_ctx.run([task], fingerprint="fp") == {("t",): 42}
+        assert again_ctx.stats.hits == 1
+
+    def test_corrupt_queue_task_file_skipped(self, tmp_path):
+        """Garbage dropped into tasks/ is discarded, not fatal."""
+        queue = JobQueue(tmp_path / "q").ensure()
+        (queue.tasks_dir / "junk.task").write_bytes(b"not a pickle")
+        assert queue.claim() is None
+        assert queue.pending_count() == 0

@@ -1,0 +1,98 @@
+"""The CSV and LaTeX renderers (the cheap-renderer ROADMAP item)."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.api import ResultSet, ResultTable
+from repro.experiments.render import (
+    CsvRenderer,
+    LatexRenderer,
+    get_renderer,
+    renderer_names,
+)
+
+
+@pytest.fixture
+def sample():
+    return ResultSet(
+        experiment="demo",
+        title="Demo, with specials_&_commas",
+        scalars={"max_f1": 0.75, "n": 3},
+        tables=(
+            ResultTable(
+                name="main",
+                headers=("label", "value"),
+                rows=(("a,b", 1.5), ("c_d", None)),
+            ),
+            ResultTable(
+                name="extra",
+                headers=("k",),
+                rows=(("x",),),
+            ),
+        ),
+    )
+
+
+class TestCsvRenderer:
+    def test_registered(self):
+        assert "csv" in renderer_names()
+        assert get_renderer("csv").format_name == "csv"
+
+    def test_render_concatenates_tables_with_markers(self, sample):
+        text = CsvRenderer().render(sample)
+        assert "# table: scalars" in text
+        assert "# table: main" in text
+        assert "# table: extra" in text
+        # Cells containing commas are quoted, None stays empty.
+        assert '"a,b",1.5' in text
+        assert "c_d," in text
+
+    def test_write_one_file_per_table(self, sample, tmp_path):
+        paths = CsvRenderer().write(sample, tmp_path)
+        assert sorted(p.name for p in paths) == [
+            "demo.extra.csv", "demo.main.csv", "demo.scalars.csv",
+        ]
+        main = (tmp_path / "demo.main.csv").read_text()
+        assert main.splitlines()[0] == "label,value"
+        scalars = (tmp_path / "demo.scalars.csv").read_text()
+        assert "max_f1,0.75" in scalars
+
+    def test_runner_format_csv(self, tmp_path, capsys):
+        code = runner.main([
+            "run", "sec64", "--no-cache", "--format", "csv",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        written = list(tmp_path.glob("sec64.*.csv"))
+        assert written, "csv artifacts missing"
+        for path in written:
+            assert path.read_text().strip()
+
+
+class TestLatexRenderer:
+    def test_registered(self):
+        assert "latex" in renderer_names()
+
+    def test_scalars_emitted_like_every_other_renderer(self, sample):
+        text = LatexRenderer().render(sample)
+        assert r"\label{tab:demo-scalars}" in text
+        assert r"max\_f1" in text and "0.75" in text
+
+    def test_render_escapes_and_structures(self, sample):
+        text = LatexRenderer().render(sample)
+        assert r"\begin{tabular}{ll}" in text
+        assert r"\label{tab:demo-main}" in text
+        # LaTeX specials escaped in titles and cells.
+        assert r"specials\_\&\_commas" in text
+        assert r"c\_d" in text
+        # None renders as a dash, floats compactly.
+        assert "-- \\\\" in text or "& --" in text
+
+    def test_stdout_mode_via_runner(self, capsys):
+        code = runner.main(["run", "sec64", "--no-cache", "--format", "latex"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert r"\begin{table}" in out
+        assert r"\end{tabular}" in out
