@@ -1,10 +1,12 @@
 # Developer entry points.  Everything runs from a clean checkout with
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
-#   make test           tier-1 test suite (what CI gates on)
+#   make test           tier-1 test suite + the report smoke (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
+#   make report-smoke   two-seed recipe -> self-contained report.html,
+#                       checked for well-formedness + aggregation
 #   make figures        render all matplotlib paper figures into figures/
 #   make bench-smoke    tier-1 tests + a 2-job orchestrated Fig 12 smoke
 #   make bench          full pytest-benchmark suite (cold caches)
@@ -22,11 +24,15 @@ PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test smoke recipes-smoke figures bench-smoke bench bench-backends \
-        golden worker clean-cache
+.PHONY: test smoke recipes-smoke report-smoke figures bench-smoke bench \
+        bench-backends golden worker clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) report-smoke
+
+report-smoke:
+	$(PYTHON) scripts/report_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list
@@ -62,7 +68,7 @@ worker:
 
 golden:
 	$(PYTHON) -m pytest tests/test_golden.py tests/test_experiment_api.py \
-		-q --update-golden
+		tests/test_report.py -q --update-golden
 
 clean-cache:
 	rm -rf .repro_cache

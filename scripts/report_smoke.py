@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""`make report-smoke`: the HTML report pipeline, end to end.
+
+Runs the checked-in two-seed ``report-smoke`` recipe at ``--smoke``
+scale through the real CLI, builds the report twice -- once in-memory
+via ``recipe run --report`` and once from the on-disk artifact tree
+via ``runner report`` -- and asserts both pages are:
+
+1. **well-formed**: html.parser walks them with every non-void tag
+   balanced;
+2. **self-contained**: no ``src``/``href`` pointing at an external
+   URL, no ``<script>``, at least one inline ``<svg>`` chart;
+3. **aggregated**: the fig3 section carries ``_mean``/``_stddev``
+   columns and the seed matrix in its provenance block.
+
+Everything happens in a temp directory; the working tree is untouched.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import tempfile
+from html.parser import HTMLParser
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from recipes_smoke import cli_env  # noqa: E402 -- shared CLI env helper
+
+#: HTML void elements plus SVG leaf shapes (no closing tag).
+VOID_TAGS = frozenset({
+    "meta", "br", "hr", "img", "input", "link",
+    "circle", "rect", "line", "path", "polyline", "polygon",
+})
+
+
+class WellFormedChecker(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.stack: list = []
+        self.problems: list = []
+        self.svg_count = 0
+
+    def handle_starttag(self, tag, attrs):
+        if tag == "svg":
+            self.svg_count += 1
+        for name, value in attrs:
+            if name in ("src", "href") and value and re.match(
+                r"(?:https?:)?//", value
+            ):
+                self.problems.append(f"external {name}: {value}")
+        if tag == "script":
+            self.problems.append("unexpected <script>")
+        if tag not in VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in VOID_TAGS:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.problems.append(
+                f"mismatched </{tag}> (open: {self.stack[-3:]})"
+            )
+            return
+        self.stack.pop()
+
+
+def check_page(path: Path, *, expect: tuple) -> list:
+    problems = []
+    if not path.is_file():
+        return [f"{path} was not written"]
+    text = path.read_text(encoding="utf-8")
+    checker = WellFormedChecker()
+    checker.feed(text)
+    checker.close()
+    problems += [f"{path.name}: {p}" for p in checker.problems]
+    if checker.stack:
+        problems.append(f"{path.name}: unclosed tags {checker.stack}")
+    if checker.svg_count < 1:
+        problems.append(f"{path.name}: no inline SVG charts")
+    for needle in expect:
+        if needle not in text:
+            problems.append(f"{path.name}: missing {needle!r}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    with tempfile.TemporaryDirectory(prefix="report-smoke-") as tmp:
+        work = Path(tmp)
+        out = work / "artifacts"
+        env = cli_env()
+
+        print("[report-smoke] recipe run report-smoke --smoke --report")
+        subprocess.run(
+            RUNNER + [
+                "recipe", "run", "report-smoke", "--smoke",
+                "--cache-dir", str(work / "cache"),
+                "--format", "json", "--out", str(out), "--report",
+            ],
+            check=True, env=env, cwd=ROOT, stdout=subprocess.DEVNULL,
+        )
+        print("[report-smoke] runner report <artifact-tree>")
+        subprocess.run(
+            RUNNER + [
+                "report", str(out), "--out", str(work / "stitched.html"),
+            ],
+            check=True, env=env, cwd=ROOT, stdout=subprocess.DEVNULL,
+        )
+
+        #: Aggregation evidence: fig3's seed-dependent CV column gets
+        #: stats columns; provenance names both seeds.
+        expectations = (
+            "cv_measured_pct_mean",
+            "cv_measured_pct_stddev",
+            "0, 1 (2 seeds",
+            "report-smoke v1",
+        )
+        problems += check_page(out / "report.html", expect=expectations)
+        problems += check_page(
+            work / "stitched.html", expect=expectations
+        )
+
+    if problems:
+        print("[report-smoke] FAIL")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("[report-smoke] ok: both pages well-formed, self-contained, "
+          "aggregated across 2 seeds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,28 @@ def _check_scalar(value: Any, where: str) -> Scalar:
     return value
 
 
+def is_number(value: Any) -> bool:
+    """True for int/float data values (bool is a flag, not a number)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def format_scalar(value: Any) -> str:
+    """The one display formatting for cell/scalar values.
+
+    Shared by the aggregation layout, the HTML report, and the SVG
+    plotter's ticks/tooltips so the same value never renders two
+    different ways on one page: ``None`` is a dash, integral floats
+    drop the point, other floats get 4 significant digits.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
 # ----------------------------------------------------------------------
 # ResultSet: the structured artifact
 # ----------------------------------------------------------------------
@@ -118,6 +140,12 @@ class PlotSpec:
     ``kind`` is one of ``line``, ``bar``, ``scatter``.  ``x`` and ``y``
     name columns of ``table``; ``series`` optionally names a column to
     group rows into one plotted series per distinct value.
+
+    ``ybands`` optionally attaches an error band to a ``y`` column:
+    each entry is ``(y_column, low_column, high_column)``, all naming
+    columns of ``table``.  The seed-matrix aggregation layer
+    (:mod:`repro.experiments.aggregate`) emits these so the SVG and
+    mpl renderers can shade min--max envelopes around mean lines.
     """
 
     name: str
@@ -131,12 +159,44 @@ class PlotSpec:
     ylabel: str = ""
     logx: bool = False
     logy: bool = False
+    ybands: Tuple[Tuple[str, str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("line", "bar", "scatter"):
             raise ValueError(f"unknown plot kind {self.kind!r}")
         ys = (self.y,) if isinstance(self.y, str) else tuple(self.y)
         object.__setattr__(self, "y", ys)
+        bands = tuple(tuple(band) for band in self.ybands)
+        for band in bands:
+            if len(band) != 3 or not all(isinstance(c, str) for c in band):
+                raise ValueError(
+                    f"plot {self.name!r}: ybands entries must be "
+                    f"(y, low, high) column-name triples, got {band!r}"
+                )
+        object.__setattr__(self, "ybands", bands)
+
+    def band_for(self, y_column: str) -> Optional[Tuple[str, str]]:
+        """The ``(low, high)`` band columns for ``y_column``, if any."""
+        for y, low, high in self.ybands:
+            if y == y_column:
+                return (low, high)
+        return None
+
+
+def split_series(table: "ResultTable", spec: "PlotSpec") -> Dict[str, list]:
+    """Group a table's rows into plotted series per the spec.
+
+    The single definition both chart paths (the mpl renderer and the
+    pure-python SVG plotter) draw from, so an SVG chart and a PNG of
+    the same artifact can never disagree on what the series are.
+    """
+    if spec.series is None:
+        return {"": list(table.rows)}
+    index = table.headers.index(spec.series)
+    series: Dict[str, list] = {}
+    for row in table.rows:
+        series.setdefault(str(row[index]), []).append(row)
+    return series
 
 
 @dataclass(frozen=True)
@@ -281,6 +341,13 @@ class ResultSet:
                     "ylabel": p.ylabel,
                     "logx": p.logx,
                     "logy": p.logy,
+                    # Emitted only when present so pre-band artifacts
+                    # (and their goldens) keep their exact shape.
+                    **(
+                        {"ybands": [list(band) for band in p.ybands]}
+                        if p.ybands
+                        else {}
+                    ),
                 }
                 for p in self.plots
             ],
@@ -323,6 +390,9 @@ class ResultSet:
                     ylabel=p.get("ylabel", ""),
                     logx=p.get("logx", False),
                     logy=p.get("logy", False),
+                    ybands=tuple(
+                        tuple(band) for band in p.get("ybands", ())
+                    ),
                 )
                 for p in data.get("plots", [])
             ),

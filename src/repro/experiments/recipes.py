@@ -278,6 +278,30 @@ FIG12_PAPER_GRID = register_recipe(Recipe(
     paper_ref="Fig. 12",
 ))
 
+#: The report pipeline's canary: two seeds over one cheap
+#: characterization figure plus the (seed-independent) hardware-cost
+#: table.  `make report-smoke` runs it at --smoke scale, builds the
+#: HTML report, and asserts the page is self-contained; it doubles as
+#: the smallest real example of seed-matrix aggregation (fig3's BER
+#: stats vary across seeds, sec64's costs do not).
+REPORT_SMOKE = register_recipe(Recipe(
+    name="report-smoke",
+    version=1,
+    description="Two-seed micro-grid exercising report aggregation",
+    experiments=("fig3", "sec64"),
+    overrides={
+        "rows_per_bank": 512,
+        "banks": (1,),
+        "modules": ("H1", "S0"),
+    },
+    seeds=(0, 1),
+    smoke_overrides={
+        "rows_per_bank": 256,
+        "modules": ("H1",),
+    },
+    paper_ref="Fig. 3 / Sec. 6.4",
+))
+
 #: RowPress beyond Fig 7's three points: a log-spaced tAggOn sweep
 #: from the minimum tRAS out to 8 us, per-module CVs included
 #: (ROADMAP's "multi-tAggOn RowPress sweeps" item).

@@ -1,6 +1,6 @@
 """Pluggable renderers for :class:`~repro.experiments.api.ResultSet`.
 
-Five renderers ship with the repository:
+Six renderers ship with the repository:
 
 * ``text`` -- the paper-style fixed-width tables (byte-identical to
   the pre-API ``render()`` output; pinned by the parity snapshots in
@@ -12,6 +12,10 @@ Five renderers ship with the repository:
   ``# table:`` separators).
 * ``latex`` -- one ``table``/``tabular`` environment per
   ``ResultTable``, cells escaped, ready to ``\\input`` into a paper.
+* ``html`` -- a self-contained single-page report (inline SVG charts,
+  no matplotlib, no external URLs); the same engine
+  (:mod:`repro.experiments.report`) stitches whole artifact trees via
+  ``runner report`` -- see REPORTS.md.
 * ``mpl`` -- matplotlib paper figures (PNG + SVG) driven by the
   declarative :class:`~repro.experiments.api.PlotSpec` entries.
   matplotlib is imported lazily; on hosts without it the renderer
@@ -37,7 +41,12 @@ from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Dict, List, Sequence
 
-from repro.experiments.api import PlotSpec, ResultSet, ResultTable
+from repro.experiments.api import (
+    PlotSpec,
+    ResultSet,
+    ResultTable,
+    split_series,
+)
 
 
 class RendererUnavailable(RuntimeError):
@@ -219,6 +228,28 @@ class LatexRenderer(Renderer):
         return "".join(self._ESCAPES.get(ch, ch) for ch in text)
 
 
+class HtmlRenderer(Renderer):
+    """A single-ResultSet page of the self-contained HTML report.
+
+    The heavy lifting lives in :mod:`repro.experiments.report`
+    (imported lazily to keep this registry module dependency-light);
+    charts come from the pure-python SVG plotter, so this renderer is
+    available everywhere, matplotlib or not.
+    """
+
+    format_name = "html"
+    suffix = ".html"
+
+    def render(self, result_set: ResultSet) -> str:
+        from repro.experiments.report import build_report
+
+        return build_report(
+            [result_set],
+            title=result_set.title,
+            subtitle=f"experiment: {result_set.experiment}",
+        )
+
+
 class MplRenderer(Renderer):
     """Paper figures via matplotlib, one file pair per PlotSpec."""
 
@@ -294,10 +325,31 @@ class MplRenderer(Renderer):
                         (f"{label} {y_column}" if label else y_column)
                     )
                     if spec.kind == "line":
-                        axis.plot(xs, ys, marker="o", markersize=3,
-                                  label=plot_label)
+                        (line,) = axis.plot(xs, ys, marker="o",
+                                            markersize=3, label=plot_label)
+                        band_color = line.get_color()
                     else:
-                        axis.scatter(xs, ys, s=12, label=plot_label)
+                        path = axis.scatter(xs, ys, s=12, label=plot_label)
+                        band_color = path.get_facecolor()[0]
+                    band = spec.band_for(y_column)
+                    if band is not None:
+                        # Min--max envelope from the seed-matrix
+                        # aggregation layer (see aggregate.py).
+                        low_index = table.headers.index(band[0])
+                        high_index = table.headers.index(band[1])
+                        envelope = [
+                            (row[x_index], row[low_index], row[high_index])
+                            for row in rows
+                            if row[low_index] is not None
+                            and row[high_index] is not None
+                        ]
+                        if envelope:
+                            axis.fill_between(
+                                [e[0] for e in envelope],
+                                [e[1] for e in envelope],
+                                [e[2] for e in envelope],
+                                color=band_color, alpha=0.15, linewidth=0,
+                            )
         if spec.logx:
             axis.set_xscale("log")
         if spec.logy:
@@ -322,26 +374,52 @@ class MplRenderer(Renderer):
             (
                 (f"{label} {y}" if label and len(spec.y) > 1 else
                  (label or y)),
-                {
-                    row[table.headers.index(spec.x)]:
-                        row[table.headers.index(y)]
-                    for row in rows
-                },
+                y,
+                {row[table.headers.index(spec.x)]: row for row in rows},
             )
             for label, rows in series.items()
             for y in spec.y
         ]
         width = 0.8 / max(len(groups), 1)
-        for offset, (label, by_category) in enumerate(groups):
+        for offset, (label, y_column, by_category) in enumerate(groups):
+            y_index = table.headers.index(y_column)
             positions = [
                 index + offset * width for index in range(len(categories))
             ]
             # Absent categories and None cells both render as no bar.
             heights = [
-                value if (value := by_category.get(c)) is not None else 0.0
+                value
+                if (row := by_category.get(c)) is not None
+                and (value := row[y_index]) is not None
+                else 0.0
                 for c in categories
             ]
             axis.bar(positions, heights, width=width, label=label)
+            band = spec.band_for(y_column)
+            if band is not None:
+                # Min--max whiskers from the seed-matrix aggregation
+                # layer, matching the SVG plotter's bar bands.
+                low_index = table.headers.index(band[0])
+                high_index = table.headers.index(band[1])
+                whiskers = [
+                    (position, height, row[low_index], row[high_index])
+                    for position, height, c in
+                    zip(positions, heights, categories)
+                    if (row := by_category.get(c)) is not None
+                    and row[low_index] is not None
+                    and row[high_index] is not None
+                ]
+                if whiskers:
+                    axis.errorbar(
+                        [w[0] for w in whiskers],
+                        [w[1] for w in whiskers],
+                        yerr=[
+                            [w[1] - w[2] for w in whiskers],
+                            [w[3] - w[1] for w in whiskers],
+                        ],
+                        fmt="none", ecolor="black", elinewidth=1,
+                        capsize=2,
+                    )
         axis.set_xticks(
             [
                 index + width * (len(groups) - 1) / 2
@@ -350,15 +428,9 @@ class MplRenderer(Renderer):
         )
         axis.set_xticklabels([str(c) for c in categories], fontsize=7)
 
-    @staticmethod
-    def _split_series(table: ResultTable, spec: PlotSpec) -> Dict:
-        if spec.series is None:
-            return {"": list(table.rows)}
-        index = table.headers.index(spec.series)
-        series: Dict = {}
-        for row in table.rows:
-            series.setdefault(str(row[index]), []).append(row)
-        return series
+    #: Shared with the SVG plotter so both chart paths agree on what
+    #: the series are (single definition in api.py).
+    _split_series = staticmethod(split_series)
 
 
 _RENDERERS: Dict[str, Renderer] = {}
@@ -388,4 +460,5 @@ register_renderer(TextRenderer())
 register_renderer(JsonRenderer())
 register_renderer(CsvRenderer())
 register_renderer(LatexRenderer())
+register_renderer(HtmlRenderer())
 register_renderer(MplRenderer())

@@ -14,7 +14,14 @@ Usage::
         --backend queue --out results/
     python -m repro.experiments.runner worker            # drain the queue
 
-(The ``run`` verb is optional: ``runner fig12 --jobs 4`` still works.)
+    python -m repro.experiments.runner recipe run report-smoke \\
+        --out results/ --report                          # + report.html
+    python -m repro.experiments.runner report results/ \\
+        --out report.html                                # stitch a tree
+
+(The ``run`` verb is optional: ``runner fig12 --jobs 4`` still works.
+``--help-all`` dumps every subcommand's flags in one go; the same dump
+is checked into EXPERIMENTS.md and kept in sync by the test suite.)
 
 Experiments self-register with :func:`repro.experiments.api.register`;
 the runner holds no per-figure code.  Each experiment may declare
@@ -153,7 +160,7 @@ def _validate_execution_flags(parser, args) -> None:
         parser.error("--queue-wait requires --backend queue")
 
 
-def _parse_run_args(argv) -> argparse.Namespace:
+def _run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner run",
         description="Regenerate the paper's figures and tables.",
@@ -205,6 +212,11 @@ def _parse_run_args(argv) -> argparse.Namespace:
         help="characterize each module at its real ModuleSpec row count "
              "instead of the uniform --rows-per-bank",
     )
+    return parser
+
+
+def _parse_run_args(argv) -> argparse.Namespace:
+    parser = _run_parser()
     args = parser.parse_args(argv)
     _validate_execution_flags(parser, args)
     if args.banks is not None:
@@ -261,6 +273,35 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
     )
 
 
+def _stats_snapshot(orch: OrchestrationContext) -> tuple:
+    return (orch.stats.submitted, orch.stats.hits, orch.stats.executed)
+
+
+def _stamp_provenance(
+    result_set, orch: OrchestrationContext, before: tuple
+) -> None:
+    """Record how this ResultSet was computed (shown by the report).
+
+    ``before`` is the :func:`_stats_snapshot` taken just before the
+    experiment ran, so the task counts are per-experiment even though
+    the context is shared by the whole CLI invocation.
+    """
+    submitted, hits, executed = (
+        now - then for now, then in zip(_stats_snapshot(orch), before)
+    )
+    result_set.meta["provenance"] = {
+        "backend": orch.backend.describe(),
+        "cache_dir": (
+            str(orch.cache.directory) if orch.cache is not None else None
+        ),
+        "tasks": {
+            "submitted": submitted,
+            "cache_hits": hits,
+            "executed": executed,
+        },
+    }
+
+
 def _print_orchestration_stats(orch: OrchestrationContext) -> None:
     if not orch.stats.submitted:
         return
@@ -280,12 +321,15 @@ def _print_orchestration_stats(orch: OrchestrationContext) -> None:
 
 def _emit_result_set(
     result_set, renderer, format_name: str, out_dir: Optional[Path],
-    json_documents: List[dict],
+    json_documents: List[dict], html_sections: List,
 ) -> Optional[int]:
     """Render one ResultSet to stdout or ``out_dir``.
 
     Shared by ``run`` and ``recipe run``; returns an exit code for a
-    fatal renderer error, ``None`` otherwise.
+    fatal renderer error, ``None`` otherwise.  In json- and
+    html-to-stdout modes the ResultSets are collected and flushed as
+    **one** document after the loop (14 concatenated HTML pages are
+    not a loadable page).
     """
     if out_dir is not None:
         try:
@@ -306,9 +350,29 @@ def _emit_result_set(
         print()
     elif format_name == "json":
         json_documents.append(result_set.to_json_dict())
+    elif format_name == "html":
+        html_sections.append(result_set)
     else:
         print(renderer.render(result_set))
     return None
+
+
+def _flush_html_stdout(html_sections: List) -> None:
+    # One self-contained page stitching every requested experiment,
+    # mirroring _flush_json_stdout's single-document guarantee.
+    if not html_sections:
+        return
+    from repro.experiments.report import build_report
+
+    if len(html_sections) == 1:
+        section = html_sections[0]
+        print(build_report(
+            [section],
+            title=section.title,
+            subtitle=f"experiment: {section.experiment}",
+        ), end="")
+    else:
+        print(build_report(html_sections), end="")
 
 
 def _flush_json_stdout(json_documents: List[dict], requested: int) -> None:
@@ -341,7 +405,7 @@ def _scale_for(experiment, base: ExperimentScale, explicit: frozenset,
     return replace(base, **trimmed)
 
 
-def _cmd_list(argv) -> int:
+def _list_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner list",
         description="List every registered experiment.",
@@ -349,8 +413,14 @@ def _cmd_list(argv) -> int:
     parser.add_argument(
         "--format", dest="format_name", default="text",
         choices=("text", "json"),
+        help="listing format: a fixed-width table or machine-readable "
+             "JSON (default: text)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _cmd_list(argv) -> int:
+    args = _list_parser().parse_args(argv)
     experiments = all_experiments()
     if args.format_name == "json":
         print(json.dumps(
@@ -420,6 +490,7 @@ def _cmd_run(argv) -> int:
         out_dir = Path("figures")
 
     json_documents: List[dict] = []
+    html_sections: List = []
     failed: List[str] = []
     json_stdout = args.format_name == "json" and out_dir is None
 
@@ -427,6 +498,7 @@ def _cmd_run(argv) -> int:
         for name in names:
             experiment = experiments[name]
             scale = _scale_for(experiment, base_scale, explicit, args.full)
+            before = _stats_snapshot(orch)
             try:
                 result_set = experiment.run_result_set(scale, orch)
             except BackendError as error:
@@ -441,14 +513,16 @@ def _cmd_run(argv) -> int:
                 print(f"error: {name}: {error}", file=sys.stderr)
                 failed.append(name)
                 continue
+            _stamp_provenance(result_set, orch, before)
             code = _emit_result_set(
                 result_set, renderer, args.format_name, out_dir,
-                json_documents,
+                json_documents, html_sections,
             )
             if code is not None:
                 return code
         if json_stdout:
             _flush_json_stdout(json_documents, len(names))
+        _flush_html_stdout(html_sections)
         if failed:
             print(
                 f"{len(failed)} experiment(s) failed: {', '.join(failed)}",
@@ -463,7 +537,7 @@ def _cmd_run(argv) -> int:
 # ----------------------------------------------------------------------
 
 
-def _cmd_worker(argv) -> int:
+def _worker_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner worker",
         description="Claim and execute tasks from a shared job-queue "
@@ -503,7 +577,11 @@ def _cmd_worker(argv) -> int:
         "--quiet", action="store_true",
         help="suppress per-task log lines on stderr",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _cmd_worker(argv) -> int:
+    args = _worker_parser().parse_args(argv)
     cache = ResultCache(args.cache_dir)
     queue_dir = (
         Path(args.queue_dir)
@@ -537,7 +615,7 @@ def _cmd_worker(argv) -> int:
 # ----------------------------------------------------------------------
 
 
-def _cmd_recipe_list(argv) -> int:
+def _recipe_list_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner recipe list",
         description="List every checked-in sweep recipe.",
@@ -545,8 +623,14 @@ def _cmd_recipe_list(argv) -> int:
     parser.add_argument(
         "--format", dest="format_name", default="text",
         choices=("text", "json"),
+        help="listing format: a fixed-width table or the full manifests "
+             "as JSON (default: text)",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _cmd_recipe_list(argv) -> int:
+    args = _recipe_list_parser().parse_args(argv)
     recipes = all_recipes()
     if args.format_name == "json":
         print(json.dumps(
@@ -573,19 +657,53 @@ def _cmd_recipe_list(argv) -> int:
     return 0
 
 
-def _cmd_recipe_show(argv) -> int:
+def _recipe_show_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner recipe show",
-        description="Print one recipe's manifest as JSON.",
+        description="Print one recipe's manifest as JSON (stdout), plus "
+                    "its seed matrix and per-seed artifact layout "
+                    "(stderr, so stdout stays parseable).",
     )
-    parser.add_argument("name", metavar="RECIPE")
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "name", metavar="RECIPE",
+        help="a registered recipe name (see `recipe list`) or a path "
+             "to a manifest .json",
+    )
+    return parser
+
+
+def _cmd_recipe_show(argv) -> int:
+    args = _recipe_show_parser().parse_args(argv)
     try:
         recipe = get_recipe(args.name)
     except RecipeError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(json.dumps(recipe.to_manifest(), indent=2))
+    # The human-facing half goes to stderr so `recipe show X | jq`
+    # keeps working on the manifest alone.
+    seeds = ", ".join(str(seed) for seed in recipe.seeds)
+    plural = "s" if len(recipe.seeds) != 1 else ""
+    print(
+        f"\nseed matrix: {seeds} ({len(recipe.seeds)} seed{plural})",
+        file=sys.stderr,
+    )
+    print(
+        "artifact layout under `recipe run "
+        f"{recipe.name} --out DIR [--format FMT]`:",
+        file=sys.stderr,
+    )
+    experiments = ",".join(recipe.experiments)
+    for seed in recipe.seeds:
+        relative = _recipe_out_dir(Path("DIR"), recipe, seed)
+        print(
+            f"  {relative}/{{{experiments}}}.<fmt>", file=sys.stderr,
+        )
+    print(
+        "  DIR/report.html            (with --report: aggregated "
+        "across the seed matrix)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -594,7 +712,7 @@ def _recipe_out_dir(out_dir: Path, recipe: Recipe, seed: int) -> Path:
     return out_dir / f"seed{seed}"
 
 
-def _cmd_recipe_run(argv) -> int:
+def _recipe_run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner recipe run",
         description="Run a declarative sweep recipe on any backend. "
@@ -610,10 +728,24 @@ def _cmd_recipe_run(argv) -> int:
         help="apply the recipe's smoke_overrides (tiny scale, used by "
              "`make recipes-smoke` to cross-check backends)",
     )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="also write a self-contained <out>/report.html stitching "
+             "every cell together, aggregated (mean/stddev/min-max) "
+             "across the seed matrix; requires --out",
+    )
     _add_execution_flags(parser)
     _add_render_flags(parser)
+    return parser
+
+
+def _cmd_recipe_run(argv) -> int:
+    parser = _recipe_run_parser()
     args = parser.parse_args(argv)
     _validate_execution_flags(parser, args)
+    if args.report and args.out is None:
+        parser.error("--report requires --out (the report lands at "
+                     "<out>/report.html)")
 
     try:
         recipe = get_recipe(args.name)
@@ -635,14 +767,17 @@ def _cmd_recipe_run(argv) -> int:
 
     experiments = all_experiments()
     json_documents: List[dict] = []
+    html_sections: List = []
     json_stdout = args.format_name == "json" and out_dir is None
     failed: List[str] = []
+    completed: List[tuple] = []  # (experiment, seed, ResultSet)
 
     with build_context(args) as orch:
         for experiment_name, seed, scale in runs:
             cell = f"{experiment_name}@seed{seed}"
             print(f"[recipe {recipe.name} v{recipe.version}] {cell}",
                   file=sys.stderr)
+            before = _stats_snapshot(orch)
             try:
                 result_set = experiments[experiment_name].run_result_set(
                     scale, orch
@@ -660,25 +795,184 @@ def _cmd_recipe_run(argv) -> int:
                 "seed": seed,
                 "smoke": args.smoke,
             }
+            _stamp_provenance(result_set, orch, before)
+            if args.report:
+                # Only the report consumes these; retaining a whole
+                # paper-scale grid in memory otherwise is waste.
+                completed.append((experiment_name, seed, result_set))
             code = _emit_result_set(
                 result_set,
                 renderer,
                 args.format_name,
                 None if out_dir is None
                 else _recipe_out_dir(out_dir, recipe, seed),
-                json_documents,
+                json_documents, html_sections,
             )
             if code is not None:
                 return code
         if json_stdout:
             _flush_json_stdout(json_documents, len(runs))
+        _flush_html_stdout(html_sections)
         if failed:
             print(
                 f"{len(failed)} recipe cell(s) failed: {', '.join(failed)}",
                 file=sys.stderr,
             )
         _print_orchestration_stats(orch)
+
+    if args.report and completed:
+        from repro.experiments.aggregate import AggregationError
+
+        try:
+            path = _write_recipe_report(
+                recipe, args.smoke, completed, out_dir
+            )
+        except AggregationError as error:
+            # The per-seed artifacts are all on disk by now; losing
+            # the report must not look like losing the sweep.
+            print(
+                f"error: report aggregation failed: {error}\n"
+                f"(per-seed artifacts under {out_dir} are intact; "
+                f"`runner report {out_dir} --no-aggregate` renders "
+                "them unaggregated)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"wrote {path}")
     return 1 if failed else 0
+
+
+def _write_recipe_report(
+    recipe: Recipe, smoke: bool, completed: List[tuple], out_dir: Path
+) -> Path:
+    """``<out>/report.html`` for the cells of one recipe run.
+
+    The cells aggregate **in memory** (per experiment, across the seed
+    matrix), so the report works with any ``--format`` -- the on-disk
+    artifacts need not be JSON.
+    """
+    from repro.experiments.aggregate import ResultSetAggregate
+    from repro.experiments.report import build_report
+
+    sections = []
+    for experiment_name in recipe.experiments:
+        members = [
+            (seed, result_set)
+            for name, seed, result_set in completed
+            if name == experiment_name
+        ]
+        if not members:
+            continue  # every seed of this experiment failed
+        if len(members) == 1:
+            sections.append(members[0][1])
+        else:
+            sections.append(ResultSetAggregate.from_result_sets(
+                [result_set for _, result_set in members],
+                [seed for seed, _ in members],
+            ).to_result_set())
+    seeds = ", ".join(str(seed) for seed in recipe.seeds)
+    html = build_report(
+        sections,
+        title=f"{recipe.name} v{recipe.version}",
+        subtitle=f"{recipe.description} -- seeds {seeds}"
+                 + (" (smoke scale)" if smoke else ""),
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "report.html"
+    path.write_text(html, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# `report`: stitch an artifact tree into one self-contained HTML page
+# ----------------------------------------------------------------------
+
+
+def _report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner report",
+        description="Stitch ResultSet JSON artifacts (a run's --out "
+                    "tree, a recipe tree with seed*/ subdirectories, or "
+                    "a single artifact file) into one self-contained "
+                    "HTML report; seed-partitioned artifacts are "
+                    "aggregated with mean/stddev/min-max error bands. "
+                    "See REPORTS.md.",
+    )
+    parser.add_argument(
+        "artifacts", metavar="ARTIFACTS",
+        help="directory to scan recursively for ResultSet .json "
+             "artifacts (written by --format json), or one such file",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output HTML path (default: <ARTIFACTS>/report.html, or "
+             "next to a single artifact file)",
+    )
+    parser.add_argument(
+        "--title", default=None, metavar="TEXT",
+        help="report page title (default: derived from the artifact "
+             "directory name)",
+    )
+    parser.add_argument(
+        "--no-aggregate", action="store_true",
+        help="render each seed's artifacts as separate sections "
+             "instead of aggregating across seed*/ directories",
+    )
+    parser.add_argument(
+        "--prefer-mpl", action="store_true",
+        help="embed matplotlib PNGs (base64) instead of pure-python "
+             "SVG charts when matplotlib is installed; the page stays "
+             "one file either way",
+    )
+    return parser
+
+
+def _cmd_report(argv) -> int:
+    from repro.experiments.aggregate import (
+        AggregationError,
+        collect_report_sections,
+    )
+    from repro.experiments.report import build_report
+
+    args = _report_parser().parse_args(argv)
+    root = Path(args.artifacts)
+    if not root.exists():
+        print(f"error: no such artifact path: {root}", file=sys.stderr)
+        return 1
+    try:
+        sections = collect_report_sections(
+            root, aggregate=not args.no_aggregate
+        )
+    except AggregationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not sections:
+        print(
+            f"error: no ResultSet artifacts under {root} (write them "
+            "with `runner run ... --format json --out DIR` or `runner "
+            "recipe run ... --format json --out DIR`)",
+            file=sys.stderr,
+        )
+        return 1
+    title = args.title or (
+        f"Svärd reproduction report: "
+        f"{root.name if root.is_dir() else root.stem}"
+    )
+    html = build_report(
+        sections,
+        title=title,
+        subtitle=f"stitched from {root}",
+        prefer_mpl=args.prefer_mpl,
+    )
+    out = (
+        Path(args.out)
+        if args.out is not None
+        else (root if root.is_dir() else root.parent) / "report.html"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html, encoding="utf-8")
+    print(f"wrote {out} ({len(sections)} sections)")
+    return 0
 
 
 def _cmd_recipe(argv) -> int:
@@ -696,22 +990,63 @@ def _cmd_recipe(argv) -> int:
 
 
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run,recipe,worker} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker,report} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
   run     run experiments and render their artifacts (the default:
           bare experiment names imply `run`)
   recipe  declarative sweep manifests: `recipe list`, `recipe show
-          NAME`, `recipe run NAME [--smoke]` -- the checked-in
-          paper-scale grids, runnable on any backend
+          NAME`, `recipe run NAME [--smoke] [--report]` -- the
+          checked-in paper-scale grids, runnable on any backend
   worker  attach this process to a job-queue directory and execute
           tasks published by `--backend queue` submitters
+  report  stitch ResultSet JSON artifact trees (including seed*/
+          matrices, aggregated with error bands) into one
+          self-contained HTML page
 
-`python -m repro.experiments.runner run --help` shows the run flags.
-See EXPERIMENTS.md for the Experiment API and output formats, and
-ORCHESTRATION.md for backends, the queue/worker model, and the cache.
+`python -m repro.experiments.runner run --help` shows the run flags;
+`--help-all` dumps every subcommand's help in one document (the copy
+in EXPERIMENTS.md is kept in sync by the test suite).  See
+EXPERIMENTS.md for the Experiment API and output formats, REPORTS.md
+for the report pipeline, and ORCHESTRATION.md for backends, the
+queue/worker model, and the cache.
 """
+
+
+def help_all_text() -> str:
+    """Every subcommand's ``--help``, as one deterministic document.
+
+    This is the ``--help-all`` payload and the generated CLI
+    reference checked into EXPERIMENTS.md
+    (``pytest tests/test_report.py --update-golden`` refreshes it).
+    The terminal width is pinned so the output does not depend on the
+    invoking terminal.
+    """
+    import os
+
+    parsers = (
+        _list_parser(),
+        _run_parser(),
+        _recipe_list_parser(),
+        _recipe_show_parser(),
+        _recipe_run_parser(),
+        _worker_parser(),
+        _report_parser(),
+    )
+    saved = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "78"
+    try:
+        sections = [_TOP_LEVEL_HELP]
+        for parser in parsers:
+            sections.append("=" * 72 + "\n")
+            sections.append(parser.format_help())
+    finally:
+        if saved is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = saved
+    return "\n".join(sections)
 
 
 def main(argv=None) -> int:
@@ -719,12 +1054,17 @@ def main(argv=None) -> int:
     if argv and argv[0] in ("-h", "--help"):
         print(_TOP_LEVEL_HELP, end="")
         return 0
+    if argv and argv[0] == "--help-all":
+        print(help_all_text(), end="")
+        return 0
     if argv and argv[0] == "list":
         return _cmd_list(argv[1:])
     if argv and argv[0] == "recipe":
         return _cmd_recipe(argv[1:])
     if argv and argv[0] == "worker":
         return _cmd_worker(argv[1:])
+    if argv and argv[0] == "report":
+        return _cmd_report(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     # Bare experiment names (the pre-registry CLI) imply `run`.

@@ -1,0 +1,290 @@
+"""Seed-matrix aggregation (repro.experiments.aggregate)."""
+
+import json
+
+import pytest
+
+from repro.experiments.aggregate import (
+    AggregationError,
+    ResultSetAggregate,
+    collect_report_sections,
+    discover_result_sets,
+)
+from repro.experiments.api import PlotSpec, ResultSet, ResultTable
+
+
+def member(seed: int, speedup_by_hc):
+    """A fig12-shaped artifact for one seed."""
+    return ResultSet(
+        experiment="fig12",
+        title="Fig 12",
+        scalars={"n_mixes": 2, "headline": 1.0 + seed / 10},
+        tables=(ResultTable(
+            name="metrics",
+            headers=("defense", "hc_first", "weighted_speedup"),
+            rows=tuple(
+                ("PARA", hc, value)
+                for hc, value in sorted(speedup_by_hc.items())
+            ),
+        ),),
+        plots=(PlotSpec(
+            name="speedup", kind="line", table="metrics",
+            x="hc_first", y=("weighted_speedup",), series="defense",
+        ),),
+        meta={"scale": {"seed": seed, "n_mixes": 2}, "paper_ref": "Fig. 12"},
+    )
+
+
+@pytest.fixture
+def aggregate():
+    return ResultSetAggregate.from_result_sets([
+        member(0, {64: 1.0, 128: 2.0}),
+        member(1, {64: 1.2, 128: 2.2}),
+        member(2, {64: 1.1, 128: 1.8}),
+    ])
+
+
+class TestTableAggregation:
+    def test_varying_column_becomes_four_stats_columns(self, aggregate):
+        table = aggregate.to_result_set().table("metrics")
+        assert table.headers == (
+            "defense", "hc_first",
+            "weighted_speedup_mean", "weighted_speedup_stddev",
+            "weighted_speedup_min", "weighted_speedup_max",
+        )
+
+    def test_key_columns_pass_through(self, aggregate):
+        table = aggregate.to_result_set().table("metrics")
+        assert table.column("defense") == ["PARA", "PARA"]
+        assert table.column("hc_first") == [64, 128]
+
+    def test_stats_values(self, aggregate):
+        table = aggregate.to_result_set().table("metrics")
+        row = table.rows[0]  # hc 64: samples 1.0, 1.2, 1.1
+        assert row[2] == pytest.approx(1.1)       # mean
+        assert row[3] == pytest.approx(0.081649658)  # population stddev
+        assert row[4] == pytest.approx(1.0)       # min
+        assert row[5] == pytest.approx(1.2)       # max
+
+    def test_single_member_passes_through_unchanged(self):
+        one = ResultSetAggregate.from_result_sets(
+            [member(0, {64: 1.0})]
+        ).to_result_set()
+        assert one.table("metrics").headers == (
+            "defense", "hc_first", "weighted_speedup",
+        )
+        assert one.meta["aggregate"]["n_seeds"] == 1
+
+    def test_members_sorted_by_seed(self):
+        aggregate = ResultSetAggregate.from_result_sets([
+            member(5, {64: 1.0}), member(1, {64: 1.2}),
+        ])
+        assert aggregate.seeds == (1, 5)
+
+
+class TestScalarAggregation:
+    def test_identical_scalars_stay_plain(self, aggregate):
+        assert aggregate.to_result_set().scalars["n_mixes"] == 2
+
+    def test_varying_scalars_get_stats(self, aggregate):
+        scalars = aggregate.to_result_set().scalars
+        assert scalars["headline_mean"] == pytest.approx(1.1)
+        assert scalars["headline_min"] == pytest.approx(1.0)
+        assert scalars["headline_max"] == pytest.approx(1.2)
+        assert "headline" not in scalars
+
+
+class TestPlotRewrite:
+    def test_plot_points_at_mean_with_minmax_band(self, aggregate):
+        (plot,) = aggregate.to_result_set().plots
+        assert plot.y == ("weighted_speedup_mean",)
+        assert plot.ybands == ((
+            "weighted_speedup_mean",
+            "weighted_speedup_min",
+            "weighted_speedup_max",
+        ),)
+
+    def test_ybands_round_trip_json(self, aggregate):
+        result = aggregate.to_result_set()
+        clone = ResultSet.from_json_dict(
+            json.loads(json.dumps(result.to_json_dict()))
+        )
+        assert clone.plots == result.plots
+
+    def test_plots_without_ybands_keep_their_json_shape(self):
+        data = member(0, {64: 1.0}).to_json_dict()
+        assert "ybands" not in data["plots"][0]
+
+
+class TestRenderersConsumeAggregates:
+    """The stats columns flow into text/CSV/LaTeX unchanged."""
+
+    def test_text(self, aggregate):
+        text = aggregate.to_result_set().render_text()
+        assert "weighted_speedup_stddev" in text
+        assert "aggregated over 3 seeds" in text
+
+    def test_csv(self, aggregate):
+        from repro.experiments.render import get_renderer
+
+        csv_text = get_renderer("csv").render(aggregate.to_result_set())
+        assert "weighted_speedup_mean" in csv_text
+        assert "headline_stddev" in csv_text
+
+    def test_latex(self, aggregate):
+        from repro.experiments.render import get_renderer
+
+        tex = get_renderer("latex").render(aggregate.to_result_set())
+        assert r"weighted\_speedup\_mean" in tex
+
+
+class TestMisalignment:
+    def test_different_experiments_refuse(self):
+        other = ResultSet(experiment="fig13", title="x")
+        with pytest.raises(AggregationError, match="across experiments"):
+            ResultSetAggregate.from_result_sets(
+                [member(0, {64: 1.0}), other]
+            )
+
+    def test_row_count_mismatch_refuses(self):
+        with pytest.raises(AggregationError, match="row counts differ"):
+            ResultSetAggregate.from_result_sets([
+                member(0, {64: 1.0}),
+                member(1, {64: 1.0, 128: 2.0}),
+            ]).to_result_set()
+
+    def test_constant_nonnumeric_cell_in_varying_column_passes(self):
+        """An identical sentinel cell ("n/a") inside an otherwise
+        seed-varying column aligns fine; only cells that actually
+        differ must be numeric."""
+        def with_sentinel(seed):
+            return ResultSet(
+                experiment="demo", title="t",
+                tables=(ResultTable(
+                    name="main", headers=("k", "v"),
+                    rows=(("row1", 1.0 + seed), ("note", "n/a")),
+                ),),
+                meta={"scale": {"seed": seed}},
+            )
+
+        table = ResultSetAggregate.from_result_sets(
+            [with_sentinel(0), with_sentinel(1)]
+        ).to_result_set().table("main")
+        assert table.headers == (
+            "k", "v_mean", "v_stddev", "v_min", "v_max",
+        )
+        assert table.rows[0][1] == pytest.approx(1.5)
+        assert table.rows[1] == ("note", "n/a", None, None, None)
+
+    def test_varying_nonnumeric_column_refuses(self):
+        def with_label(seed, label):
+            return ResultSet(
+                experiment="demo", title="t",
+                tables=(ResultTable(
+                    name="main", headers=("k", "v"),
+                    rows=((label, 1.0),),
+                ),),
+                meta={"scale": {"seed": seed}},
+            )
+
+        with pytest.raises(AggregationError, match="not numeric"):
+            ResultSetAggregate.from_result_sets([
+                with_label(0, "a"), with_label(1, "b"),
+            ]).to_result_set()
+
+    def test_scalar_key_mismatch_refuses(self):
+        a = ResultSet(experiment="demo", title="t", scalars={"x": 1})
+        b = ResultSet(experiment="demo", title="t", scalars={"y": 1})
+        with pytest.raises(AggregationError, match="scalar keys"):
+            ResultSetAggregate.from_result_sets([a, b]).to_result_set()
+
+    def test_empty_refuses(self):
+        with pytest.raises(AggregationError, match="nothing"):
+            ResultSetAggregate.from_result_sets([])
+
+
+class TestArtifactTree:
+    def write_tree(self, root):
+        for seed in (0, 1):
+            directory = root / f"seed{seed}"
+            directory.mkdir(parents=True)
+            artifact = member(seed, {64: 1.0 + seed / 10})
+            (directory / "fig12.json").write_text(
+                json.dumps(artifact.to_json_dict())
+            )
+        # Valid non-ResultSet JSON must be skipped, not crash discovery.
+        (root / "manifest.json").write_text(json.dumps({"format": 1}))
+
+    def test_discover_parses_seeds_from_path(self, tmp_path):
+        self.write_tree(tmp_path)
+        refs = discover_result_sets(tmp_path)
+        assert [(r.seed, r.group) for r in refs] == [
+            (0, ("<seed>", "fig12.json")),
+            (1, ("<seed>", "fig12.json")),
+        ]
+
+    def test_collect_aggregates_across_seed_dirs(self, tmp_path):
+        self.write_tree(tmp_path)
+        (section,) = collect_report_sections(tmp_path)
+        assert section.meta["aggregate"]["seeds"] == [0, 1]
+        assert "weighted_speedup_mean" in section.table("metrics").headers
+
+    def test_collect_no_aggregate_keeps_sections_separate(self, tmp_path):
+        self.write_tree(tmp_path)
+        sections = collect_report_sections(tmp_path, aggregate=False)
+        assert len(sections) == 2
+
+    def test_single_file_root(self, tmp_path):
+        artifact = member(0, {64: 1.0})
+        path = tmp_path / "fig12.json"
+        path.write_text(json.dumps(artifact.to_json_dict()))
+        (ref,) = discover_result_sets(path)
+        assert ref.seed == 0
+
+    def test_corrupt_artifact_is_a_loud_error_not_a_lost_seed(
+        self, tmp_path
+    ):
+        """A truncated seed artifact must fail the report, not
+        silently demote the aggregate to the surviving seeds."""
+        self.write_tree(tmp_path)
+        (tmp_path / "seed0" / "fig12.json").write_text('{"experiment"')
+        with pytest.raises(AggregationError, match="cannot read"):
+            collect_report_sections(tmp_path)
+
+    def test_resultset_shaped_but_invalid_json_is_loud(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps({
+            "experiment": "x", "title": "t",
+            "tables": [{"name": "m", "headers": ["a"], "rows": [[1, 2]]}],
+        }))
+        with pytest.raises(AggregationError, match="does not deserialize"):
+            discover_result_sets(tmp_path)
+
+    def test_table_set_mismatch_refuses_in_either_order(self):
+        full = member(0, {64: 1.0})
+        missing = ResultSet(
+            experiment="fig12", title="Fig 12",
+            scalars=dict(full.scalars),
+            meta={"scale": {"seed": 1}},
+        )
+        for pair in ([full, missing], [missing, full]):
+            with pytest.raises(AggregationError, match="table sets"):
+                ResultSetAggregate.from_result_sets(pair).to_result_set()
+
+    def test_aggregation_does_not_mutate_member_meta(self):
+        shared_meta = {"paper_ref": "Fig. 12"}
+        a = ResultSet(experiment="demo", title="t", meta=dict(shared_meta))
+        b = ResultSet(experiment="demo", title="t", meta=dict(shared_meta))
+        ResultSetAggregate.from_result_sets(
+            [a, b], seeds=[0, 1]
+        ).to_result_set()
+        assert "aggregate" not in a.meta and "aggregate" not in b.meta
+
+    def test_unrelated_directories_do_not_aggregate(self, tmp_path):
+        for parent in ("run-a", "run-b"):
+            directory = tmp_path / parent / "seed0"
+            directory.mkdir(parents=True)
+            (directory / "fig12.json").write_text(
+                json.dumps(member(0, {64: 1.0}).to_json_dict())
+            )
+        sections = collect_report_sections(tmp_path)
+        assert len(sections) == 2

@@ -96,3 +96,49 @@ class TestLatexRenderer:
         out = capsys.readouterr().out
         assert r"\begin{table}" in out
         assert r"\end{tabular}" in out
+
+
+class TestRendererEdgeCases:
+    """Degenerate ResultSets must render cleanly in every format."""
+
+    @pytest.fixture
+    def empty_table(self):
+        return ResultSet(
+            experiment="empty",
+            title="Nothing measured",
+            tables=(ResultTable(
+                name="main", headers=("k", "v"), rows=(),
+            ),),
+        )
+
+    @pytest.fixture
+    def scalar_only(self):
+        return ResultSet(
+            experiment="scalars-only",
+            title="Headlines",
+            scalars={"speedup": 1.23, "n": 0, "flag": None},
+        )
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "csv", "latex", "html"])
+    def test_empty_table_renders(self, fmt, empty_table):
+        text = get_renderer(fmt).render(empty_table)
+        assert isinstance(text, str)
+        if fmt == "json":
+            assert json.loads(text)["tables"][0]["rows"] == []
+        if fmt == "csv":
+            assert text.splitlines()[-1] == "k,v"  # header-only document
+        if fmt == "html":
+            assert "<thead>" in text and "<tbody></tbody>" in text
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "csv", "latex", "html"])
+    def test_scalar_only_renders(self, fmt, scalar_only):
+        text = get_renderer(fmt).render(scalar_only)
+        assert isinstance(text, str)
+        if fmt in ("csv", "latex"):
+            assert "speedup" in text and "1.23" in text
+        if fmt == "html":
+            assert 'class="card"' in text and "speedup" in text
+
+    def test_empty_table_write_roundtrip(self, empty_table, tmp_path):
+        for fmt in ("json", "csv", "latex", "html"):
+            assert get_renderer(fmt).write(empty_table, tmp_path)
