@@ -1,10 +1,14 @@
 # Developer entry points.  Everything runs from a clean checkout with
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
-#   make test           tier-1 test suite + the report smoke (CI gate)
+#   make test           tier-1 test suite + report smoke + queue chaos
+#                       smoke (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
+#   make queue-smoke    chaos test: 2-worker queue sweep, one worker
+#                       SIGKILLed mid-drain, result byte-diffed against
+#                       serial; exercises `runner queue status` live
 #   make report-smoke   two-seed recipe -> self-contained report.html,
 #                       checked for well-formedness + aggregation
 #   make figures        render all matplotlib paper figures into figures/
@@ -24,15 +28,19 @@ PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test smoke recipes-smoke report-smoke figures bench-smoke bench \
-        bench-backends golden worker clean-cache
+.PHONY: test smoke recipes-smoke queue-smoke report-smoke figures \
+        bench-smoke bench bench-backends golden worker clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) report-smoke
+	$(MAKE) queue-smoke
 
 report-smoke:
 	$(PYTHON) scripts/report_smoke.py
+
+queue-smoke:
+	$(PYTHON) scripts/queue_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list

@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""`make queue-smoke`: chaos-test the queue backend end to end.
+
+The property this pins is the operational half of the queue contract:
+**kill a worker at any instant and the sweep still completes, with
+results byte-identical to a serial run**.  Concretely:
+
+1. run a small ad-hoc Fig 12 recipe on the **serial** backend into a
+   fresh cache (the reference tree);
+2. run the same recipe on the **queue** backend (`--queue-wait`
+   submitter, short `--lease-timeout`) with a first worker attached;
+3. wait -- via live `queue status` snapshots -- until that worker is
+   *mid-task* (its heartbeat names a current lease), then **SIGKILL**
+   it;
+4. attach a second worker and let the sweep finish: the submitter
+   reclaims the dead worker's lease once its heartbeat goes silent
+   for a lease-timeout;
+5. byte-compare the two artifact trees (modulo `meta.provenance`,
+   which deliberately records how each was computed) and assert the
+   final queue state is clean except for the victim's stale
+   heartbeat -- the death notice `runner queue status` shows.
+
+Along the way the real `runner queue status --json` CLI is exercised
+against the in-flight sweep, pinning the acceptance criterion that a
+live sweep is observable.  Everything happens in a temp directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+
+sys.path.insert(0, str(ROOT / "scripts"))
+sys.path.insert(0, str(ROOT / "src"))
+
+from recipes_smoke import cli_env, tree  # noqa: E402  (shared helpers)
+
+from repro.orchestration import JobQueue, queue_status  # noqa: E402
+from repro.orchestration.cache import scan_cache_entry_keys  # noqa: E402
+
+#: Enough tasks that a worker is reliably mid-drain when killed, small
+#: enough to keep `make test` interactive.
+RECIPE = {
+    "format": 1,
+    "name": "queue-chaos",
+    "version": 1,
+    "description": "chaos-smoke grid: SIGKILL survival, 2 workers",
+    "experiments": ["fig12"],
+    "overrides": {
+        "rows_per_bank": 512,
+        "banks": [1],
+        "n_mixes": 2,
+        "requests_per_core": 600,
+        "hc_first_values": [64, 128],
+        "svard_profiles": ["S0"],
+    },
+    "seeds": [0],
+    "smoke_overrides": {},
+    "paper_ref": "Fig. 12 (chaos smoke)",
+}
+
+STATUS_POLL = 0.1
+MID_TASK_TIMEOUT = 180.0
+DRAIN_TIMEOUT = 900.0
+
+
+def start_worker(cache_dir: Path, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        RUNNER + [
+            "worker",
+            "--cache-dir", str(cache_dir),
+            "--poll-interval", "0.05",
+            "--heartbeat-interval", "0.2",
+            "--quiet",
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_mid_task_worker(cache_dir: Path, worker_id: str) -> None:
+    """Block until ``worker_id`` is live and executing a lease."""
+    deadline = time.monotonic() + MID_TASK_TIMEOUT
+    while time.monotonic() < deadline:
+        status = queue_status(cache_dir)
+        for worker in status["workers"]:
+            if (
+                worker["worker_id"] == worker_id
+                and worker["status"] == "live"
+                and worker["current_lease"] is not None
+            ):
+                return
+        time.sleep(STATUS_POLL)
+    raise AssertionError(
+        f"worker {worker_id} never showed a current lease within "
+        f"{MID_TASK_TIMEOUT}s"
+    )
+
+
+def check_inflight_status_cli(cache_dir: Path, env: dict) -> None:
+    """The acceptance check: `queue status` reports a live sweep."""
+    out = subprocess.check_output(
+        RUNNER + ["queue", "status", str(cache_dir), "--json"],
+        env=env, text=True,
+    )
+    status = json.loads(out)
+    tasks = status["tasks"]
+    in_flight = (
+        tasks["pending"] + tasks["leased"] + tasks["results_cached"]
+    )
+    assert in_flight > 0, f"status saw no in-flight sweep: {tasks}"
+    assert status["workers"], "status saw no attached workers"
+    # The table renderer must work on the same live state.
+    table = subprocess.check_output(
+        RUNNER + ["queue", "status", str(cache_dir)], env=env, text=True
+    )
+    assert "workers:" in table and "tasks:" in table
+    print(
+        f"  in-flight status: {tasks['pending']} pending, "
+        f"{tasks['leased']} leased, {tasks['results_cached']} cached, "
+        f"{len(status['workers'])} worker(s)"
+    )
+
+
+def main() -> int:
+    env = cli_env()
+    scratch = Path(tempfile.mkdtemp(prefix="queue-smoke-"))
+    serial_out = scratch / "serial"
+    queue_out = scratch / "queue"
+    queue_cache = scratch / "cache-queue"
+    manifest = scratch / "queue-chaos.json"
+    manifest.write_text(json.dumps(RECIPE, indent=2))
+
+    victim = worker2 = submitter = None
+    try:
+        print("queue-smoke: serial reference run ...")
+        subprocess.run(
+            RUNNER + [
+                "recipe", "run", str(manifest),
+                "--cache-dir", str(scratch / "cache-serial"),
+                "--format", "json", "--out", str(serial_out),
+            ],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+        )
+
+        print("queue-smoke: queue run, 2 workers, SIGKILL mid-drain ...")
+        submitter_log = scratch / "submitter.log"
+        with open(submitter_log, "wb") as log:
+            submitter = subprocess.Popen(
+                RUNNER + [
+                    "recipe", "run", str(manifest),
+                    "--backend", "queue", "--queue-wait",
+                    "--lease-timeout", "3",
+                    "--cache-dir", str(queue_cache),
+                    "--format", "json", "--out", str(queue_out),
+                ],
+                env=env, stdout=subprocess.DEVNULL, stderr=log,
+            )
+        victim = start_worker(queue_cache, env)
+        victim_id = f"{socket.gethostname()}:{victim.pid}"
+
+        wait_for_mid_task_worker(queue_cache, victim_id)
+        check_inflight_status_cli(queue_cache, env)
+
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+        kill_time = time.monotonic()
+        print(f"  SIGKILLed worker {victim_id} mid-task")
+
+        worker2 = start_worker(queue_cache, env)
+        try:
+            code = submitter.wait(timeout=DRAIN_TIMEOUT)
+            if code != 0:
+                sys.stderr.write(submitter_log.read_text())
+                raise AssertionError(
+                    f"submitter exited {code} after the worker kill"
+                )
+        finally:
+            worker2.terminate()
+            worker2.wait(timeout=30)
+
+        # The artifact trees must be byte-identical modulo the
+        # meta.provenance execution record (backend name, worker
+        # attribution) -- the same exemption recipes-smoke grants.
+        serial_tree = tree(serial_out)
+        queue_tree = tree(queue_out)
+        assert set(serial_tree) == set(queue_tree), (
+            f"file sets diverged: serial={sorted(serial_tree)} "
+            f"queue={sorted(queue_tree)}"
+        )
+        mismatched = [
+            rel for rel in sorted(serial_tree)
+            if serial_tree[rel] != queue_tree[rel]
+        ]
+        assert not mismatched, f"byte mismatch in {mismatched}"
+
+        # Final state: sweep drained clean; the victim's heartbeat --
+        # beats stopped at the SIGKILL, seconds ago by now -- is the
+        # only residue of the chaos (the SIGTERMed second worker
+        # retires its own file on the way out).  One benign leftover
+        # is allowed: if the SIGKILL landed between the victim's
+        # cache.store and queue.complete, its lease is later reclaimed
+        # and re-executed as a duplicate of an already-collected
+        # result -- such a task/lease file is moot (its entry key is
+        # cached) and harmless, never a lost task.
+        time.sleep(max(0.0, kill_time + 2.5 - time.monotonic()))
+        status = queue_status(queue_cache, stale_after=2.0)
+        tasks = status["tasks"]
+        cached = scan_cache_entry_keys(queue_cache)
+        queue = JobQueue(queue_cache / "queue")
+        leftovers = [
+            path.stem
+            for directory in (queue.tasks_dir, queue.leases_dir)
+            for path in directory.iterdir()
+            if not path.name.startswith(".")
+        ]
+        not_moot = [key for key in leftovers if key not in cached]
+        assert not not_moot, (
+            f"tasks left behind without a cached result: {not_moot}"
+        )
+        assert status["failures"] == [], status["failures"]
+        victims = [
+            worker for worker in status["workers"]
+            if worker["worker_id"] == victim_id
+        ]
+        assert victims and victims[0]["status"] == "stale", (
+            f"SIGKILLed worker should linger as stale: {status['workers']}"
+        )
+
+        print(
+            "queue-smoke OK: SIGKILL survived, "
+            f"{tasks['results_cached']} results, artifact trees "
+            "byte-identical to serial (modulo provenance), victim "
+            "visible as stale worker"
+        )
+        return 0
+    finally:
+        for process in (victim, worker2, submitter):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

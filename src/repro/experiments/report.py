@@ -206,6 +206,22 @@ def _format_merged(value: Any) -> str:
     return _format_value(value)
 
 
+def _format_worker_count(count: Any) -> str:
+    """A worker's result count, possibly per-seed after aggregation.
+
+    A worker that computed results for only some seeds merges into a
+    list with ``None`` holes (``[5, None]``); render those as 0 so the
+    row keeps the ``N+M`` per-seed convention (``×5+0``) instead of
+    leaking a comma into the comma-separated worker list.
+    """
+    if isinstance(count, list):
+        return "+".join(
+            "0" if value is None else _format_value(value)
+            for value in count
+        )
+    return _format_value(count)
+
+
 def _provenance(result_set: ResultSet) -> List[tuple]:
     """Ordered (label, value) rows for the section provenance block."""
     meta = result_set.meta
@@ -243,6 +259,30 @@ def _provenance(result_set: ResultSet) -> List[tuple]:
                 f"{_format_merged(tasks.get('cache_hits'))} cache hits / "
                 f"{_format_merged(tasks.get('executed'))} executed",
             ))
+        workers = provenance.get("workers")
+        if isinstance(workers, list):
+            # Some seed members lack the workers key entirely (older
+            # artifacts, --no-cache runs), so _merge_values left a
+            # per-seed list of dict-or-None; refold it into one dict
+            # of per-seed count lists rather than dropping the
+            # attribution the other seeds do carry.
+            members = workers
+            names: List[str] = []
+            for member in members:
+                if isinstance(member, dict):
+                    names.extend(w for w in member if w not in names)
+            workers = {
+                worker: [
+                    member.get(worker) if isinstance(member, dict) else None
+                    for member in members
+                ]
+                for worker in names
+            }
+        if isinstance(workers, dict) and workers:
+            rows.append(("workers", ", ".join(
+                f"{worker} ×{_format_worker_count(count)}"
+                for worker, count in sorted(workers.items())
+            )))
         if provenance.get("cache_dir") is not None:
             rows.append(("cache", _format_merged(provenance["cache_dir"])))
     return rows

@@ -67,13 +67,19 @@ from repro.experiments.render import (
 )
 from repro.orchestration import (
     BACKEND_NAMES,
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STALE_AFTER,
     BackendError,
     OrchestrationContext,
     QueueWorker,
     ResultCache,
     create_backend,
+    default_cache_dir,
     default_queue_dir,
+    queue_status,
+    render_status,
 )
+from repro.orchestration.backends import DEFAULT_LEASE_TIMEOUT
 from repro.orchestration.jobqueue import JobQueue
 from repro.orchestration.worker import stderr_log
 
@@ -110,6 +116,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--queue-wait", action="store_true",
         help="with --backend queue: do not execute tasks in this "
              "process; wait for workers to drain the queue",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="S",
+        help="with --backend queue: reclaim leases of presumed-dead "
+             "workers after S seconds (default: 600; a live heartbeat "
+             "naming the lease always defers reclaim)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -158,6 +170,10 @@ def _validate_execution_flags(parser, args) -> None:
         parser.error("--queue-dir requires --backend queue")
     if args.queue_wait and args.backend != "queue":
         parser.error("--queue-wait requires --backend queue")
+    if args.lease_timeout is not None and args.backend != "queue":
+        parser.error("--lease-timeout requires --backend queue")
+    if args.lease_timeout is not None and args.lease_timeout <= 0:
+        parser.error("--lease-timeout must be positive")
 
 
 def _run_parser() -> argparse.ArgumentParser:
@@ -264,6 +280,11 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
             jobs=args.jobs,
             queue_dir=queue_dir,
             participate=not args.queue_wait,
+            lease_timeout=(
+                args.lease_timeout
+                if args.lease_timeout is not None
+                else DEFAULT_LEASE_TIMEOUT
+            ),
         )
     return OrchestrationContext(
         jobs=args.jobs,
@@ -274,7 +295,15 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
 
 
 def _stats_snapshot(orch: OrchestrationContext) -> tuple:
-    return (orch.stats.submitted, orch.stats.hits, orch.stats.executed)
+    provenance_seen = (
+        len(orch.cache.provenance_seen) if orch.cache is not None else 0
+    )
+    return (
+        orch.stats.submitted,
+        orch.stats.hits,
+        orch.stats.executed,
+        provenance_seen,
+    )
 
 
 def _stamp_provenance(
@@ -284,22 +313,36 @@ def _stamp_provenance(
 
     ``before`` is the :func:`_stats_snapshot` taken just before the
     experiment ran, so the task counts are per-experiment even though
-    the context is shared by the whole CLI invocation.
+    the context is shared by the whole CLI invocation.  When a cache
+    is attached, ``workers`` maps each worker label (``host:pid``)
+    that computed one of this experiment's results -- this process,
+    a pool worker's parent, or any ``runner worker`` on any host --
+    to its result count, straight from the per-entry provenance
+    stamps in the cache.
     """
-    submitted, hits, executed = (
-        now - then for now, then in zip(_stats_snapshot(orch), before)
-    )
-    result_set.meta["provenance"] = {
+    submitted, hits, executed, provenance_before = before
+    now_submitted, now_hits, now_executed, _ = _stats_snapshot(orch)
+    provenance = {
         "backend": orch.backend.describe(),
         "cache_dir": (
             str(orch.cache.directory) if orch.cache is not None else None
         ),
         "tasks": {
-            "submitted": submitted,
-            "cache_hits": hits,
-            "executed": executed,
+            "submitted": now_submitted - submitted,
+            "cache_hits": now_hits - hits,
+            "executed": now_executed - executed,
         },
     }
+    if orch.cache is not None:
+        workers: dict = {}
+        seen = list(orch.cache.provenance_seen.values())[provenance_before:]
+        for worker in seen:
+            if worker is not None:
+                workers[worker] = workers.get(worker, 0) + 1
+        provenance["workers"] = {
+            worker: workers[worker] for worker in sorted(workers)
+        }
+    result_set.meta["provenance"] = provenance
 
 
 def _print_orchestration_stats(orch: OrchestrationContext) -> None:
@@ -574,6 +617,13 @@ def _worker_parser() -> argparse.ArgumentParser:
              "(default: leave reclaim to submitters)",
     )
     parser.add_argument(
+        "--heartbeat-interval", type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL, metavar="S",
+        help="seconds between heartbeat-file refreshes under "
+             "<queue-dir>/workers/ (default: 5; 0 disables the "
+             "heartbeat)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-task log lines on stderr",
     )
@@ -581,7 +631,18 @@ def _worker_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_worker(argv) -> int:
-    args = _worker_parser().parse_args(argv)
+    import signal
+
+    parser = _worker_parser()
+    args = parser.parse_args(argv)
+    if args.heartbeat_interval < 0:
+        parser.error("--heartbeat-interval must be >= 0 (0 disables)")
+    # SIGTERM (the polite kill) should release the current lease and
+    # retire the heartbeat file, exactly like Ctrl-C; raising
+    # SystemExit routes it through those cleanup paths.  SIGKILL still
+    # leaves a stale lease + heartbeat behind by design -- reclaim and
+    # `queue status` exist for that.
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
     cache = ResultCache(args.cache_dir)
     queue_dir = (
         Path(args.queue_dir)
@@ -595,19 +656,115 @@ def _cmd_worker(argv) -> int:
         idle_timeout=args.idle_timeout,
         max_tasks=args.max_tasks,
         lease_timeout=args.lease_timeout,
+        heartbeat_interval=args.heartbeat_interval or None,
         log=None if args.quiet else stderr_log,
     )
+    terminated_code = None
     try:
         stats = worker.run()
     except KeyboardInterrupt:
         stats = worker.stats
-        stderr_log("interrupted; exiting (any stale lease will be reclaimed)")
+        stderr_log("interrupted; exiting (any held lease was released)")
+    except SystemExit as exit_request:
+        stats = worker.stats
+        stderr_log("terminated; exiting (any held lease was released)")
+        # Preserve the signal convention (143 = SIGTERM): a supervisor
+        # must be able to tell "killed mid-sweep" from "drained and
+        # exited cleanly".
+        terminated_code = (
+            exit_request.code if isinstance(exit_request.code, int) else 143
+        )
     print(
         f"[worker] done: {stats.claimed} claimed, {stats.completed} "
         f"completed, {stats.failed} failed, {stats.refused} refused",
         file=sys.stderr,
     )
+    if terminated_code is not None:
+        return terminated_code
     return 1 if stats.failed else 0
+
+
+# ----------------------------------------------------------------------
+# `queue`: observe a live sweep (status snapshots)
+# ----------------------------------------------------------------------
+
+
+def _queue_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner queue status",
+        description="One-shot snapshot of a live sweep's job queue: "
+                    "pending/leased/failed task counts, results already "
+                    "in the cache, live vs stale workers (from their "
+                    "heartbeat files), per-worker activity, failure "
+                    "records, and rough throughput.  Read-only; run it "
+                    "as often as you like (e.g. under `watch`).",
+    )
+    parser.add_argument(
+        "cache_dir", nargs="?", default=None, metavar="CACHE_DIR",
+        help="the sweep's shared cache directory (default: "
+             "$REPRO_CACHE_DIR or .repro_cache/)",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="job-queue directory (default: <CACHE_DIR>/queue)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the snapshot as one JSON document (includes full "
+             "failure tracebacks) instead of the human-readable table",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=DEFAULT_STALE_AFTER,
+        metavar="S",
+        help="show a worker as stale once its heartbeat is older than "
+             "S seconds (default: 30)",
+    )
+    return parser
+
+
+def _cmd_queue_status(argv) -> int:
+    parser = _queue_status_parser()
+    args = parser.parse_args(argv)
+    if args.stale_after <= 0:
+        parser.error("--stale-after must be positive")
+    cache_dir = (
+        Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    )
+    if not cache_dir.exists():
+        print(
+            f"error: no such cache directory: {cache_dir} (pass the "
+            "directory the sweep's --cache-dir points at as CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    status = queue_status(
+        cache_dir, args.queue_dir, stale_after=args.stale_after
+    )
+    try:
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(render_status(status))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # `queue status | head` is a perfectly good way to watch a
+        # sweep; a closed pipe is not an error worth a traceback.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+    return 0
+
+
+def _cmd_queue(argv) -> int:
+    if argv and argv[0] == "status":
+        return _cmd_queue_status(argv[1:])
+    print(
+        "usage: python -m repro.experiments.runner queue status "
+        "[CACHE_DIR] [--queue-dir DIR] [--json] [--stale-after S]",
+        file=sys.stderr,
+    )
+    return 2
 
 
 # ----------------------------------------------------------------------
@@ -990,7 +1147,7 @@ def _cmd_recipe(argv) -> int:
 
 
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run,recipe,worker,report} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,report} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
@@ -1001,6 +1158,9 @@ subcommands:
           checked-in paper-scale grids, runnable on any backend
   worker  attach this process to a job-queue directory and execute
           tasks published by `--backend queue` submitters
+  queue   observe a live sweep: `queue status [CACHE_DIR] [--json]`
+          summarizes tasks, leases, failures, and live/stale workers
+          from their heartbeat files
   report  stitch ResultSet JSON artifact trees (including seed*/
           matrices, aggregated with error bands) into one
           self-contained HTML page
@@ -1032,6 +1192,7 @@ def help_all_text() -> str:
         _recipe_show_parser(),
         _recipe_run_parser(),
         _worker_parser(),
+        _queue_status_parser(),
         _report_parser(),
     )
     saved = os.environ.get("COLUMNS")
@@ -1063,6 +1224,8 @@ def main(argv=None) -> int:
         return _cmd_recipe(argv[1:])
     if argv and argv[0] == "worker":
         return _cmd_worker(argv[1:])
+    if argv and argv[0] == "queue":
+        return _cmd_queue(argv[1:])
     if argv and argv[0] == "report":
         return _cmd_report(argv[1:])
     if argv and argv[0] == "run":

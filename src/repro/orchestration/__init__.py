@@ -32,9 +32,20 @@ from repro.orchestration.executor import (
 from repro.orchestration.jobqueue import (
     JobQueue,
     TaskEnvelope,
+    WorkerHeartbeat,
     default_queue_dir,
 )
-from repro.orchestration.worker import QueueWorker, WorkerStats
+from repro.orchestration.status import (
+    DEFAULT_STALE_AFTER,
+    queue_status,
+    render_status,
+)
+from repro.orchestration.worker import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    HeartbeatWriter,
+    QueueWorker,
+    WorkerStats,
+)
 from repro.orchestration.hashing import (
     canonicalize,
     code_version,
@@ -48,8 +59,11 @@ __all__ = [
     "BackendError",
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_STALE_AFTER",
     "CacheStats",
     "ExecutionBackend",
+    "HeartbeatWriter",
     "JobQueue",
     "OrchestrationContext",
     "OrchestrationStats",
@@ -63,6 +77,7 @@ __all__ = [
     "Task",
     "TaskEnvelope",
     "TaskGroup",
+    "WorkerHeartbeat",
     "WorkerStats",
     "create_backend",
     "default_backend",
@@ -72,6 +87,8 @@ __all__ = [
     "default_cache_dir",
     "derive_task_seed",
     "make_task",
+    "queue_status",
+    "render_status",
     "run_task",
     "serial_context",
     "stable_hash",

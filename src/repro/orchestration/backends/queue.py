@@ -39,8 +39,12 @@ from repro.orchestration.backends.base import (
 )
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
-from repro.orchestration.jobqueue import JobQueue, TaskEnvelope
-from repro.orchestration.worker import execute_lease
+from repro.orchestration.jobqueue import (
+    JobQueue,
+    TaskEnvelope,
+    reclaim_throttle,
+)
+from repro.orchestration.worker import HeartbeatWriter, execute_lease
 
 #: How long a lease may sit untouched before the submitter assumes its
 #: worker died and makes the task claimable again.  Characterization
@@ -52,6 +56,14 @@ DEFAULT_LEASE_TIMEOUT = 600.0
 #: to stderr this often while stalled, so "no workers attached" or
 #: "all workers refuse my code version" is visible instead of silent.
 STALL_REPORT_INTERVAL = 60.0
+
+#: Collection passes with at most this many outstanding tasks poll
+#: per-entry; larger passes scan the cache directory once.  Per-entry
+#: stats are O(outstanding) but scale with the sweep (O(N^2) over a
+#: drain); one scandir is O(total cache entries), which a long-lived
+#: shared cache can make the larger number when only a handful of
+#: tasks remain.
+PER_ENTRY_POLL_MAX = 16
 
 
 @dataclass
@@ -89,6 +101,11 @@ class QueueBackend(ExecutionBackend):
         self.poll_interval = poll_interval
         self.lease_timeout = lease_timeout
         self.stats = QueueBackendStats()
+        #: Entry keys published by a submitter on a different code
+        #: version.  Remembered so the participating claim loop skips
+        #: them *before* the claim rename instead of re-claiming and
+        #: re-releasing the same foreign tasks every poll.
+        self._foreign_keys = set()
 
     # ------------------------------------------------------------------
 
@@ -128,21 +145,52 @@ class QueueBackend(ExecutionBackend):
                 self.stats.already_in_flight += 1
             outstanding[item.entry_key] = item
 
+        # A participating submitter executes tasks exactly like a
+        # worker, so it publishes a heartbeat exactly like one: its
+        # long-running local task must enjoy the same reclaim
+        # protection from peers running their own --lease-timeout.
+        heartbeat = (
+            HeartbeatWriter(self.queue).start() if self.participate else None
+        )
+        try:
+            yield from self._drain(
+                outstanding, envelopes, cache, heartbeat
+            )
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop(remove=True)
+
+    def _drain(
+        self,
+        outstanding: Dict[str, PendingTask],
+        envelopes: Dict[str, TaskEnvelope],
+        cache: ResultCache,
+        heartbeat: Optional[HeartbeatWriter],
+    ) -> Iterator[Tuple[TaskKey, Any]]:
         last_reclaim = time.monotonic()
         last_progress = time.monotonic()
         while outstanding:
             progressed = False
-            # Collect everything workers have published since last look.
+            # Collect everything workers have published since last
+            # look.  ONE scan of the cache directory (and one of the
+            # failure directory) answers the whole pass; a per-entry
+            # ``stat`` here is O(N) metadata round-trips per pass --
+            # O(N^2) over a draining sweep, ruinous on NFS.  (Small
+            # remainders flip back to per-entry stats so a huge
+            # long-lived cache is not re-listed to find 3 stragglers.)
+            present = self._present_entries(outstanding, cache)
+            failed = self.queue.failed_entry_keys()
             for entry_key in list(outstanding):
                 item = outstanding[entry_key]
-                if not cache.path_for(entry_key).exists():
-                    failure = self.queue.failure_for(entry_key)
-                    if failure is not None:
-                        raise QueueTaskFailed(
-                            f"task {item.task.key} failed on worker "
-                            f"{failure.worker}: {failure.error}\n"
-                            f"{failure.traceback}"
-                        )
+                if entry_key not in present:
+                    if entry_key in failed:
+                        failure = self.queue.failure_for(entry_key)
+                        if failure is not None:
+                            raise QueueTaskFailed(
+                                f"task {item.task.key} failed on worker "
+                                f"{failure.worker}: {failure.error}\n"
+                                f"{failure.traceback}"
+                            )
                     continue
                 hit, value = cache.load(entry_key)
                 if not hit:
@@ -169,18 +217,42 @@ class QueueBackend(ExecutionBackend):
                 # a foreign-version submitter's task here would publish
                 # results computed by the wrong code under its key (the
                 # same refusal QueueWorker makes).  The claim filter
-                # skips such tasks without starving our own behind them.
+                # skips such tasks without starving our own behind
+                # them, and once an envelope has been refused its entry
+                # key is skipped *before* the rename on later polls.
                 lease = self.queue.claim(
-                    accept=lambda envelope:
-                        envelope.cache_version == cache.version
+                    accept=self._accept_own_version(cache),
+                    skip=self._foreign_keys.__contains__,
                 )
                 if lease is not None:
                     entry_key = lease.envelope.entry_key
+                    already_attributed = entry_key in cache.provenance_seen
+                    heartbeat.beat(
+                        current_lease=entry_key,
+                        claimed=heartbeat.state.claimed + 1,
+                    )
                     ok = execute_lease(lease, cache, self.queue)
+                    heartbeat.beat(
+                        current_lease=None,
+                        completed=heartbeat.state.completed + (1 if ok else 0),
+                        failed=heartbeat.state.failed + (0 if ok else 1),
+                    )
                     # The claimed task may belong to another submitter
                     # sharing this queue; its owner collects (or
                     # surfaces the failure of) that one, not us.
                     item = outstanding.pop(entry_key, None)
+                    if item is None and not already_attributed:
+                        # Not one of this submitter's results: blank it
+                        # in the provenance attribution log (None is
+                        # never counted), or the current experiment's
+                        # worker counts would disagree with its task
+                        # counts.  (A key attributed *before* this
+                        # claim was one of ours, already collected --
+                        # this is a reclaimed duplicate; keep its
+                        # count.)  Overwrite rather than pop: the
+                        # CLI's per-experiment snapshots slice the log
+                        # positionally, so it must stay append-only.
+                        cache.provenance_seen[entry_key] = None
                     if item is not None:
                         if not ok:
                             failure = self.queue.failure_for(entry_key)
@@ -204,12 +276,19 @@ class QueueBackend(ExecutionBackend):
 
             if not progressed:
                 now = time.monotonic()
-                if now - last_reclaim >= max(self.poll_interval * 10, 1.0):
+                if now - last_reclaim >= reclaim_throttle(self.poll_interval):
                     self.stats.leases_reclaimed += self.queue.reclaim_stale(
                         self.lease_timeout
                     )
+                    # Reuse this pass's directory scans: nothing that
+                    # could change them has run since (no progress was
+                    # made), and re-scanning would double the per-pass
+                    # metadata traffic the single-scan fix removed.  A
+                    # result discarded as corrupt *during* this pass is
+                    # requeued one throttle interval later, off a
+                    # fresh scan.
                     self.stats.requeued += self._requeue_vanished(
-                        outstanding, envelopes, cache
+                        outstanding, envelopes, present, failed
                     )
                     last_reclaim = now
                 if now - last_progress >= STALL_REPORT_INTERVAL:
@@ -227,11 +306,33 @@ class QueueBackend(ExecutionBackend):
             else:
                 last_progress = time.monotonic()
 
+    def _present_entries(
+        self, outstanding: Dict[str, PendingTask], cache: ResultCache
+    ) -> set:
+        """Outstanding entry keys that exist in the cache right now."""
+        if len(outstanding) <= PER_ENTRY_POLL_MAX:
+            return {
+                entry_key
+                for entry_key in outstanding
+                if cache.path_for(entry_key).exists()
+            }
+        return cache.scan_entry_keys()
+
+    def _accept_own_version(self, cache: ResultCache):
+        def accept(envelope: TaskEnvelope) -> bool:
+            if envelope.cache_version == cache.version:
+                return True
+            self._foreign_keys.add(envelope.entry_key)
+            return False
+
+        return accept
+
     def _requeue_vanished(
         self,
         outstanding: Dict[str, PendingTask],
         envelopes: Dict[str, TaskEnvelope],
-        cache: ResultCache,
+        present: set,
+        failed: set,
     ) -> int:
         """Republish outstanding tasks that exist *nowhere* anymore.
 
@@ -241,14 +342,28 @@ class QueueBackend(ExecutionBackend):
         it but the stored result was later corrupted and discarded by
         ``cache.load`` -- is simply enqueued again instead of being
         waited on forever.  Pure tasks make the retry free of risk.
+        ``present``/``failed`` are the calling pass's directory scans.
         """
         requeued = 0
         for entry_key in outstanding:
-            if (
-                cache.path_for(entry_key).exists()
-                or self.queue.failure_for(entry_key) is not None
-            ):
-                continue  # a poll will collect (or surface) it
+            if entry_key in present:
+                continue  # a poll will collect it
+            if entry_key in failed:
+                # Open the record only for snapshot members -- a
+                # speculative per-entry open here would rebuild the
+                # O(N)-metadata-ops-per-pass storm the collection-pass
+                # fix removed.  (A fail() landing after the snapshot
+                # may get its task briefly re-enqueued, but its record
+                # is never clobbered -- clear_failure only runs for
+                # snapshot members -- so the next collection pass
+                # surfaces it; only a little duplicate work, never a
+                # lost traceback.)
+                if self.queue.failure_for(entry_key) is not None:
+                    continue  # a poll will surface the failure
+                # A record file exists but cannot be read (e.g. EACCES
+                # across NFS users): it must not strand the sweep, so
+                # clear it if we can and retry the task.
+                self.queue.clear_failure(entry_key)
             if self.queue.enqueue(envelopes[entry_key]):
                 requeued += 1
         return requeued

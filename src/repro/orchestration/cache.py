@@ -19,6 +19,13 @@ treated as a miss (the task is simply recomputed).  Writes go through
 a temporary file and :func:`os.replace`, so concurrent runs sharing a
 cache directory never observe half-written entries.
 
+Entries also carry a **provenance** stamp -- which worker
+(``host:pid``) stored the result, when, and under which code version.
+Provenance is outside the content hash and outside the payload: it
+never influences results, it only makes them attributable (the CLI
+folds the per-worker counts into ``meta.provenance`` and the HTML
+report renders them per section).
+
 Cache files are ordinary pickles: they are a *local* artifact, not an
 interchange format -- do not load cache directories from untrusted
 sources.
@@ -28,10 +35,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import socket
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.orchestration.hashing import TaskKey, code_version, stable_hash
 
@@ -49,6 +58,34 @@ _MISS = object()
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def scan_cache_entry_keys(directory: Union[str, Path]) -> set:
+    """Entry keys of every cache file in ``directory``, in ONE scan.
+
+    The single home of the cache filename contract (``<key>.pkl``,
+    dot-prefixed temp files excluded) -- shared by the submitter's
+    collection pass and ``runner queue status``.
+    """
+    try:
+        with os.scandir(directory) as entries:
+            return {
+                entry.name[: -len(".pkl")]
+                for entry in entries
+                if entry.name.endswith(".pkl")
+                and not entry.name.startswith(".")
+            }
+    except FileNotFoundError:
+        return set()
+
+
+def result_provenance(version: str) -> Dict[str, Any]:
+    """The provenance stamp for a result computed by THIS process."""
+    return {
+        "worker": f"{socket.gethostname()}:{os.getpid()}",
+        "stored_at": time.time(),
+        "code_version": version,
+    }
 
 
 @dataclass
@@ -75,6 +112,14 @@ class ResultCache:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.version = version if version is not None else code_version()
         self.stats = CacheStats()
+        #: ``entry_key -> worker label`` for every entry this instance
+        #: stored or served, in first-seen order.  Keyed by entry so a
+        #: store immediately re-read (the participating queue
+        #: submitter does this) counts once; the CLI snapshots lengths
+        #: around each experiment and folds the new slice into
+        #: ``meta.provenance`` so reports can say *which workers*
+        #: computed a figure.
+        self.provenance_seen: Dict[str, Optional[str]] = {}
 
     # ------------------------------------------------------------------
 
@@ -84,6 +129,16 @@ class ResultCache:
 
     def path_for(self, entry_key: str) -> Path:
         return self.directory / f"{entry_key}.pkl"
+
+    def scan_entry_keys(self) -> set:
+        """Every entry key currently on disk, from ONE directory scan.
+
+        The queue submitter polls outstanding entries each pass; doing
+        so with per-entry ``stat`` calls is O(N) metadata round-trips
+        per pass -- O(N^2) over a draining sweep, ruinous on NFS.  One
+        ``scandir`` answers the whole pass.
+        """
+        return scan_cache_entry_keys(self.directory)
 
     # ------------------------------------------------------------------
 
@@ -106,15 +161,48 @@ class ResultCache:
             self.stats.misses += 1
             return False, None
         self.stats.hits += 1
+        self._note_provenance(entry_key, entry.get("provenance"))
         return True, value
 
-    def store(self, entry_key: str, task_key: TaskKey, value: Any) -> None:
-        """Atomically persist one result."""
+    def load_provenance(self, entry_key: str) -> Optional[Dict[str, Any]]:
+        """The provenance stamp of one stored entry, if readable.
+
+        Purely observational (``runner queue status``, tests): does not
+        touch hit/miss statistics and never deletes anything.
+        """
+        try:
+            with open(self.path_for(entry_key), "rb") as handle:
+                entry = pickle.load(handle)
+        except Exception:
+            return None
+        if isinstance(entry, dict) and isinstance(
+            entry.get("provenance"), dict
+        ):
+            return entry["provenance"]
+        return None
+
+    def store(
+        self,
+        entry_key: str,
+        task_key: TaskKey,
+        value: Any,
+        *,
+        provenance: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically persist one result.
+
+        ``provenance`` defaults to a stamp for *this* process (worker
+        label, wall-clock store time, code version); queue workers thus
+        sign their results without any extra plumbing.
+        """
+        if provenance is None:
+            provenance = result_provenance(self.version)
         entry = {
             "format": _FORMAT,
             "entry_key": entry_key,
             "task_key": tuple(task_key),
             "version": self.version,
+            "provenance": provenance,
             "payload": value,
         }
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -132,8 +220,16 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._note_provenance(entry_key, provenance)
 
     # ------------------------------------------------------------------
+
+    def _note_provenance(self, entry_key: str, provenance: Any) -> None:
+        worker = (
+            provenance.get("worker") if isinstance(provenance, dict) else None
+        )
+        if entry_key not in self.provenance_seen or worker is not None:
+            self.provenance_seen[entry_key] = worker
 
     def _validate(self, entry: Any, entry_key: str) -> Any:
         if (

@@ -12,6 +12,7 @@ queue/
   tasks/<entry_key>.task    pickled TaskEnvelope, awaiting a claim
   leases/<entry_key>.task   the same file, claimed by some worker
   failed/<entry_key>.pkl    failure record for a task that raised
+  workers/<worker>.json     heartbeat: who is attached, doing what
 ```
 
 State transitions are single atomic renames, so two workers can never
@@ -30,9 +31,18 @@ both own a task:
   ``os.replace``) and the lease is unlinked; submitters surface it.
 * **reclaim**   -- a lease older than ``lease_timeout`` belongs to a
   worker presumed dead; ``os.rename(leases/X, tasks/X)`` makes the
-  task claimable again.  Reclaiming a lease whose worker was merely
-  slow is harmless: tasks are pure and cache stores are atomic, so a
-  duplicated execution wastes time but can never corrupt a result.
+  task claimable again.  A lease whose owner's *heartbeat* is still
+  fresh is exempt: the worker is alive, the task merely slow.
+  Reclaiming a lease whose worker was merely slow is still harmless:
+  tasks are pure and cache stores are atomic, so a duplicated
+  execution wastes time but can never corrupt a result.
+
+Heartbeats (``workers/<worker>.json``) are small JSON files each
+worker rewrites every few seconds -- worker id, host, pid, start and
+last-beat timestamps, the entry key it is currently executing, and
+done/failed/refused counters.  They are *advisory*: the queue state
+machine above never depends on them for correctness, they only make
+reclaim smarter and a live sweep observable (``runner queue status``).
 
 Queue files are ordinary pickles, exactly like the cache entries next
 to them: a local/cluster artifact, not an interchange format.  Do not
@@ -41,13 +51,15 @@ attach workers to queue directories from untrusted sources.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
+import re
 import socket
 import tempfile
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Union
 
@@ -57,8 +69,22 @@ from repro.orchestration.task import Task
 #: Bumped when the on-disk envelope format changes.
 ENVELOPE_FORMAT = 1
 
+#: How often workers refresh their heartbeat files (``runner worker
+#: --heartbeat-interval`` overrides per worker).  Reclaim assumes this
+#: default when deciding whether a heartbeat is fresh enough to prove
+#: its worker alive, so keep per-worker overrides at or below it when
+#: also shortening lease timeouts.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
 #: Subdirectory of a cache directory conventionally used as the queue.
 DEFAULT_QUEUE_SUBDIR = "queue"
+
+
+def reclaim_throttle(poll_interval: float) -> float:
+    """How often a polling loop may run a reclaim scan: ~10 polls,
+    floored at one second.  Shared by submitters and workers so their
+    cadences cannot silently drift apart."""
+    return max(poll_interval * 10, 1.0)
 
 
 @dataclass(frozen=True)
@@ -116,6 +142,68 @@ class Lease:
     path: Path
 
 
+#: Bumped when the heartbeat JSON schema changes.
+HEARTBEAT_FORMAT = 1
+
+
+@dataclass
+class WorkerHeartbeat:
+    """One worker's liveness record, richer than a lease mtime.
+
+    Stored as JSON (not pickle) under ``workers/`` so operators and
+    ``runner queue status`` can read it with nothing but a text editor.
+    A heartbeat is advisory: losing or corrupting one never breaks the
+    queue, it only degrades reclaim back to mtime-age heuristics.
+    """
+
+    worker_id: str
+    host: str
+    pid: int
+    started: float
+    last_beat: float
+    #: Entry key of the task currently executing, ``None`` between
+    #: tasks.  A fresh heartbeat naming a lease protects it from
+    #: stale-lease reclaim: the worker is alive, the task merely slow.
+    current_lease: Optional[str] = None
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    refused: int = 0
+    #: This worker's own refresh cadence; reclaim derives its
+    #: freshness window from it, so a deliberately slow-beating
+    #: worker does not lose protection between beats.
+    interval: float = DEFAULT_HEARTBEAT_INTERVAL
+
+    def to_json_dict(self) -> dict:
+        payload = asdict(self)
+        payload["format"] = HEARTBEAT_FORMAT
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: Any) -> Optional["WorkerHeartbeat"]:
+        """A heartbeat from its JSON form; ``None`` if unrecognizable."""
+        if not isinstance(data, dict) or data.get("format") != HEARTBEAT_FORMAT:
+            return None
+        try:
+            return cls(
+                worker_id=str(data["worker_id"]),
+                host=str(data["host"]),
+                pid=int(data["pid"]),
+                started=float(data["started"]),
+                last_beat=float(data["last_beat"]),
+                current_lease=data.get("current_lease"),
+                claimed=int(data.get("claimed", 0)),
+                completed=int(data.get("completed", 0)),
+                failed=int(data.get("failed", 0)),
+                refused=int(data.get("refused", 0)),
+                interval=float(
+                    data.get("interval", DEFAULT_HEARTBEAT_INTERVAL)
+                ),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
 class QueueFormatError(RuntimeError):
     """A queue file did not contain what its name promised."""
 
@@ -133,9 +221,12 @@ class JobQueue:
         self.tasks_dir = self.directory / "tasks"
         self.leases_dir = self.directory / "leases"
         self.failed_dir = self.directory / "failed"
+        self.workers_dir = self.directory / "workers"
 
     def ensure(self) -> "JobQueue":
-        for path in (self.tasks_dir, self.leases_dir, self.failed_dir):
+        for path in (
+            self.tasks_dir, self.leases_dir, self.failed_dir, self.workers_dir
+        ):
             path.mkdir(parents=True, exist_ok=True)
         return self
 
@@ -186,16 +277,54 @@ class JobQueue:
         """Drop an unclaimed task file (its result arrived elsewhere)."""
         self._unlink_quietly(self._task_path(entry_key))
 
-    def reclaim_stale(self, lease_timeout: float) -> int:
-        """Return leases older than ``lease_timeout`` seconds to ``tasks/``."""
+    def reclaim_stale(
+        self, lease_timeout: float, *, now: Optional[float] = None
+    ) -> int:
+        """Return leases older than ``lease_timeout`` seconds to ``tasks/``.
+
+        A lease is exempt while a sufficiently fresh heartbeat names
+        it as its ``current_lease``: that worker is demonstrably
+        alive, the task is merely slow.  "Fresh" means younger than
+        the lease timeout, floored at a few of *that worker's own*
+        beat intervals (self-declared in the heartbeat) -- so neither
+        an aggressive ``--lease-timeout 3`` nor a deliberately slow
+        ``--heartbeat-interval 60`` worker gets its live task
+        reclaimed between two beats.  Freshness is judged by the
+        heartbeat *file's mtime* -- the same (shared-filesystem) clock
+        domain the lease ages use -- so cross-host wall-clock skew can
+        neither extend a dead worker's protection nor strip a live
+        worker's.  A dead worker's protection lapses with its
+        heartbeat and the lease is reclaimed exactly as it was before
+        heartbeats existed.
+        """
         reclaimed = 0
-        now = time.time()
+        now = time.time() if now is None else now
+        # The heartbeat read (one file per attached worker) is only
+        # paid once an over-age lease actually exists; the common
+        # idle/healthy pass is just the lease listdir.
+        protected: Optional[set] = None
         for lease_path in self._listdir(self.leases_dir):
             try:
                 age = now - lease_path.stat().st_mtime
             except OSError:
                 continue
             if age < lease_timeout:
+                continue
+            if protected is None:
+                # Floored at the worker's OWN declared cadence (legacy
+                # heartbeats default to DEFAULT_HEARTBEAT_INTERVAL),
+                # with a 1s absolute floor -- so a fast-beating dead
+                # worker fails over after a lease-timeout of silence,
+                # not after a globally padded grace period.
+                protected = {
+                    beat.current_lease
+                    for beat, mtime in self.heartbeat_entries()
+                    if beat.current_lease is not None
+                    and now - mtime < max(
+                        lease_timeout, 3 * beat.interval, 1.0
+                    )
+                }
+            if lease_path.stem in protected:
                 continue
             try:
                 os.rename(lease_path, self.tasks_dir / lease_path.name)
@@ -211,8 +340,16 @@ class JobQueue:
     def claim(
         self,
         accept: Optional[Callable[[TaskEnvelope], bool]] = None,
+        *,
+        skip: Optional[Callable[[str], bool]] = None,
     ) -> Optional[Lease]:
         """Atomically take one queued task; ``None`` when none qualify.
+
+        ``skip`` filters by **entry key** *before* the claim rename.
+        Rejections ``accept`` will repeat forever (a version-mismatched
+        envelope looks the same on every poll) should be remembered and
+        fed back through ``skip``, so an incompatible task stops
+        costing two renames per poll once it has been refused once.
 
         ``accept`` filters envelopes *after* the atomic rename: a task
         it rejects is put straight back and scanning continues, so an
@@ -225,15 +362,35 @@ class JobQueue:
         """
         self.ensure()
         for task_path in sorted(self._listdir(self.tasks_dir)):
+            if skip is not None and skip(task_path.stem):
+                continue
             lease_path = self.leases_dir / task_path.name
             try:
                 os.rename(task_path, lease_path)
             except OSError:
                 continue  # lost the race; try the next file
-            os.utime(lease_path)  # claim time, for stale-lease reclaim
+            try:
+                os.utime(lease_path)  # claim time, for stale-lease reclaim
+            except FileNotFoundError:
+                # Renames preserve mtime, so a task that sat queued
+                # longer than the lease timeout *starts out* looking
+                # stale -- a concurrent reclaimer can legitimately take
+                # the lease back between our rename and this bump.  The
+                # task is claimable (or already claimed) again
+                # elsewhere; it is no longer ours.
+                continue
+            except OSError:
+                # Any other failure (EACCES on an odd mount, EIO): the
+                # lease is still ours, so keep it -- the bump is only
+                # an optimization.  Worst case the stale-looking mtime
+                # triggers an early reclaim, which duplicates work but
+                # never corrupts a result.
+                pass
             try:
                 with open(lease_path, "rb") as handle:
                     envelope = TaskEnvelope.from_payload(pickle.load(handle))
+            except FileNotFoundError:
+                continue  # reclaimed between the bump and the read
             except Exception:
                 self._unlink_quietly(lease_path)
                 continue
@@ -276,6 +433,69 @@ class JobQueue:
             pass
 
     # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def write_heartbeat(self, beat: WorkerHeartbeat) -> None:
+        """Atomically publish one worker's heartbeat (JSON)."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        destination = self.heartbeat_path(beat.worker_id)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.workers_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(beat.to_json_dict(), handle, sort_keys=True)
+            os.replace(tmp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def read_heartbeats(self) -> List[WorkerHeartbeat]:
+        """Every readable heartbeat, sorted by worker id.
+
+        Corrupt or foreign files are skipped: heartbeats are advisory,
+        so a torn write only costs observability, never correctness.
+        """
+        return [beat for beat, _ in self.heartbeat_entries()]
+
+    def heartbeat_entries(self) -> List[tuple]:
+        """``(heartbeat, file_mtime)`` pairs, sorted by worker id.
+
+        The file mtime is the authoritative "last beat" for anything
+        that *decides* or *classifies* (reclaim protection, live/stale
+        status): it comes from the shared filesystem's clock -- the
+        same domain lease ages use -- so cross-host wall-clock skew
+        cannot make a dead worker look alive or a live one dead.  The
+        embedded timestamps remain self-reported context.
+        """
+        entries = []
+        for path in self._listdir(self.workers_dir):
+            try:
+                mtime = path.stat().st_mtime
+                beat = WorkerHeartbeat.from_json_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (OSError, ValueError):
+                continue
+            if beat is not None:
+                entries.append((beat, mtime))
+        return sorted(entries, key=lambda entry: entry[0].worker_id)
+
+    def remove_heartbeat(self, worker_id: str) -> None:
+        """Retire a worker's heartbeat on clean exit."""
+        self._unlink_quietly(self.heartbeat_path(worker_id))
+
+    def heartbeat_path(self, worker_id: str) -> Path:
+        # Worker ids are host:pid; keep filenames filesystem-neutral.
+        return self.workers_dir / (
+            re.sub(r"[^A-Za-z0-9._-]", "-", worker_id) + ".json"
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -284,6 +504,35 @@ class JobQueue:
 
     def leased_count(self) -> int:
         return len(self._listdir(self.leases_dir))
+
+    def lease_entries(self) -> List[tuple]:
+        """``(entry_key, claim_mtime)`` for every live lease file."""
+        entries = []
+        for path in sorted(self._listdir(self.leases_dir)):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # completed or reclaimed mid-scan
+            entries.append((path.stem, mtime))
+        return entries
+
+    def failed_entry_keys(self) -> set:
+        """Entry keys with a failure record, from ONE directory scan.
+
+        Submitters poll for failures once per collection pass; opening
+        ``failed/<key>.pkl`` speculatively for every outstanding task
+        is an O(N) pickle-open storm per pass, this is one ``listdir``.
+        """
+        return {path.stem for path in self._listdir(self.failed_dir)}
+
+    def failure_records(self) -> List[FailureRecord]:
+        """Every readable failure record, sorted by entry key."""
+        records = []
+        for entry_key in sorted(self.failed_entry_keys()):
+            record = self.failure_for(entry_key)
+            if record is not None:
+                records.append(record)
+        return records
 
     # ------------------------------------------------------------------
 

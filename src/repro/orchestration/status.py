@@ -1,0 +1,273 @@
+"""Queue observability: one-shot snapshots of a live sweep.
+
+``runner queue status <cache-dir>`` calls :func:`queue_status` and
+renders the snapshot either as one JSON document (``--json``, for
+scripts and the chaos smoke) or as the human-readable table of
+:func:`render_status`.  Everything here is read-only and advisory: a
+snapshot races the sweep it observes by design, and nothing the queue
+state machine does depends on it.
+
+The snapshot answers the operator questions a black-box sweep raises:
+
+* how many tasks are **pending / leased / failed**, and how many
+  results are already in the cache;
+* which workers are attached, which are **live** (fresh heartbeat)
+  and which **stale** (beats stopped -- crashed, SIGKILLed, or
+  unplugged), and what each one is doing right now;
+* what exactly failed, where, and with which traceback;
+* rough **throughput** across all workers that ever beat.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.orchestration.cache import scan_cache_entry_keys
+from repro.orchestration.jobqueue import JobQueue, default_queue_dir
+
+#: A worker whose heartbeat is older than this many seconds is shown
+#: as stale (``runner queue status --stale-after`` overrides).
+DEFAULT_STALE_AFTER = 30.0
+
+#: Bumped when the snapshot JSON shape changes.
+STATUS_FORMAT = 1
+
+
+def queue_status(
+    cache_dir: Union[str, Path],
+    queue_dir: Union[str, Path, None] = None,
+    *,
+    now: Optional[float] = None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> Dict[str, Any]:
+    """A JSON-ready snapshot of one queue directory and its cache.
+
+    ``now`` is injectable so tests (and golden snapshots) can pin
+    every derived age; production callers leave it to the wall clock.
+    """
+    cache_dir = Path(cache_dir)
+    queue = JobQueue(
+        Path(queue_dir) if queue_dir is not None else default_queue_dir(cache_dir)
+    )
+    now = time.time() if now is None else now
+
+    # Ages come from heartbeat *file mtimes*: the shared filesystem's
+    # clock, the same domain lease ages use (and the same rule
+    # reclaim_stale applies), so a worker host with a skewed wall
+    # clock is not misclassified.  Embedded timestamps stay
+    # self-reported context (uptime).
+    heartbeats = queue.heartbeat_entries()
+    workers = []
+    for beat, mtime in heartbeats:
+        age = max(0.0, now - mtime)
+        # Uptime = the worker's own started->last_beat span (both from
+        # its clock, so skew cancels) plus -- for live workers only --
+        # the file age since that beat.  Never observer-now minus
+        # worker-started (a fast worker clock would clamp it to a
+        # nonsense 0), and never still-ticking after death: a stale
+        # worker's uptime freezes at its last beat.
+        uptime = max(0.0, beat.last_beat - beat.started) + (
+            age if age < stale_after else 0.0
+        )
+        workers.append({
+            "worker_id": beat.worker_id,
+            "host": beat.host,
+            "pid": beat.pid,
+            "status": "live" if age < stale_after else "stale",
+            "beat_age_seconds": round(age, 3),
+            "uptime_seconds": round(uptime, 3),
+            "current_lease": beat.current_lease,
+            "claimed": beat.claimed,
+            "completed": beat.completed,
+            "failed": beat.failed,
+            "refused": beat.refused,
+        })
+
+    # After a reclaim, a dead worker's frozen heartbeat and the live
+    # re-claimer can both name the same lease; process stale beats
+    # first so the live owner wins the attribution.
+    owners: Dict[str, str] = {}
+    for beat, mtime in sorted(
+        heartbeats, key=lambda entry: now - entry[1] < stale_after
+    ):
+        if beat.current_lease is not None:
+            owners[beat.current_lease] = beat.worker_id
+    leases = [
+        {
+            "entry_key": entry_key,
+            "age_seconds": round(max(0.0, now - mtime), 3),
+            "worker": owners.get(entry_key),
+        }
+        for entry_key, mtime in queue.lease_entries()
+    ]
+
+    failures = [
+        {
+            "entry_key": record.entry_key,
+            "task_key": [str(part) for part in record.task_key],
+            "worker": record.worker,
+            "error": record.error,
+            "traceback": record.traceback,
+        }
+        for record in queue.failure_records()
+    ]
+
+    # Throughput only counts *live* workers: stale heartbeats are
+    # never garbage-collected (they are the death notices), so folding
+    # yesterday's SIGKILLed worker into today's rate would make the
+    # number meaningless on any long-lived queue directory.
+    live_workers = [
+        worker for worker in workers if worker["status"] == "live"
+    ]
+    completed = sum(worker["completed"] for worker in live_workers)
+    window = max(
+        (worker["uptime_seconds"] for worker in live_workers), default=0.0
+    )
+    # The fleet rate is the SUM of per-worker rates: dividing the
+    # pooled count by the single longest uptime would understate a
+    # fleet of fresh workers riding alongside one old-timer by an
+    # order of magnitude.
+    rates = [
+        worker["completed"] / worker["uptime_seconds"]
+        for worker in live_workers
+        if worker["uptime_seconds"] > 0
+    ]
+    throughput = {
+        "completed": completed,
+        "window_seconds": round(window, 3),
+        "tasks_per_second": round(sum(rates), 4) if rates else None,
+    }
+
+    return {
+        "format": STATUS_FORMAT,
+        "generated_at": now,
+        "cache_dir": str(cache_dir),
+        "queue_dir": str(queue.directory),
+        "stale_after_seconds": stale_after,
+        "tasks": {
+            "pending": queue.pending_count(),
+            "leased": len(leases),
+            "failed": len(failures),
+            "results_cached": len(scan_cache_entry_keys(cache_dir)),
+        },
+        "workers": workers,
+        "leases": leases,
+        "failures": failures,
+        "throughput": throughput,
+    }
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """The human-readable form of one :func:`queue_status` snapshot."""
+    tasks = status["tasks"]
+    lines = [
+        f"queue {status['queue_dir']}",
+        f"cache {status['cache_dir']}",
+        "",
+        f"tasks: {tasks['pending']} pending, {tasks['leased']} leased, "
+        f"{tasks['failed']} failed, {tasks['results_cached']} results in cache",
+    ]
+
+    workers = status["workers"]
+    live = sum(1 for worker in workers if worker["status"] == "live")
+    lines.append("")
+    if not workers:
+        lines.append(
+            "workers: none attached (start some with `runner worker`)"
+        )
+    else:
+        lines.append(
+            f"workers: {live} live, {len(workers) - live} stale "
+            f"(heartbeat older than {_seconds(status['stale_after_seconds'])})"
+        )
+        rows = [(
+            "worker", "status", "beat", "up", "lease",
+            "done", "failed", "refused",
+        )]
+        for worker in workers:
+            rows.append((
+                worker["worker_id"],
+                worker["status"],
+                _seconds(worker["beat_age_seconds"]),
+                _seconds(worker["uptime_seconds"]),
+                _short(worker["current_lease"]),
+                str(worker["completed"]),
+                str(worker["failed"]),
+                str(worker["refused"]),
+            ))
+        lines.extend(_table(rows, indent="  "))
+
+    leases = status["leases"]
+    lines.append("")
+    if not leases:
+        lines.append("leases: none")
+    else:
+        lines.append(f"leases: {len(leases)}")
+        rows = [("entry", "age", "worker")]
+        for lease in leases:
+            rows.append((
+                _short(lease["entry_key"]),
+                _seconds(lease["age_seconds"]),
+                lease["worker"] or "?",
+            ))
+        lines.extend(_table(rows, indent="  "))
+
+    failures = status["failures"]
+    lines.append("")
+    if not failures:
+        lines.append("failures: none")
+    else:
+        lines.append(f"failures: {len(failures)} (tracebacks in --json)")
+        for failure in failures:
+            label = "/".join(failure["task_key"]) or _short(failure["entry_key"])
+            lines.append(
+                f"  {label}: {failure['error']} "
+                f"(worker {failure['worker']})"
+            )
+
+    throughput = status["throughput"]
+    lines.append("")
+    if throughput["tasks_per_second"] is None:
+        lines.append(
+            f"throughput: {throughput['completed']} completed by live "
+            "workers"
+        )
+    else:
+        lines.append(
+            f"throughput: {throughput['completed']} completed by live "
+            f"workers over {_seconds(throughput['window_seconds'])} "
+            f"({throughput['tasks_per_second']:g} tasks/s)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _short(entry_key: Optional[str], width: int = 12) -> str:
+    if not entry_key:
+        return "-"
+    return entry_key[:width] if len(entry_key) > width else entry_key
+
+
+def _seconds(value: float) -> str:
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def _table(rows: List[tuple], indent: str = "") -> List[str]:
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    return [
+        indent + "  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        ).rstrip()
+        for row in rows
+    ]

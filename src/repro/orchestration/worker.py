@@ -6,17 +6,35 @@ A worker is stateless between tasks -- kill it at any instant and the
 worst case is one stale lease, which a submitter or another worker
 reclaims after ``lease_timeout`` (results live in the shared cache,
 so nothing completed is ever lost or recomputed).
+
+While running, a worker maintains a **heartbeat file** under the
+queue's ``workers/`` directory (see
+:class:`~repro.orchestration.jobqueue.WorkerHeartbeat`): a background
+thread refreshes the beat every few seconds even while the main thread
+is deep inside a long task, so stale-lease reclaim can tell a dead
+worker (beats stopped) from a slow task (beats continue), and
+``runner queue status`` can show who is attached and what each worker
+is doing.  A SIGKILLed worker leaves its heartbeat behind; the file
+going stale IS the death notice.  Clean exits remove it.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.orchestration.cache import ResultCache
-from repro.orchestration.jobqueue import JobQueue, Lease, worker_identity
+from repro.orchestration.jobqueue import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    JobQueue,
+    Lease,
+    WorkerHeartbeat,
+    reclaim_throttle,
+    worker_identity,
+)
 
 
 @dataclass
@@ -54,6 +72,98 @@ def execute_lease(lease: Lease, cache: ResultCache, queue: JobQueue) -> bool:
     return True
 
 
+class HeartbeatWriter:
+    """Maintains one worker's heartbeat file in a queue directory.
+
+    ``beat(**updates)`` applies field updates (current lease, counts)
+    and rewrites the file immediately; a daemon thread re-beats every
+    ``interval`` seconds so the heartbeat stays fresh while the main
+    thread is busy executing a task.  ``clock`` is injectable so tests
+    can pin timestamps.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        identity: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.queue = queue
+        self.interval = interval
+        self.clock = clock
+        self.worker_id = identity if identity is not None else worker_identity()
+        host, _, pid = self.worker_id.rpartition(":")
+        now = clock()
+        self.state = WorkerHeartbeat(
+            worker_id=self.worker_id,
+            host=host or self.worker_id,
+            pid=int(pid) if pid.isdigit() else 0,
+            started=now,
+            last_beat=now,
+            interval=max(interval, 0.0),
+        )
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HeartbeatWriter":
+        self.beat()
+        if self.interval > 0:
+            self._thread = threading.Thread(
+                target=self._refresh_loop,
+                name=f"heartbeat-{self.worker_id}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def beat(self, **updates) -> None:
+        """Apply field updates, stamp the time, rewrite the file."""
+        with self._lock:
+            if self._closed:
+                return  # a late refresh must not resurrect the file
+            for name, value in updates.items():
+                setattr(self.state, name, value)
+            self.state.last_beat = self.clock()
+            try:
+                self.queue.write_heartbeat(self.state)
+            except OSError:
+                pass  # advisory: a full/flaky disk must not kill work
+
+    def stop(self, *, remove: bool = True) -> None:
+        """Stop refreshing; remove the file (clean exit) or leave a
+        final beat behind (the worker is done but observable)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if remove:
+            # Take the lock so an in-flight refresh finishes first and
+            # the closed flag stops any later one -- otherwise a beat
+            # racing this removal could re-publish the file and leave
+            # a cleanly exited worker looking like a SIGKILL victim
+            # forever.  If the refresh thread is wedged mid-write past
+            # the join timeout, remove best-effort anyway.
+            acquired = self._lock.acquire(timeout=10.0)
+            try:
+                self._closed = True
+                self.queue.remove_heartbeat(self.worker_id)
+            finally:
+                if acquired:
+                    self._lock.release()
+        else:
+            self.beat(current_lease=None)
+            with self._lock:
+                self._closed = True
+
+    def _refresh_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat()
+
+
 class QueueWorker:
     """Drains a queue directory until told (or timed out) to stop."""
 
@@ -66,6 +176,7 @@ class QueueWorker:
         idle_timeout: Optional[float] = None,
         max_tasks: Optional[int] = None,
         lease_timeout: Optional[float] = None,
+        heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.queue = queue
@@ -77,24 +188,65 @@ class QueueWorker:
         self.max_tasks = max_tasks
         #: When set, this worker also reclaims leases of dead peers.
         self.lease_timeout = lease_timeout
+        #: ``None`` or 0 disables the heartbeat file entirely.
+        self.heartbeat_interval = heartbeat_interval
         self.stats = WorkerStats()
         self.log = log or (lambda message: None)
-        #: Entry keys already refused for version mismatch (warn once).
+        #: Entry keys already refused for version mismatch.  Consulted
+        #: *before* the claim rename (``JobQueue.claim(skip=...)``), so
+        #: a mismatched worker refuses each foreign task exactly once
+        #: instead of churning two renames per task per poll forever.
         self._refused_keys = set()
+        self._heartbeat: Optional[HeartbeatWriter] = None
 
     def run(self) -> WorkerStats:
         self.queue.ensure()
         self.log(f"worker {worker_identity()} attached to {self.queue.directory}")
+        if self.heartbeat_interval:
+            self._heartbeat = HeartbeatWriter(
+                self.queue, interval=self.heartbeat_interval
+            ).start()
+        try:
+            self._drain()
+        finally:
+            if self._heartbeat is not None:
+                self._heartbeat.stop(remove=True)
+                self._heartbeat = None
+        self.log(
+            f"worker {worker_identity()} exiting: "
+            f"{self.stats.completed} completed, {self.stats.failed} failed, "
+            f"{self.stats.refused} refused"
+        )
+        return self.stats
+
+    def _drain(self) -> None:
         last_claim = time.monotonic()
+        # Reclaim scans are throttled exactly like the submitter's
+        # (the shared reclaim_throttle rule): an idle worker at a
+        # 0.2s poll must not hammer a shared filesystem 5x per second.
+        # The first idle pass is allowed through, so a short-lived
+        # mop-up worker (--idle-timeout below the interval) still
+        # reclaims before it exits.
+        reclaim_interval = reclaim_throttle(self.poll_interval)
+        last_reclaim = time.monotonic() - reclaim_interval
         while True:
             if self.max_tasks is not None and self.stats.claimed >= self.max_tasks:
                 break
-            lease = self.queue.claim(accept=self._accept)
+            refused_before = self.stats.refused
+            lease = self.queue.claim(
+                accept=self._accept, skip=self._refused_keys.__contains__
+            )
             if lease is None:
-                if self.lease_timeout is not None:
+                if self.stats.refused != refused_before:
+                    self._beat()  # publish the new refusal count
+                if (
+                    self.lease_timeout is not None
+                    and time.monotonic() - last_reclaim >= reclaim_interval
+                ):
                     self.stats.reclaimed += self.queue.reclaim_stale(
                         self.lease_timeout
                     )
+                    last_reclaim = time.monotonic()
                 if (
                     self.idle_timeout is not None
                     and time.monotonic() - last_claim >= self.idle_timeout
@@ -104,13 +256,17 @@ class QueueWorker:
                 continue
             last_claim = time.monotonic()
             self.stats.claimed += 1
+            try:
+                # The heartbeat write can stall on a slow filesystem;
+                # an operator interrupt landing before execute_lease's
+                # own interrupt handling must still give the claimed
+                # task back.
+                self._beat(current_lease=lease.envelope.entry_key)
+            except (KeyboardInterrupt, SystemExit):
+                self.queue.release(lease)
+                raise
             self._run_one(lease)
-        self.log(
-            f"worker {worker_identity()} exiting: "
-            f"{self.stats.completed} completed, {self.stats.failed} failed, "
-            f"{self.stats.refused} refused"
-        )
-        return self.stats
+            self._beat(current_lease=None)
 
     # ------------------------------------------------------------------
 
@@ -134,6 +290,17 @@ class QueueWorker:
                 f"{envelope.cache_version} (update this worker's checkout)"
             )
         return False
+
+    def _beat(self, **updates) -> None:
+        if self._heartbeat is None:
+            return
+        self._heartbeat.beat(
+            claimed=self.stats.claimed,
+            completed=self.stats.completed,
+            failed=self.stats.failed,
+            refused=self.stats.refused,
+            **updates,
+        )
 
     def _run_one(self, lease: Lease) -> None:
         envelope = lease.envelope

@@ -30,6 +30,7 @@ from repro.orchestration import (
     ResultCache,
     SerialBackend,
     TaskEnvelope,
+    WorkerHeartbeat,
     create_backend,
     default_backend,
     default_queue_dir,
@@ -335,6 +336,174 @@ class TestQueueMechanics:
                 return lease
             time.sleep(0.01)
         raise AssertionError("no task became claimable in time")
+
+    def test_claim_survives_reclaim_between_rename_and_utime(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: renames preserve mtime, so a task that sat
+        queued longer than the lease timeout looks stale the instant
+        it becomes a lease -- a concurrent reclaimer can take it back
+        between the claim rename and the claim-time ``os.utime``.
+        That utime hitting FileNotFoundError must mean "no longer
+        ours, move on", never a dead worker."""
+        import repro.orchestration.jobqueue as jobqueue_module
+
+        queue = JobQueue(tmp_path / "q").ensure()
+        task = make_task(("t",), _double, 21)
+        queue.enqueue(TaskEnvelope(
+            entry_key="k1", task=task, cache_version="v"
+        ))
+
+        real_utime = os.utime
+
+        def reclaiming_utime(path, *args, **kwargs):
+            # The reclaimer wins the instant after our rename: the
+            # lease goes back to tasks/, then the bump hits nothing.
+            os.rename(path, queue.tasks_dir / Path(path).name)
+            return real_utime(path, *args, **kwargs)
+
+        monkeypatch.setattr(jobqueue_module.os, "utime", reclaiming_utime)
+        assert queue.claim() is None  # pre-fix: FileNotFoundError
+        monkeypatch.undo()
+        # The task survived the interleaving and is claimable again.
+        assert queue.pending_count() == 1
+        assert queue.claim() is not None
+
+    def test_collection_pass_scans_cache_once_not_per_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: the ``--queue-wait`` collection loop stat()ed
+        every outstanding cache entry per pass -- O(N^2) metadata ops
+        over a draining sweep.  A pass must be one directory scan."""
+        from repro.orchestration import PendingTask
+
+        cache = ResultCache(tmp_path / "cache")
+        backend = QueueBackend(
+            default_queue_dir(cache.directory),
+            participate=False,
+            poll_interval=0.01,
+        )
+        pending = []
+        for i in range(25):
+            task = make_task((i,), _double, i)
+            entry_key = cache.entry_key(task.key, "fp")
+            # Workers already published everything; the submitter only
+            # has to collect.
+            cache.store(entry_key, task.key, i * 2)
+            pending.append(PendingTask(task=task, entry_key=entry_key))
+
+        per_entry_stats = []
+        real_exists = Path.exists
+
+        def counting_exists(path):
+            if path.suffix == ".pkl" and path.parent == cache.directory:
+                per_entry_stats.append(path)
+            return real_exists(path)
+
+        monkeypatch.setattr(Path, "exists", counting_exists)
+        results = dict(backend.execute(pending, cache))
+        monkeypatch.undo()
+        assert results == {(i,): i * 2 for i in range(25)}
+        # Pre-fix: one Path.exists per outstanding entry per pass.
+        assert per_entry_stats == []
+
+    def test_version_mismatched_worker_settles_to_zero_churn(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a version-mismatched worker re-claimed and
+        re-released the same foreign tasks every poll, forever.  After
+        the first refusal the entry key must be skipped *before* the
+        claim rename: exactly one claim + one release, ever."""
+        import repro.orchestration.jobqueue as jobqueue_module
+
+        queue = JobQueue(tmp_path / "q").ensure()
+        task = make_task(("t",), _double, 21)
+        queue.enqueue(TaskEnvelope(
+            entry_key="k1", task=task, cache_version="v-submitter"
+        ))
+
+        renames = []
+        real_rename = os.rename
+
+        def counting_rename(src, dst, *args, **kwargs):
+            renames.append((src, dst))
+            return real_rename(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(jobqueue_module.os, "rename", counting_rename)
+        worker = QueueWorker(
+            queue,
+            ResultCache(tmp_path / "cache", version="v-other"),
+            poll_interval=0.01,
+            idle_timeout=0.3,  # ~30 polls
+            heartbeat_interval=None,
+        )
+        stats = worker.run()
+        monkeypatch.undo()
+        assert stats.refused == 1
+        assert queue.pending_count() == 1  # still there for a peer
+        assert len(renames) == 2  # pre-fix: 2 renames x ~30 polls
+
+    def test_short_lived_mopup_worker_reclaims_before_idle_exit(
+        self, tmp_path
+    ):
+        """A worker started just to mop up a dead peer's stale lease
+        (--idle-timeout shorter than the throttled reclaim interval)
+        must still reclaim on its first idle pass, not exit having
+        done nothing."""
+        cache = ResultCache(tmp_path / "cache", version="v")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, "fp")
+        queue.enqueue(TaskEnvelope(
+            entry_key=entry_key, task=task, cache_version="v"
+        ))
+        lease = queue.claim()  # the peer claims, then dies
+        stale = time.time() - 3600
+        os.utime(lease.path, (stale, stale))
+
+        worker = QueueWorker(
+            queue, cache,
+            poll_interval=0.2,  # reclaim interval throttles to 2.0s
+            idle_timeout=0.5,   # shorter than the reclaim interval
+            lease_timeout=0.5,
+            heartbeat_interval=None,
+        )
+        stats = worker.run()
+        assert stats.reclaimed == 1
+        assert stats.completed == 1
+        assert cache.load(entry_key) == (True, 42)
+
+    def test_fresh_heartbeat_protects_slow_task_from_reclaim(
+        self, tmp_path
+    ):
+        """An over-age lease whose worker still beats is a slow task,
+        not a dead worker: reclaim must leave it alone until the
+        heartbeat itself goes silent for a lease-timeout."""
+        queue = JobQueue(tmp_path / "q").ensure()
+        task = make_task(("t",), _double, 1)
+        queue.enqueue(TaskEnvelope(
+            entry_key="k1", task=task, cache_version="v"
+        ))
+        lease = queue.claim()
+        assert lease is not None
+        stale = time.time() - 3600
+        os.utime(lease.path, (stale, stale))
+
+        now = time.time()
+        beat = WorkerHeartbeat(
+            worker_id="hostA:101", host="hostA", pid=101,
+            started=now - 3600, last_beat=now, current_lease="k1",
+        )
+        queue.write_heartbeat(beat)
+        assert queue.reclaim_stale(600.0) == 0  # alive: protected
+        assert queue.leased_count() == 1
+
+        # The beats stopped (worker died): freshness is judged by the
+        # heartbeat file's mtime -- the shared filesystem's clock, not
+        # the worker's self-reported wall clock -- so age the file.
+        os.utime(queue.heartbeat_path("hostA:101"), (stale, stale))
+        assert queue.reclaim_stale(600.0) == 1  # dead: reclaimed
+        assert queue.pending_count() == 1
 
     def test_external_worker_process_drains_queue(self, tmp_path):
         """The acceptance path: a real `runner worker` subprocess
