@@ -2,7 +2,7 @@
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
 #   make test           tier-1 test suite + report smoke + queue chaos
-#                       smoke (CI gate)
+#                       smoke + kernels smoke (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
@@ -16,6 +16,10 @@
 #   make bench          full pytest-benchmark suite (cold caches)
 #   make bench-backends serial vs process vs 2-worker queue timings
 #                       -> BENCH_backends.json
+#   make bench-kernels  loop-oracle vs vectorized characterization
+#                       timings -> BENCH_kernels.json
+#   make kernels-smoke  tiny platform characterization, kernel path
+#                       byte-diffed against the loop oracle
 #   make golden         regenerate tests/golden/*.json snapshots
 #   make clean-cache    drop the on-disk orchestration result cache
 #
@@ -28,19 +32,24 @@ PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test smoke recipes-smoke queue-smoke report-smoke figures \
-        bench-smoke bench bench-backends golden worker clean-cache
+.PHONY: test smoke recipes-smoke queue-smoke report-smoke kernels-smoke \
+        figures bench-smoke bench bench-backends bench-kernels golden \
+        worker clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) report-smoke
 	$(MAKE) queue-smoke
+	$(MAKE) kernels-smoke
 
 report-smoke:
 	$(PYTHON) scripts/report_smoke.py
 
 queue-smoke:
 	$(PYTHON) scripts/queue_smoke.py
+
+kernels-smoke:
+	$(PYTHON) scripts/kernels_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list
@@ -70,6 +79,9 @@ bench:
 
 bench-backends:
 	$(PYTHON) scripts/bench_backends.py
+
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py
 
 worker:
 	$(PYTHON) -m repro.experiments.runner worker --poll-interval 0.2

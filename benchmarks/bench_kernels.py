@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""`make bench-kernels`: the vectorized kernels against the loop oracle.
+
+Times one full platform-mode bank characterization (Algorithm 1: WCDP
+search at HC_max, then the hammer-count sweep) two ways at a fixed
+scale:
+
+* ``loop``   -- the retained per-row reference
+  (:func:`repro.characterization.reference.characterize_bank_loop`),
+  one ``measure_ber`` device sequence per (row, pattern, HC).
+* ``kernel`` -- the batched path
+  (:meth:`CharacterizationRunner.characterize_bank`), one
+  ``measure_ber_bank`` call per (pattern, HC) covering every row.
+
+Both profiles must be bit-identical (asserted field by field) -- the
+kernels are only allowed to be faster, never different.  Writes
+``BENCH_kernels.json`` at the repository root with both wall-clock
+times and the speedup, so the win is tracked over time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.characterization.reference import characterize_bank_loop  # noqa: E402
+from repro.characterization.runner import (  # noqa: E402
+    CharacterizationConfig,
+    CharacterizationRunner,
+)
+from repro.dram.mapping import ScramblingScheme  # noqa: E402
+from repro.faults.modules import Manufacturer, ModuleSpec  # noqa: E402
+from repro.faults.variation import HC_GRID  # noqa: E402
+
+#: Fixed bench scale: one full bank, the paper's 14-point HC grid.
+ROWS_PER_BANK = 1024
+BANK = 0
+SEED = 7
+
+SPEC = ModuleSpec(
+    label="BENCH",
+    manufacturer=Manufacturer.SAMSUNG,
+    n_chips=8,
+    density_gb=8,
+    die_revision="B",
+    organization="x8",
+    freq_mts=3200,
+    mfr_date="01-24",
+    rows_per_bank=ROWS_PER_BANK,
+    hc_min=2048,
+    hc_avg=8192,
+    hc_max=32768,
+    ber_mean=5e-3,
+    ber_cv_pct=4.0,
+    n_ber_periods=2.0,
+    subarray_rows=256,
+    scrambling=ScramblingScheme.MIRROR,
+)
+
+
+def fresh_runner() -> CharacterizationRunner:
+    return CharacterizationRunner(
+        SPEC,
+        CharacterizationConfig(
+            rows_per_bank=ROWS_PER_BANK,
+            banks=(BANK,),
+            hc_grid=tuple(HC_GRID),
+            mode="platform",
+            seed=SEED,
+        ),
+    )
+
+
+def assert_identical(kernel, loop) -> None:
+    assert np.array_equal(kernel.wcdp_index, loop.wcdp_index)
+    assert np.array_equal(kernel.measured_hc_first, loop.measured_hc_first)
+    assert np.array_equal(kernel.row_indices, loop.row_indices)
+    assert sorted(kernel.ber_by_hc) == sorted(loop.ber_by_hc)
+    for hc, ber in kernel.ber_by_hc.items():
+        assert np.array_equal(ber, loop.ber_by_hc[hc]), hc
+
+
+def main() -> int:
+    print(
+        f"bench-kernels: platform characterization, {ROWS_PER_BANK} rows, "
+        f"{len(HC_GRID)}-point HC grid"
+    )
+
+    start = time.perf_counter()
+    loop_profile = characterize_bank_loop(fresh_runner(), BANK)
+    loop_s = time.perf_counter() - start
+    print(f"  loop    {loop_s:7.2f}s")
+
+    start = time.perf_counter()
+    kernel_profile = fresh_runner().characterize_bank(BANK)
+    kernel_s = time.perf_counter() - start
+    print(f"  kernel  {kernel_s:7.2f}s")
+
+    assert_identical(kernel_profile, loop_profile)
+    speedup = loop_s / kernel_s
+    print(f"  bit-identical profiles, speedup {speedup:.1f}x")
+    assert speedup >= 5.0, f"kernel speedup {speedup:.1f}x below the 5x floor"
+
+    document = {
+        "bench": "kernels",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": {
+            "rows_per_bank": ROWS_PER_BANK,
+            "hc_grid_points": len(HC_GRID),
+            "patterns": 4,
+            "scrambling": SPEC.scrambling.name,
+        },
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": {
+            "loop_s": round(loop_s, 3),
+            "kernel_s": round(kernel_s, 3),
+            "speedup": round(speedup, 1),
+            "bit_identical": True,
+        },
+    }
+    out_path = ROOT / "BENCH_kernels.json"
+    out_path.write_text(
+        json.dumps(document, indent=2, ensure_ascii=False) + "\n"
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,8 +26,25 @@ from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.mapping import RowScrambler
 from repro.faults.datapatterns import DataPattern, bitwise_inverse
-from repro.faults.disturbance import DisturbanceModel
+from repro.faults.disturbance import (
+    AFFINITY_MATRIX,
+    T_AGG_ON_MIN_NS,
+    DisturbanceModel,
+    rowpress_multiplier,
+)
 from repro.faults.modules import ModuleSpec
+
+#: ``popcount(victim_fill ^ aggressor_fill)`` per Table 2 pattern: the
+#: per-byte mismatch count a physical-edge victim reads back after its
+#: content is overwritten with the aggressor fill (the edge reflection
+#: makes the victim one of its own "aggressors").
+_PATTERN_XOR_BITS = np.array(
+    [
+        bin(pattern.victim_fill ^ pattern.aggressor_fill).count("1")
+        for pattern in DataPattern
+    ],
+    dtype=np.int64,
+)
 
 
 class RefreshWindowExceeded(RuntimeError):
@@ -159,6 +176,104 @@ class TestPlatform:
             bitflips=bitflips,
             row_bits=self.geometry.row_bytes * 8,
         )
+
+    def measure_ber_bank(
+        self,
+        bank: int,
+        rows: Sequence[int],
+        patterns,
+        hammer_count: int,
+        t_agg_on_ns: float = 36.0,
+    ) -> np.ndarray:
+        """Batched ``measure_BER``: per-row bitflip counts, vectorized.
+
+        Bit-identical to calling :meth:`measure_ber` once per row (the
+        loop-reference oracle in
+        :mod:`repro.characterization.reference` asserts this), but the
+        whole bank is priced through the fault model's array kernels in
+        one pass instead of replaying per-row command sequences.
+
+        ``patterns`` is either one :class:`DataPattern` for every row
+        or a per-row array of indices into ``list(DataPattern)``.
+
+        Device bookkeeping (test clock, activation counts) advances by
+        the same totals as the per-row loop.  Each measured victim and
+        its aggressors are left freshly initialized (no accumulated
+        exposure or flips); unlike the loop, no residual disturbance is
+        left on bystander rows two rows away -- residue that each
+        measurement's own initialization erases before it can ever be
+        observed, which is why the measured values agree bit for bit.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        n = rows.size
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        pattern_list = list(DataPattern)
+        if isinstance(patterns, DataPattern):
+            pattern_index = np.full(
+                n, pattern_list.index(patterns), dtype=np.int64
+            )
+        else:
+            pattern_index = np.asarray(patterns, dtype=np.int64)
+            if pattern_index.shape != rows.shape:
+                raise ValueError("need one pattern index per row")
+
+        device = self.device
+        geometry = self.geometry
+        timing = device.timing
+        last = geometry.rows_per_bank - 1
+        sa = geometry.subarray_rows
+        physical = device.scrambler.to_physical_array(rows)
+
+        # Exposure of each victim from its own double-sided hammer: one
+        # in-range, in-subarray aggressor per side.  Physical-edge rows
+        # are their own reflected aggressor (restored every iteration),
+        # so they accumulate nothing.
+        edge = (physical == 0) | (physical == last)
+        side_below = ~edge & (physical % sa != 0)
+        side_above = ~edge & (physical % sa != sa - 1)
+        t_on = max(t_agg_on_ns, timing.tRAS)
+        m = rowpress_multiplier(
+            max(t_on, T_AGG_ON_MIN_NS), self.spec.rowpress_exponent
+        )
+        per_closure = 0.5 * m * 1.0 * hammer_count
+        exposure = per_closure * (
+            side_below.astype(np.float64) + side_above.astype(np.float64)
+        )
+
+        field_ = self.model.field(bank)
+        affinity = AFFINITY_MATRIX[pattern_index, field_.wcdp_index[physical]]
+        h_eq = exposure * affinity
+        targets = self.model.flip_targets(
+            h_eq=h_eq,
+            hcf=field_.hc_first[physical],
+            ber_sat=field_.ber_sat[physical],
+            affinity=affinity,
+        )
+        # Edge victims read back the aggressor fill their initialization
+        # left behind, not disturbance flips.
+        bitflips = np.where(
+            edge, geometry.row_bytes * _PATTERN_XOR_BITS[pattern_index], targets
+        )
+
+        # State/bookkeeping parity with the per-row loop.
+        state = self.model.bank_state(bank)
+        touched = np.concatenate(
+            [physical, np.maximum(physical - 1, 0), np.minimum(physical + 1, last)]
+        )
+        state.exposure[touched] = 0.0
+        state.n_flipped[touched] = 0
+        self.model.set_pattern_hints(bank, physical, pattern_index)
+        hammer_ns = hammer_count * 2 * (t_on + timing.tRP)
+        self._check_refresh_window(hammer_ns)
+        row_ns = (
+            timing.tRCD
+            + geometry.columns_per_row * timing.tCCD_L
+            + timing.tRP
+        )
+        device.clock_ns += n * (4 * row_ns + hammer_ns)
+        device.bank(bank).activation_count += n * 2 * hammer_count
+        return bitflips
 
     # ------------------------------------------------------------------
     # Reverse-engineering probes

@@ -58,24 +58,55 @@ class CharacterizationConfig:
 
 @dataclass
 class BankProfile:
-    """Per-row characterization results for one bank."""
+    """Per-row characterization results for one bank.
+
+    All per-row arrays are sized to the *measured* rows -- for partial
+    (subset-row) platform runs that is fewer than the bank's row count,
+    and ``row_indices`` records which bank rows each slot describes.
+    """
 
     module_label: str
     bank: int
     t_agg_on_ns: float
     wcdp_index: np.ndarray
     measured_hc_first: np.ndarray
-    ber_at_128k: np.ndarray
     ber_by_hc: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: Bank row index of each measured slot (``arange(rows)`` for a
+    #: full-bank run).
+    row_indices: Optional[np.ndarray] = None
+    #: Total rows in the characterized bank (= ``rows`` unless the run
+    #: measured a subset).
+    bank_rows: Optional[int] = None
 
     @property
     def rows(self) -> int:
+        """Number of *measured* rows (not the bank's row count)."""
         return len(self.measured_hc_first)
+
+    @property
+    def ber_at_128k(self) -> np.ndarray:
+        """Per-row BER at HC = 128K (the Fig 3/4 quantity).
+
+        Only defined when the HC grid actually tested 128K; a grid
+        that stops short no longer silently aliases its own maximum.
+        """
+        try:
+            return self.ber_by_hc[HC_128K]
+        except KeyError:
+            raise ValueError(
+                f"bank {self.bank}: HC grid (max {max(self.ber_by_hc)}) "
+                "did not test 128K; read ber_by_hc at a tested count"
+            ) from None
 
     def relative_locations(self) -> np.ndarray:
         """Row position in [0, 1] across the bank (Figs 4, 6 x-axis)."""
-        n = self.rows
-        return np.arange(n) / max(n - 1, 1)
+        total = self.bank_rows if self.bank_rows is not None else self.rows
+        indices = (
+            self.row_indices
+            if self.row_indices is not None
+            else np.arange(self.rows)
+        )
+        return indices / max(total - 1, 1)
 
 
 @dataclass
@@ -200,8 +231,9 @@ class CharacterizationRunner:
             t_agg_on_ns=t_on,
             wcdp_index=wcdp_index,
             measured_hc_first=measured,
-            ber_at_128k=ber_by_hc[max(self.config.hc_grid)],
             ber_by_hc=ber_by_hc,
+            row_indices=np.arange(n, dtype=np.int64),
+            bank_rows=n,
         )
 
     def _measured_hc_first_from_bers(
@@ -225,49 +257,73 @@ class CharacterizationRunner:
     def _characterize_bank_platform(
         self, bank: int, rows: Optional[Sequence[int]]
     ) -> BankProfile:
+        """Algorithm 1 against the test platform, all rows per step.
+
+        Instead of sweeping (pattern, HC, iteration) per row, every
+        (pattern, HC) step measures all requested rows in one batched
+        platform call.  Row-for-row bit-identical to the per-row loop
+        (retained as the oracle in
+        :mod:`repro.characterization.reference` and asserted by the
+        test suite): measurements are independent, since each one
+        re-initializes its victim and aggressors.
+        """
         platform = self._platform
         assert platform is not None
         t_on = self.config.t_agg_on_ns
-        row_list = list(rows) if rows is not None else list(
-            range(self.config.rows_per_bank)
+        row_list = (
+            np.arange(self.config.rows_per_bank, dtype=np.int64)
+            if rows is None
+            else np.asarray(list(rows), dtype=np.int64)
         )
-        n = len(row_list)
+        n = row_list.size
         hc_grid = sorted(self.config.hc_grid)
         hc_max = hc_grid[-1]
+        row_bits = platform.geometry.row_bytes * 8
 
-        wcdp_index = np.zeros(self.config.rows_per_bank, dtype=np.int8)
-        measured = np.full(self.config.rows_per_bank, hc_max, dtype=np.int64)
-        ber_by_hc = {
-            hc: np.zeros(self.config.rows_per_bank) for hc in hc_grid
-        }
+        # Step 1 (Algorithm 1): each row's WCDP at the maximum hammer
+        # count.  np.argmax keeps the first of equal maxima -- the same
+        # row the loop's strict ``>`` comparison keeps.
+        flips_by_pattern = np.stack(
+            [
+                platform.measure_ber_bank(bank, row_list, pattern, hc_max, t_on)
+                for pattern in DATA_PATTERNS
+            ]
+        )
+        best_position = np.argmax(flips_by_pattern, axis=0)
+        wcdp_index = np.zeros(n, dtype=np.int8)
+        for position, pattern in enumerate(DATA_PATTERNS):
+            if pattern in WCDP_CANDIDATES:
+                wcdp_index[best_position == position] = WCDP_CANDIDATES.index(
+                    pattern
+                )
+        # The sweep tests each row at its best pattern -- including the
+        # column stripes, which are not WCDP candidates.
+        test_order_to_enum = np.array(
+            [list(DataPattern).index(pattern) for pattern in DATA_PATTERNS],
+            dtype=np.int64,
+        )
+        sweep_patterns = test_order_to_enum[best_position]
 
-        for row in row_list:
-            # Find the WCDP at the maximum hammer count.
-            best_pattern, best_ber = DATA_PATTERNS[0], -1.0
-            for pattern in DATA_PATTERNS:
-                result = platform.measure_ber(bank, row, pattern, hc_max, t_on)
-                if result.ber > best_ber:
-                    best_pattern, best_ber = pattern, result.ber
-            if best_pattern in WCDP_CANDIDATES:
-                wcdp_index[row] = WCDP_CANDIDATES.index(best_pattern)
+        # Step 2: sweep the hammer count at the WCDP, worst case across
+        # iterations.
+        ber_by_hc: Dict[int, np.ndarray] = {}
+        for hc in hc_grid:
+            worst = np.zeros(n)
+            for _ in range(self.config.iterations):
+                flips = platform.measure_ber_bank(
+                    bank, row_list, sweep_patterns, hc, t_on
+                )
+                worst = np.maximum(worst, flips / row_bits)
+            ber_by_hc[int(hc)] = worst
 
-            # Sweep the hammer count at the WCDP, worst case across
-            # iterations.
-            for hc in hc_grid:
-                worst = 0.0
-                for _ in range(self.config.iterations):
-                    result = platform.measure_ber(bank, row, best_pattern, hc, t_on)
-                    worst = max(worst, result.ber)
-                ber_by_hc[hc][row] = worst
-                if worst > 0 and measured[row] == hc_max:
-                    measured[row] = min(measured[row], hc)
-
+        measured = self._measured_hc_first_from_bers(ber_by_hc)
         return BankProfile(
             module_label=self.spec.label,
             bank=bank,
             t_agg_on_ns=t_on,
             wcdp_index=wcdp_index,
             measured_hc_first=measured,
-            ber_at_128k=ber_by_hc[hc_max],
             ber_by_hc=ber_by_hc,
+            row_indices=row_list,
+            bank_rows=self.config.rows_per_bank,
         )

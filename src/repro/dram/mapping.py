@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Dict, Tuple
 
+import numpy as np
+
 
 class ScramblingScheme(Enum):
     """Row-address scrambling schemes seen in commodity DDR4 chips."""
@@ -65,6 +67,29 @@ class RowScrambler:
             if logical == src:
                 return dst
         return self._scramble(logical)
+
+    def to_physical_array(self, logical: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_physical` for whole row ranges.
+
+        Used by the batched characterization kernels; elementwise equal
+        to the scalar method for every scheme and repair table.
+        """
+        rows = np.asarray(logical, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.rows_per_bank):
+            raise ValueError(
+                f"row out of range [0, {self.rows_per_bank}) in batch"
+            )
+        if self.scheme is ScramblingScheme.IDENTITY:
+            physical = rows.copy()
+        elif self.scheme is ScramblingScheme.MIRROR:
+            lut = np.array([0, 1, 2, 4, 3, 6, 5, 7], dtype=np.int64)
+            physical = (rows & ~0b111) | lut[rows & 0b111]
+        else:  # XOR_FOLD
+            bit3 = (rows >> 3) & 1
+            physical = rows ^ (0b101 * bit3)
+        for src, dst in self.repairs:
+            physical[rows == src] = dst
+        return physical
 
     def to_logical(self, physical: int) -> int:
         """Inverse mapping (the schemes below are involutions)."""

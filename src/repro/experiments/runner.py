@@ -296,7 +296,7 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
 
 def _stats_snapshot(orch: OrchestrationContext) -> tuple:
     provenance_seen = (
-        len(orch.cache.provenance_seen) if orch.cache is not None else 0
+        len(orch.cache.provenance_events) if orch.cache is not None else 0
     )
     return (
         orch.stats.submitted,
@@ -334,9 +334,16 @@ def _stamp_provenance(
         },
     }
     if orch.cache is not None:
+        # Slice the append-only event log, not the first-seen dict:
+        # a repeated experiment's cache hits re-log already-seen
+        # entry keys, so its slice is never empty.  Dedup keys within
+        # the slice (a store immediately re-read counts once) and
+        # resolve worker labels through the dict, which the queue
+        # backend blanks for foreign submitters' entries.
         workers: dict = {}
-        seen = list(orch.cache.provenance_seen.values())[provenance_before:]
-        for worker in seen:
+        events = orch.cache.provenance_events[provenance_before:]
+        for entry_key in dict.fromkeys(events):
+            worker = orch.cache.provenance_seen.get(entry_key)
             if worker is not None:
                 workers[worker] = workers.get(worker, 0) + 1
         provenance["workers"] = {

@@ -74,6 +74,22 @@ def pattern_affinity_scalar(pattern: DataPattern, wcdp: DataPattern) -> float:
     return _AFFINITY_CROSS
 
 
+#: ``AFFINITY_MATRIX[p, w]`` = affinity of testing ``list(DataPattern)[p]``
+#: on a row whose WCDP is ``WCDP_CANDIDATES[w]`` -- the lookup-table form
+#: of :func:`pattern_affinity_scalar` the vectorized kernels index with
+#: whole arrays of pattern/WCDP indices at once.
+AFFINITY_MATRIX = np.array(
+    [
+        [pattern_affinity_scalar(pattern, wcdp) for wcdp in WCDP_CANDIDATES]
+        for pattern in DataPattern
+    ],
+    dtype=np.float64,
+)
+
+#: Sentinel in the per-bank pattern-hint arrays: no hint recorded.
+_NO_HINT = np.int8(-1)
+
+
 @dataclass
 class RowVulnerability:
     """Per-bank vulnerability state: ground truth plus accumulators."""
@@ -119,7 +135,11 @@ class DisturbanceModel:
         self._banks: Dict[int, RowVulnerability] = {}
         self._bank_ids = tuple(banks)
         self._affine_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        self._pattern_hint: Dict[Tuple[int, int], int] = {}
+        #: Per-bank int8 array of pattern hints (index into
+        #: ``list(DataPattern)``, ``_NO_HINT`` where none was recorded);
+        #: an array rather than a dict so the vectorized kernels can
+        #: gather hints for whole row ranges at once.
+        self._pattern_hint: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Ground truth accessors
@@ -191,15 +211,15 @@ class DisturbanceModel:
         m = rowpress_multiplier(
             max(on_time_ns, T_AGG_ON_MIN_NS), self.spec.rowpress_exponent
         )
-        flips: Dict[int, np.ndarray] = {}
+        victims: List[int] = []
         for victim, weight in self._neighbors(state, physical_row):
             if victim in restored:
                 continue
             state.exposure[victim] += 0.5 * m * weight * count
-            new_bits = self._materialize(bank, state, victim)
-            if len(new_bits):
-                flips[victim] = new_bits
-        return flips
+            victims.append(victim)
+        if not victims:
+            return {}
+        return self.materialize_bank(bank, np.asarray(victims, dtype=np.int64))
 
     def set_pattern_hint(self, bank: int, row: int, pattern: DataPattern) -> None:
         """Tell the model which Table 2 pattern a victim row holds.
@@ -208,7 +228,23 @@ class DisturbanceModel:
         the data-pattern affinity.  Rows without a hint are treated as
         holding their worst-case pattern (conservative).
         """
-        self._pattern_hint[(bank, row)] = list(DataPattern).index(pattern)
+        self._hint_array(bank)[row] = list(DataPattern).index(pattern)
+
+    def set_pattern_hints(
+        self, bank: int, rows: np.ndarray, pattern_indices: np.ndarray
+    ) -> None:
+        """Bulk :meth:`set_pattern_hint`: per-row ``list(DataPattern)``
+        indices for many physical rows at once."""
+        self._hint_array(bank)[np.asarray(rows)] = np.asarray(
+            pattern_indices, dtype=np.int8
+        )
+
+    def _hint_array(self, bank: int) -> np.ndarray:
+        hints = self._pattern_hint.get(bank)
+        if hints is None:
+            hints = np.full(self.rows_per_bank, _NO_HINT, dtype=np.int8)
+            self._pattern_hint[bank] = hints
+        return hints
 
     # ------------------------------------------------------------------
     # Analytic fast paths (vectorized over all rows of a bank)
@@ -269,12 +305,18 @@ class DisturbanceModel:
                 yield victim, weight
 
     def _row_affinity(self, bank: int, field_: SpatialVariationField, row: int) -> float:
-        hint = self._pattern_hint.get((bank, row))
-        if hint is None:
+        hint = int(self._hint_array(bank)[row])
+        if hint < 0:
             return 1.0
-        pattern = list(DataPattern)[hint]
-        wcdp = WCDP_CANDIDATES[int(field_.wcdp_index[row])]
-        return pattern_affinity_scalar(pattern, wcdp)
+        return float(AFFINITY_MATRIX[hint, int(field_.wcdp_index[row])])
+
+    def _affinity_for_rows(
+        self, bank: int, field_: SpatialVariationField, rows: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_row_affinity` for many physical rows."""
+        hints = self._hint_array(bank)[rows]
+        affinity = AFFINITY_MATRIX[hints, field_.wcdp_index[rows]]
+        return np.where(hints < 0, 1.0, affinity)
 
     def _affinity_vector(
         self, field_: SpatialVariationField, pattern: Optional[DataPattern]
@@ -314,42 +356,112 @@ class DisturbanceModel:
         min_ber = np.where(h_eq >= hcf, 1.0 / self.row_bits, 0.0)
         return np.maximum(ber, min_ber)
 
-    def _materialize(
-        self, bank: int, state: RowVulnerability, victim: int
-    ) -> np.ndarray:
-        field_ = self.field(bank)
-        affinity = self._row_affinity(bank, field_, victim)
-        h_eq = state.exposure[victim] * affinity
-        hcf = field_.hc_first[victim]
-        if h_eq < hcf:
-            return np.empty(0, dtype=np.int64)
-        ber = self._ber_scalar(
-            h_eq=h_eq,
-            hcf=hcf,
-            ber_sat=float(field_.ber_sat[victim]),
+    def materialize_bank(
+        self, bank: int, victims: Optional[np.ndarray] = None
+    ) -> Dict[int, np.ndarray]:
+        """Materialize accumulated exposure into bitflips, vectorized.
+
+        The array-at-once replacement for the seed's per-victim
+        ``_materialize`` loop: one pass computes exposure -> BER ->
+        flip-count targets for every requested physical row, then emits
+        the new weak-cell bit indices only for rows whose target grew.
+        ``victims=None`` means all rows of the bank.  The returned
+        mapping (victim physical row -> new bit indices) and the
+        ``n_flipped`` state updates are bit-identical to running the
+        scalar loop row by row.
+        """
+        state = self.bank_state(bank)
+        field_ = state.field_
+        if victims is None:
+            victims = np.arange(self.rows_per_bank, dtype=np.int64)
+        affinity = self._affinity_for_rows(bank, field_, victims)
+        h_eq = state.exposure[victims] * affinity
+        hcf = field_.hc_first[victims]
+        targets = self.flip_targets(
+            h_eq=h_eq, hcf=hcf, ber_sat=field_.ber_sat[victims],
             affinity=affinity,
         )
-        target = max(1, int(round(ber * self.row_bits)))
-        already = int(state.n_flipped[victim])
-        if target <= already:
-            return np.empty(0, dtype=np.int64)
-        new_indices = self._bit_sequence(bank, victim, already, target)
-        state.n_flipped[victim] = target
-        return new_indices
+        grown = np.flatnonzero(targets > state.n_flipped[victims])
+        flips: Dict[int, np.ndarray] = {}
+        for index in grown:
+            victim = int(victims[index])
+            flips[victim] = self._bit_sequence(
+                bank, victim, int(state.n_flipped[victim]), int(targets[index])
+            )
+            state.n_flipped[victim] = targets[index]
+        return flips
+
+    def flip_targets(
+        self,
+        *,
+        h_eq: np.ndarray,
+        hcf: np.ndarray,
+        ber_sat: np.ndarray,
+        affinity: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Per-row cumulative flip-count targets, vectorized.
+
+        Zero below ``HC_first``; otherwise at least one flip, and never
+        more than ``row_bits`` (the BER kernel clips at 1.0).
+        """
+        ber = self._ber_vector(
+            h_eq=h_eq, hcf=hcf, ber_sat=ber_sat, affinity=affinity
+        )
+        targets = np.maximum(1, np.rint(ber * self.row_bits)).astype(np.int64)
+        return np.where(h_eq >= hcf, targets, 0)
+
+    def _ber_vector(
+        self,
+        *,
+        h_eq: np.ndarray,
+        hcf: np.ndarray,
+        ber_sat: np.ndarray,
+        affinity: np.ndarray | float,
+    ) -> np.ndarray:
+        """Measured-path BER kernel (elementwise over victim rows).
+
+        The single source of truth for the command-faithful path:
+        :meth:`on_bulk_closures`, :meth:`materialize_bank`, and the
+        batched platform measurements all price bitflips through here,
+        so the loop and kernel paths cannot drift apart.  Unlike the
+        physically meaningless raw curve, the result is clipped to 1.0:
+        a row cannot flip more bits than it has, however far
+        ``ber_sat * BER_OVERSHOOT_CAP`` overshoots.
+        """
+        h_eq = np.asarray(h_eq, dtype=np.float64)
+        hcf = np.asarray(hcf, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = np.log(HC_128K) - np.log(hcf)
+            progress = np.maximum(
+                0.0,
+                (np.log(h_eq) - np.log(hcf))
+                / np.where(denom > 0, denom, np.inf),
+            )
+        progress = np.where(denom > 0, progress, 1.0)
+        progress = np.minimum(progress**BER_GROWTH_EXPONENT, BER_OVERSHOOT_CAP)
+        ber = np.minimum(
+            np.maximum(ber_sat * affinity * progress, 1.0 / self.row_bits), 1.0
+        )
+        return np.where(h_eq >= hcf, ber, 0.0)
 
     def _ber_scalar(
         self, *, h_eq: float, hcf: float, ber_sat: float, affinity: float
     ) -> float:
-        """Scalar version of :meth:`_ber_curve` for one victim row."""
-        if h_eq < hcf:
-            return 0.0
-        denom = np.log(HC_128K) - np.log(hcf)
-        if denom <= 0:
-            progress = 1.0
-        else:
-            progress = max(0.0, (np.log(h_eq) - np.log(hcf)) / denom)
-        progress = min(progress**BER_GROWTH_EXPONENT, BER_OVERSHOOT_CAP)
-        return max(ber_sat * affinity * progress, 1.0 / self.row_bits)
+        """Scalar convenience wrapper over :meth:`_ber_vector`.
+
+        Routed through the vectorized kernel (1-element arrays) rather
+        than scalar arithmetic: numpy's scalar ``**`` takes a different
+        libm path than the array ufunc in the last ulp, and the loop
+        oracle must match the kernels bit for bit.
+        """
+        return float(
+            self._ber_vector(
+                h_eq=np.asarray([h_eq]),
+                hcf=np.asarray([hcf]),
+                ber_sat=np.asarray([ber_sat]),
+                affinity=affinity,
+            )[0]
+        )
 
     def _bit_sequence(self, bank: int, row: int, start: int, stop: int) -> np.ndarray:
         """Deterministic weak-cell ordering for a row.

@@ -242,16 +242,17 @@ class QueueBackend(ExecutionBackend):
                     # surfaces the failure of) that one, not us.
                     item = outstanding.pop(entry_key, None)
                     if item is None and not already_attributed:
-                        # Not one of this submitter's results: blank it
-                        # in the provenance attribution log (None is
-                        # never counted), or the current experiment's
-                        # worker counts would disagree with its task
-                        # counts.  (A key attributed *before* this
-                        # claim was one of ours, already collected --
-                        # this is a reclaimed duplicate; keep its
-                        # count.)  Overwrite rather than pop: the
-                        # CLI's per-experiment snapshots slice the log
-                        # positionally, so it must stay append-only.
+                        # Not one of this submitter's results: blank
+                        # its worker label (a None label is never
+                        # counted when the CLI resolves its event-log
+                        # slice through ``provenance_seen``), or the
+                        # current experiment's worker counts would
+                        # disagree with its task counts.  (A key
+                        # attributed *before* this claim was one of
+                        # ours, already collected -- this is a
+                        # reclaimed duplicate; keep its label, the
+                        # CLI dedups the repeated key within a
+                        # slice.)
                         cache.provenance_seen[entry_key] = None
                     if item is not None:
                         if not ok:

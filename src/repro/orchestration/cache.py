@@ -113,13 +113,21 @@ class ResultCache:
         self.version = version if version is not None else code_version()
         self.stats = CacheStats()
         #: ``entry_key -> worker label`` for every entry this instance
-        #: stored or served, in first-seen order.  Keyed by entry so a
-        #: store immediately re-read (the participating queue
-        #: submitter does this) counts once; the CLI snapshots lengths
-        #: around each experiment and folds the new slice into
+        #: stored or served.  Keyed by entry so a store immediately
+        #: re-read (the participating queue submitter does this)
+        #: counts once, and so the queue backend can blank entries it
+        #: executed on behalf of a *foreign* submitter.
+        self.provenance_seen: Dict[str, Optional[str]] = {}
+        #: Append-only log of every provenance observation, one entry
+        #: key per load or store.  Unlike ``provenance_seen`` this
+        #: grows on *every* observation -- including a cache hit on an
+        #: already-seen key -- so the CLI's per-experiment length
+        #: snapshots still delimit a repeated experiment; the CLI
+        #: dedups keys within a slice and resolves worker labels
+        #: through ``provenance_seen`` when folding the slice into
         #: ``meta.provenance`` so reports can say *which workers*
         #: computed a figure.
-        self.provenance_seen: Dict[str, Optional[str]] = {}
+        self.provenance_events: List[str] = []
 
     # ------------------------------------------------------------------
 
@@ -228,6 +236,7 @@ class ResultCache:
         worker = (
             provenance.get("worker") if isinstance(provenance, dict) else None
         )
+        self.provenance_events.append(entry_key)
         if entry_key not in self.provenance_seen or worker is not None:
             self.provenance_seen[entry_key] = worker
 

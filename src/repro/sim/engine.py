@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
+import numpy as np
+
 from repro.defenses.base import (
     CounterTraffic,
     Defense,
@@ -88,18 +90,20 @@ class SimulationResult:
 
 
 class _BankState:
-    __slots__ = (
-        "open_row", "busy_until", "last_act_ns", "hits_in_row",
-        "queue", "wake_at",
-    )
+    """Per-bank scheduler state.
+
+    Bank timing (``busy_until``/``wake_at``) lives in numpy arrays owned
+    by :meth:`MemorySystem.run` so the refresh sweep can update every
+    bank at once.
+    """
+
+    __slots__ = ("open_row", "last_act_ns", "hits_in_row", "queue")
 
     def __init__(self) -> None:
         self.open_row: Optional[int] = None
-        self.busy_until = 0.0
         self.last_act_ns = -1e18
         self.hits_in_row = 0
         self.queue: deque = deque()
-        self.wake_at = float("inf")
 
 
 class MemorySystem:
@@ -133,6 +137,9 @@ class MemorySystem:
         timing = config.timing
         n_banks = config.total_banks
         banks = [_BankState() for _ in range(n_banks)]
+        busy_until = np.zeros(n_banks)
+        wake_at = np.full(n_banks, np.inf)
+        has_queue = np.zeros(n_banks, dtype=bool)
         rank_act_windows: List[deque] = [deque(maxlen=4) for _ in range(config.ranks)]
         rank_last_act = [-1e18] * config.ranks
 
@@ -176,22 +183,28 @@ class MemorySystem:
             return bank // banks_per_rank
 
         def try_schedule(bank_id: int, now: float) -> None:
+            nonlocal total_completed, queued_total
             bank = banks[bank_id]
             while bank.queue:
-                if bank.busy_until > now + 1e-9:
-                    if bank.busy_until < bank.wake_at:
-                        bank.wake_at = bank.busy_until
-                        push(bank.busy_until, "bank_free", (bank_id,))
+                busy = busy_until[bank_id]
+                if busy > now + 1e-9:
+                    if busy < wake_at[bank_id]:
+                        wake_at[bank_id] = busy
+                        push(busy, "bank_free", (bank_id,))
                     return
                 request = self._pick(bank, config.column_cap)
-                start = max(now, bank.busy_until)
+                queued_total -= 1
+                if not bank.queue:
+                    has_queue[bank_id] = False
+                start = max(now, busy)
                 finish = self._service(
                     bank, bank_id, request, start,
-                    rank_act_windows, rank_last_act, rank_of,
+                    rank_act_windows, rank_last_act, rank_of, busy_until,
                 )
                 request.completion_ns = finish
                 core = request.core
                 completed[core] += 1
+                total_completed += 1
                 total_latency[core] += finish - request.arrival_ns
                 in_flight[core] -= 1
                 finish_time[core] = max(finish_time[core], finish)
@@ -207,6 +220,7 @@ class MemorySystem:
         last_time = 0.0
         total_requests = config.requests_per_core * config.cores
         total_completed = 0
+        queued_total = 0
 
         while heap:
             time, _, kind, payload = heapq.heappop(heap)
@@ -224,43 +238,56 @@ class MemorySystem:
                 )
                 in_flight[core] += 1
                 banks[request.bank].queue.append(request)
+                queued_total += 1
+                has_queue[request.bank] = True
                 try_schedule(request.bank, time)
             elif kind == "bank_free":
-                (bank_id,) = payload
-                banks[bank_id].wake_at = float("inf")
-                try_schedule(bank_id, time)
+                # Drain every bank_free at this timestamp in one go.
+                # Banks are independent at equal times (nothing a bank's
+                # scheduling does can retroactively wake another bank at
+                # the *same* instant), so this batches the heap churn
+                # without reordering any service decision.
+                wake_at[payload[0]] = np.inf
+                try_schedule(payload[0], time)
+                while heap and heap[0][0] == time and heap[0][2] == "bank_free":
+                    _, _, _, next_payload = heapq.heappop(heap)
+                    wake_at[next_payload[0]] = np.inf
+                    try_schedule(next_payload[0], time)
             elif kind == "refresh":
                 refreshes += 1
-                for bank_id, bank in enumerate(banks):
-                    bank.busy_until = max(bank.busy_until, time) + timing.tRFC
+                # All-bank refresh: one vectorized timing sweep instead
+                # of a per-bank pass.
+                np.maximum(busy_until, time, out=busy_until)
+                busy_until += timing.tRFC
+                for bank in banks:
                     bank.open_row = None
-                    if bank.queue and bank.busy_until < bank.wake_at:
-                        bank.wake_at = bank.busy_until
-                        push(bank.busy_until, "bank_free", (bank_id,))
-                if sum(completed) < total_requests:
+                # flatnonzero walks banks in ascending order -- the same
+                # push order the per-bank loop produced.
+                for bank_id in np.flatnonzero(has_queue & (busy_until < wake_at)):
+                    wake_at[bank_id] = busy_until[bank_id]
+                    push(busy_until[bank_id], "bank_free", (int(bank_id),))
+                if total_completed < total_requests:
                     push(time + timing.tREFI, "refresh", ())
             elif kind == "epoch":
                 if self.defense is not None:
                     self.defense.on_refresh_window(time)
-                    if sum(completed) < total_requests:
+                    if total_completed < total_requests:
                         push(time + epoch_ns, "epoch", ())
-            if sum(completed) >= total_requests and all(
-                not bank.queue for bank in banks
-            ):
+            if total_completed >= total_requests and queued_total == 0:
                 break
 
         cores = [
             CoreResult(
                 core=core,
                 completed_requests=completed[core],
-                finish_ns=finish_time[core],
-                total_latency_ns=total_latency[core],
+                finish_ns=float(finish_time[core]),
+                total_latency_ns=float(total_latency[core]),
             )
             for core in range(config.cores)
         ]
         return SimulationResult(
             cores=cores,
-            total_ns=last_time,
+            total_ns=float(last_time),
             row_hits=self._stat_row_hits,
             row_misses=self._stat_row_misses,
             activations=self._stat_activations,
@@ -287,6 +314,7 @@ class MemorySystem:
         rank_act_windows: List[deque],
         rank_last_act: List[float],
         rank_of,
+        busy_until: np.ndarray,
     ) -> float:
         """Serve one request; returns its completion time."""
         timing = self.config.timing
@@ -295,7 +323,7 @@ class MemorySystem:
             self._stat_row_hits += 1
             data_start = max(t, bank.last_act_ns + timing.tRCD)
             finish = data_start + timing.tCL + timing.tBL
-            bank.busy_until = data_start + timing.tCCD_L
+            busy_until[bank_id] = data_start + timing.tCCD_L
             bank.hits_in_row += 1
             return finish
 
@@ -339,7 +367,7 @@ class MemorySystem:
             window.append(act)
             rank_last_act[rank] = act
             free_at = act + occupancy
-        bank.busy_until = free_at
+        busy_until[bank_id] = free_at
         if preventive:
             # The preventive activations end with the bank precharged;
             # the just-opened demand row is lost.

@@ -163,10 +163,19 @@ class TestPlatformRunnerEquivalence:
                 mode="platform",
             ),
         ).characterize_bank(0, rows=rows)
-        for row in rows:
-            assert platform.measured_hc_first[row] == analytic.measured_hc_first[row]
-            assert platform.ber_at_128k[row] == pytest.approx(
-                analytic.ber_at_128k[row], abs=2e-5
+        # Subset runs size their arrays to the measured rows and carry
+        # the bank row index of each slot.
+        assert platform.rows == len(rows)
+        assert list(platform.row_indices) == rows
+        assert platform.bank_rows == 128
+        hc_max = max(grid)
+        for slot, row in enumerate(rows):
+            assert (
+                platform.measured_hc_first[slot]
+                == analytic.measured_hc_first[row]
+            )
+            assert platform.ber_by_hc[hc_max][slot] == pytest.approx(
+                analytic.ber_by_hc[hc_max][row], abs=2e-5
             )
 
 

@@ -1,5 +1,6 @@
 """Tests for row scrambling and MOP address mapping."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -77,6 +78,30 @@ class TestRowScrambler:
 def test_property_scrambling_is_involution(scheme, row):
     scrambler = RowScrambler(rows_per_bank=1 << 16, scheme=scheme)
     assert scrambler.to_physical(scrambler.to_physical(row)) == row
+
+
+class TestToPhysicalArray:
+    @pytest.mark.parametrize("scheme", list(ScramblingScheme))
+    def test_matches_scalar_mapping(self, scheme):
+        scrambler = RowScrambler(
+            rows_per_bank=256, scheme=scheme, repairs=((5, 60), (17, 250))
+        )
+        rows = np.arange(256)
+        batched = scrambler.to_physical_array(rows)
+        assert batched.tolist() == [
+            scrambler.to_physical(int(r)) for r in rows
+        ]
+
+    def test_out_of_range_rejected(self):
+        scrambler = RowScrambler(rows_per_bank=64)
+        with pytest.raises(ValueError):
+            scrambler.to_physical_array(np.asarray([0, 64]))
+        with pytest.raises(ValueError):
+            scrambler.to_physical_array(np.asarray([-1]))
+
+    def test_empty_batch(self):
+        scrambler = RowScrambler(rows_per_bank=64)
+        assert scrambler.to_physical_array(np.asarray([], dtype=int)).size == 0
 
 
 class TestMopAddressMapper:

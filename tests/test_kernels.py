@@ -1,0 +1,213 @@
+"""The vectorized measurement kernels against their loop references.
+
+The batched hot paths (``materialize_bank``, ``measure_ber_bank``, the
+batched platform characterization) must be *bit-for-bit* equal to the
+per-row/per-victim loops they replaced -- not approximately equal --
+because the sha256 task cache and the golden files both key on exact
+bytes.  The per-row loop survives as
+:func:`repro.characterization.reference.characterize_bank_loop` purely
+to serve as the oracle here and in the ``make test`` smoke.
+
+This file also carries the regression tests for the measurement-path
+bugs fixed alongside the kernels (subset-row profiles, ``ber_at_128k``
+grid binding, the missing BER clip).
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_tiny_spec
+from repro.characterization.reference import characterize_bank_loop
+from repro.characterization.runner import (
+    BankProfile,
+    CharacterizationConfig,
+    CharacterizationRunner,
+)
+from repro.bender.infrastructure import TestPlatform
+from repro.dram.mapping import ScramblingScheme
+from repro.faults.datapatterns import DATA_PATTERNS
+from repro.faults.disturbance import BER_OVERSHOOT_CAP, DisturbanceModel
+
+GRID = (16, 24, 32, 48, 64, 96, 160)
+#: Edge rows, subarray-boundary rows, and interior rows of the tiny
+#: 256-row / 64-row-subarray module.
+SAMPLE_ROWS = [0, 1, 10, 63, 64, 65, 127, 200, 254, 255]
+
+
+def platform_runner(**overrides) -> CharacterizationRunner:
+    spec_overrides = overrides.pop("spec_overrides", {})
+    config = CharacterizationConfig(
+        rows_per_bank=256,
+        banks=(0,),
+        hc_grid=GRID,
+        mode="platform",
+        seed=7,
+        **overrides,
+    )
+    return CharacterizationRunner(make_tiny_spec(**spec_overrides), config)
+
+
+def assert_profiles_identical(a: BankProfile, b: BankProfile) -> None:
+    assert a.module_label == b.module_label
+    assert a.bank == b.bank
+    assert a.t_agg_on_ns == b.t_agg_on_ns
+    assert a.bank_rows == b.bank_rows
+    assert np.array_equal(a.row_indices, b.row_indices)
+    assert a.wcdp_index.dtype == b.wcdp_index.dtype
+    assert np.array_equal(a.wcdp_index, b.wcdp_index)
+    assert np.array_equal(a.measured_hc_first, b.measured_hc_first)
+    assert sorted(a.ber_by_hc) == sorted(b.ber_by_hc)
+    for hc, ber in a.ber_by_hc.items():
+        assert np.array_equal(ber, b.ber_by_hc[hc]), hc
+
+
+class TestMeasureBerBank:
+    @pytest.mark.parametrize("t_agg_on_ns", [36.0, 120.0])
+    @pytest.mark.parametrize("bank", [0, 3])
+    def test_matches_per_row_measure_ber(self, bank, t_agg_on_ns):
+        """One batched call == one ``measure_ber`` per row, bit for bit,
+        for every data pattern (edge and boundary rows included)."""
+        spec = make_tiny_spec()
+        rows = np.asarray(SAMPLE_ROWS, dtype=np.int64)
+        for pattern in DATA_PATTERNS:
+            batched = TestPlatform(spec, rows_per_bank=256, seed=7)
+            loop = TestPlatform(spec, rows_per_bank=256, seed=7)
+            for hammer_count in (16, 64, 160):
+                flips = batched.measure_ber_bank(
+                    bank, rows, pattern, hammer_count, t_agg_on_ns
+                )
+                expected = [
+                    loop.measure_ber(
+                        bank, int(row), pattern, hammer_count, t_agg_on_ns
+                    ).bitflips
+                    for row in rows
+                ]
+                assert flips.tolist() == expected, (pattern, hammer_count)
+            # The device command accounting must match too, or batched
+            # runs would drift from the loop's refresh-window checks.
+            assert (
+                batched.device.clock_ns == loop.device.clock_ns
+            ), pattern
+            assert (
+                batched.device.bank(bank).activation_count
+                == loop.device.bank(bank).activation_count
+            ), pattern
+
+    def test_scrambled_modules_match_too(self):
+        """Row scrambling changes which rows are physical neighbours;
+        the batched physical mapping must agree with the scalar one."""
+        for scheme in (ScramblingScheme.MIRROR, ScramblingScheme.XOR_FOLD):
+            spec = make_tiny_spec(scrambling=scheme)
+            rows = np.asarray(SAMPLE_ROWS, dtype=np.int64)
+            batched = TestPlatform(spec, rows_per_bank=256, seed=3)
+            loop = TestPlatform(spec, rows_per_bank=256, seed=3)
+            flips = batched.measure_ber_bank(0, rows, DATA_PATTERNS[0], 96)
+            expected = [
+                loop.measure_ber(0, int(row), DATA_PATTERNS[0], 96).bitflips
+                for row in rows
+            ]
+            assert flips.tolist() == expected, scheme
+
+
+class TestCharacterizationKernel:
+    @pytest.mark.parametrize("iterations", [1, 2])
+    @pytest.mark.parametrize("t_agg_on_ns", [36.0, 120.0])
+    def test_matches_loop_oracle(self, t_agg_on_ns, iterations):
+        """The batched Algorithm 1 sweep equals the per-row oracle,
+        profile-for-profile, across banks x tAggOn x iterations."""
+        for bank in (0, 2):
+            batched = platform_runner(
+                t_agg_on_ns=t_agg_on_ns, iterations=iterations
+            )
+            oracle = platform_runner(
+                t_agg_on_ns=t_agg_on_ns, iterations=iterations
+            )
+            assert_profiles_identical(
+                batched.characterize_bank(bank, rows=SAMPLE_ROWS),
+                characterize_bank_loop(oracle, bank, rows=SAMPLE_ROWS),
+            )
+
+    def test_full_bank_matches_loop_oracle(self):
+        batched = platform_runner()
+        oracle = platform_runner()
+        assert_profiles_identical(
+            batched.characterize_bank(1),
+            characterize_bank_loop(oracle, 1),
+        )
+
+
+class TestMaterializeBank:
+    def test_batch_matches_per_victim_calls(self):
+        """Materializing all rows at once == one call per victim, for
+        both the emitted bit indices and the ``n_flipped`` state."""
+        spec = make_tiny_spec()
+        batched = DisturbanceModel(spec, rows_per_bank=256, seed=11)
+        scalar = DisturbanceModel(spec, rows_per_bank=256, seed=11)
+        rng = np.random.default_rng(0)
+        exposure = rng.uniform(0.0, 400.0, size=256)
+        for model in (batched, scalar):
+            model.bank_state(0).exposure[:] = exposure
+            for row in range(0, 256, 3):
+                model.set_pattern_hint(0, row, DATA_PATTERNS[row % 4])
+
+        flips_batched = batched.materialize_bank(0)
+        flips_scalar = {}
+        for victim in range(256):
+            flips_scalar.update(
+                scalar.materialize_bank(0, np.asarray([victim]))
+            )
+
+        assert sorted(flips_batched) == sorted(flips_scalar)
+        for victim, bits in flips_batched.items():
+            assert np.array_equal(bits, flips_scalar[victim]), victim
+        assert np.array_equal(
+            batched.bank_state(0).n_flipped, scalar.bank_state(0).n_flipped
+        )
+
+
+class TestMeasurementPathRegressions:
+    def test_subset_profile_sized_to_measured_rows(self):
+        """A partial platform run must report the measured rows, not
+        pretend the whole bank was characterized (regression:
+        rows_per_bank-sized arrays with zero-filled unmeasured rows)."""
+        rows = [5, 100, 250]
+        profile = platform_runner().characterize_bank(0, rows=rows)
+        assert profile.rows == len(rows)
+        assert profile.wcdp_index.shape == (len(rows),)
+        assert profile.measured_hc_first.shape == (len(rows),)
+        for ber in profile.ber_by_hc.values():
+            assert ber.shape == (len(rows),)
+        assert profile.row_indices.tolist() == rows
+        assert profile.bank_rows == 256
+        assert profile.relative_locations() == pytest.approx(
+            [row / 255 for row in rows]
+        )
+
+    def test_ber_at_128k_requires_128k_in_grid(self):
+        """A grid that stops short of 128K must raise, not silently
+        rebind ``ber_at_128k`` to its own maximum (regression)."""
+        profile = platform_runner().characterize_bank(0, rows=[10, 20])
+        with pytest.raises(ValueError, match="did not test 128K"):
+            profile.ber_at_128k
+        # With 128K actually tested, the property serves it.
+        hc_128k = 128 * 1024
+        profile.ber_by_hc[hc_128k] = np.asarray([0.25, 0.5])
+        assert profile.ber_at_128k.tolist() == [0.25, 0.5]
+
+    def test_measured_ber_clipped_at_one(self):
+        """``ber_sat * affinity * BER_OVERSHOOT_CAP`` can exceed 1; the
+        measured-path BER must clip so a row never reports more flipped
+        bits than it has (regression: no clip in ``_ber_scalar``)."""
+        model = DisturbanceModel(make_tiny_spec(), rows_per_bank=256, seed=0)
+        assert 0.9 * 1.6 * BER_OVERSHOOT_CAP > 1.0
+        ber = model._ber_scalar(
+            h_eq=1e9, hcf=20.0, ber_sat=0.9, affinity=1.6
+        )
+        assert ber == 1.0
+        targets = model.flip_targets(
+            h_eq=np.asarray([1e9]),
+            hcf=np.asarray([20.0]),
+            ber_sat=np.asarray([0.9]),
+            affinity=1.6,
+        )
+        assert targets.tolist() == [model.row_bits]

@@ -407,6 +407,31 @@ class TestResultProvenance:
         assert first_set.meta["provenance"]["workers"] == {"alpha:1": 1}
         assert second_set.meta["provenance"]["workers"] == {"beta:2": 1}
 
+    def test_repeated_experiment_keeps_worker_attribution(self, tmp_path):
+        """``runner run fig12 fig12``: the repeat serves the same cached
+        entries again, and its workers map must attribute them too
+        (regression: slicing the first-seen dict positionally left the
+        repeat's slice -- and workers map -- empty)."""
+        cache = ResultCache(tmp_path / "cache", version="vX")
+        task = make_task(("t",), _double, 21)
+        cache.store(
+            cache.entry_key(task.key, "fp"), task.key, 42,
+            provenance={"worker": "farmhost:7", "stored_at": 0.0,
+                        "code_version": "vX"},
+        )
+
+        ctx = OrchestrationContext(
+            cache=ResultCache(tmp_path / "cache", version="vX")
+        )
+        for attempt in ("first", "repeat"):
+            before = runner._stats_snapshot(ctx)
+            assert ctx.run([task], fingerprint="fp") == {("t",): 42}
+            result_set = ResultSet(experiment="demo", title="Demo")
+            runner._stamp_provenance(result_set, ctx, before)
+            provenance = result_set.meta["provenance"]
+            assert provenance["workers"] == {"farmhost:7": 1}, attempt
+            assert provenance["tasks"]["cache_hits"] == 1, attempt
+
     def test_partial_per_seed_worker_counts_render_with_zero_holes(self):
         """A worker that served only some seeds of an aggregate merges
         into a list with None holes; the report must render the N+M
