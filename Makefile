@@ -2,7 +2,7 @@
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
 #   make test           tier-1 test suite + report smoke + queue chaos
-#                       smoke + kernels smoke (CI gate)
+#                       smoke + service smoke + kernels smoke (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
@@ -11,6 +11,11 @@
 #                       serial; exercises `runner queue status` live
 #   make report-smoke   two-seed recipe -> self-contained report.html,
 #                       checked for well-formedness + aggregation
+#   make service-smoke  `runner serve` end to end: POST a sweep over
+#                       HTTP, SIGKILL-and-replace the worker mid-task,
+#                       served report.html byte-diffed against serial
+#   make serve          run the HTTP experiment service on the default
+#                       cache (port 8321)
 #   make figures        render all matplotlib paper figures into figures/
 #   make bench-smoke    tier-1 tests + a 2-job orchestrated Fig 12 smoke
 #   make bench          full pytest-benchmark suite (cold caches)
@@ -32,14 +37,15 @@ PYTHON ?= python
 JOBS ?= 2
 export PYTHONPATH := src
 
-.PHONY: test smoke recipes-smoke queue-smoke report-smoke kernels-smoke \
-        figures bench-smoke bench bench-backends bench-kernels golden \
-        worker clean-cache
+.PHONY: test smoke recipes-smoke queue-smoke report-smoke service-smoke \
+        kernels-smoke figures bench-smoke bench bench-backends \
+        bench-kernels golden worker serve clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) report-smoke
 	$(MAKE) queue-smoke
+	$(MAKE) service-smoke
 	$(MAKE) kernels-smoke
 
 report-smoke:
@@ -47,6 +53,9 @@ report-smoke:
 
 queue-smoke:
 	$(PYTHON) scripts/queue_smoke.py
+
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
 
 kernels-smoke:
 	$(PYTHON) scripts/kernels_smoke.py
@@ -85,6 +94,9 @@ bench-kernels:
 
 worker:
 	$(PYTHON) -m repro.experiments.runner worker --poll-interval 0.2
+
+serve:
+	$(PYTHON) -m repro.experiments.runner serve
 
 golden:
 	$(PYTHON) -m pytest tests/test_golden.py tests/test_experiment_api.py \

@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""`make service-smoke`: the experiment service end to end, with chaos.
+
+The property this pins: **a sweep POSTed to `runner serve` survives a
+worker SIGKILL and serves a report byte-identical to the serial CLI
+path**.  Concretely:
+
+1. run the two-seed `report-smoke` recipe serially with `--report`
+   (the reference tree);
+2. start `runner serve` (publish-only submitter, short lease timeout)
+   over a fresh cache, and POST the same recipe to `/runs`;
+3. the tasks sit pending -- no worker is attached yet, which makes the
+   kill window deterministic.  Start a worker, wait (live
+   `queue status` snapshots) until it is *mid-task*, and **SIGKILL**
+   it;
+4. start a replacement worker and poll `GET /runs/<id>` until the run
+   record says `done`: the sweep's submitter thread inside the
+   service reclaims the dead worker's lease and the replacement
+   drains the rest;
+5. assert the served `report.html` is byte-identical to the serial
+   one modulo the provenance `<dl>` blocks (which deliberately record
+   *how* each side was computed), the served JSON artifacts match the
+   serial tree modulo `meta.provenance`, and the victim lingers as a
+   stale worker in `/queue`.
+
+Everything happens in a temp directory on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+
+sys.path.insert(0, str(ROOT / "scripts"))
+sys.path.insert(0, str(ROOT / "src"))
+
+from queue_smoke import start_worker  # noqa: E402  (shared helpers)
+from recipes_smoke import cli_env, normalize  # noqa: E402
+
+from repro.orchestration import queue_status  # noqa: E402
+
+STATUS_POLL = 0.01
+MID_TASK_TIMEOUT = 120.0
+RUN_TIMEOUT = 600.0
+
+#: Provenance blocks legitimately differ between the serial page and
+#: the served one (backend, cache dir, worker attribution); everything
+#: else in the report must match to the byte.
+PROVENANCE_DL = re.compile(rb'<dl class="provenance">.*?</dl>', re.S)
+
+
+def http(method: str, url: str, body: bytes = None):
+    request = urllib.request.Request(url, data=body, method=method)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, response.read()
+
+
+def wait_for_pending_tasks(cache_dir: Path) -> None:
+    """Block until the POSTed sweep has published into the queue."""
+    deadline = time.monotonic() + MID_TASK_TIMEOUT
+    while time.monotonic() < deadline:
+        tasks = queue_status(cache_dir)["tasks"]
+        if tasks["pending"] + tasks["leased"] > 0:
+            return
+        time.sleep(STATUS_POLL)
+    raise AssertionError("service never published the sweep's tasks")
+
+
+def wait_for_mid_task(cache_dir: Path, worker_id: str) -> None:
+    deadline = time.monotonic() + MID_TASK_TIMEOUT
+    while time.monotonic() < deadline:
+        for worker in queue_status(cache_dir)["workers"]:
+            if (
+                worker["worker_id"] == worker_id
+                and worker["status"] == "live"
+                and worker["current_lease"] is not None
+            ):
+                return
+        time.sleep(STATUS_POLL)
+    raise AssertionError(
+        f"worker {worker_id} never showed a current lease within "
+        f"{MID_TASK_TIMEOUT}s"
+    )
+
+
+def wait_for_run(base: str, run_id: str) -> dict:
+    deadline = time.monotonic() + RUN_TIMEOUT
+    while time.monotonic() < deadline:
+        _, body = http("GET", f"{base}/runs/{run_id}")
+        record = json.loads(body)
+        if record["state"] in ("done", "failed"):
+            return record
+        time.sleep(0.2)
+    raise AssertionError(f"run {run_id} still {record['state']!r} after "
+                         f"{RUN_TIMEOUT}s")
+
+
+def main() -> int:
+    env = cli_env()
+    scratch = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    serial_out = scratch / "serial"
+    svc_cache = scratch / "cache-svc"
+
+    service = victim = worker2 = None
+    try:
+        print("service-smoke: serial reference run ...")
+        subprocess.run(
+            RUNNER + [
+                "recipe", "run", "report-smoke", "--report",
+                "--cache-dir", str(scratch / "cache-serial"),
+                "--format", "json", "--out", str(serial_out),
+            ],
+            check=True, env=env, stdout=subprocess.DEVNULL,
+        )
+
+        print("service-smoke: starting `runner serve` ...")
+        service_log = scratch / "service.log"
+        with open(service_log, "wb") as log:
+            service = subprocess.Popen(
+                RUNNER + [
+                    "serve", str(svc_cache),
+                    "--port", "0", "--lease-timeout", "3",
+                    "--stale-after", "2",
+                ],
+                env=env, stdout=subprocess.PIPE, stderr=log,
+            )
+        banner = service.stdout.readline().decode().strip()
+        match = re.match(r"serving on (http://\S+)", banner)
+        assert match, f"unexpected serve banner: {banner!r}"
+        base = match.group(1)
+        print(f"  {banner}")
+
+        status, body = http("GET", f"{base}/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+
+        # POST first, attach the worker second: the publish-only
+        # submitter parks the tasks in the queue, so the kill window
+        # below cannot be raced away by a fast sweep.
+        status, body = http(
+            "POST", f"{base}/runs",
+            json.dumps({"recipe": "report-smoke"}).encode(),
+        )
+        assert status == 202, (status, body)
+        run_id = json.loads(body)["run"]["id"]
+        print(f"  accepted run {run_id}")
+        wait_for_pending_tasks(svc_cache)
+
+        victim = start_worker(svc_cache, env)
+        victim_id = f"{socket.gethostname()}:{victim.pid}"
+        wait_for_mid_task(svc_cache, victim_id)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+        print(f"  SIGKILLed worker {victim_id} mid-task")
+
+        worker2 = start_worker(svc_cache, env)
+        record = wait_for_run(base, run_id)
+        assert record["state"] == "done", (
+            f"run finished {record['state']!r}: {record.get('error')}"
+        )
+        assert record["failed_cells"] == [], record["failed_cells"]
+        assert record["report"] == "report.html"
+        print(f"  run done: {len(record['artifacts'])} artifacts")
+
+        # Served report == serial report, byte for byte, outside the
+        # provenance blocks.
+        _, served_report = http("GET", f"{base}/runs/{run_id}/report.html")
+        serial_report = (serial_out / "report.html").read_bytes()
+        assert PROVENANCE_DL.search(served_report), "served report has no provenance"
+        assert PROVENANCE_DL.search(serial_report), "serial report has no provenance"
+        masked_served = PROVENANCE_DL.sub(b"", served_report)
+        masked_serial = PROVENANCE_DL.sub(b"", serial_report)
+        assert masked_served == masked_serial, (
+            "served report.html diverged from the serial one outside "
+            "the provenance blocks"
+        )
+
+        # Served JSON artifacts == serial tree modulo meta.provenance.
+        serial_artifacts = sorted(
+            str(path.relative_to(serial_out))
+            for path in serial_out.rglob("*.json")
+        )
+        assert sorted(record["artifacts"]) == serial_artifacts, (
+            f"artifact sets diverged: served={sorted(record['artifacts'])} "
+            f"serial={serial_artifacts}"
+        )
+        for relative in serial_artifacts:
+            _, served = http("GET", f"{base}/runs/{run_id}/{relative}")
+            served_doc = json.loads(served)
+            assert served_doc["meta"].pop("provenance"), relative
+            serial_doc = json.loads(normalize(serial_out / relative))
+            assert served_doc == serial_doc, f"byte mismatch in {relative}"
+
+        # The victim is visible as a stale worker through the service.
+        time.sleep(2.5)  # let its heartbeat age past --stale-after
+        _, body = http("GET", f"{base}/queue")
+        snapshot = json.loads(body)
+        victims = [
+            worker for worker in snapshot["workers"]
+            if worker["worker_id"] == victim_id
+        ]
+        assert victims and victims[0]["status"] == "stale", (
+            f"SIGKILLed worker should linger as stale: "
+            f"{snapshot['workers']}"
+        )
+        _, body = http("GET", f"{base}/healthz")
+        assert json.loads(body)["runs"] == {"done": 1}
+
+        print(
+            "service-smoke OK: POSTed sweep survived the worker "
+            "SIGKILL; served report.html byte-identical to serial "
+            "(modulo provenance), victim visible via /queue"
+        )
+        return 0
+    except BaseException:
+        if service is not None:
+            log_path = scratch / "service.log"
+            if log_path.exists():
+                sys.stderr.write(log_path.read_text())
+        raise
+    finally:
+        for process in (victim, worker2):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        if service is not None and service.poll() is None:
+            service.terminate()
+            try:
+                service.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                service.kill()
+                service.wait(timeout=30)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,35 @@ class RendererUnavailable(RuntimeError):
     """The renderer's backing library is not installed."""
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via temp file + ``os.replace``.
+
+    Artifacts are served over HTTP by the experiment service while
+    sweeps are still writing them; a same-directory rename means a
+    concurrent reader sees the complete old file or the complete new
+    one, never a truncated write -- the same guarantee the result
+    cache makes for pickles.
+    """
+    import os
+    import tempfile
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".tmp-{path.name}-"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class Renderer(ABC):
     """Turns a ResultSet into human- or machine-consumable output."""
 
@@ -78,7 +107,7 @@ class Renderer(ABC):
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         path = out_dir / f"{result_set.experiment}{self.suffix}"
-        path.write_text(self.render(result_set) + "\n")
+        atomic_write_text(path, self.render(result_set) + "\n")
         return [path]
 
 
@@ -126,7 +155,7 @@ class CsvRenderer(Renderer):
         paths: List[Path] = []
         for name, body in self._documents(result_set):
             path = out_dir / f"{result_set.experiment}.{name}{self.suffix}"
-            path.write_text(body)
+            atomic_write_text(path, body)
             paths.append(path)
         return paths
 

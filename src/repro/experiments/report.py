@@ -43,7 +43,7 @@ from repro.experiments.api import (
 from repro.experiments.svgplot import SvgPlotError, render_plot
 from repro.orchestration.hashing import stable_hash
 
-__all__ = ["build_report"]
+__all__ = ["REPORT_CSS", "build_report"]
 
 _CSS = """\
 :root { color-scheme: light; }
@@ -114,6 +114,10 @@ figure.plot img { max-width: 100%; }
 p.plot-error { color: #9d3c00; font-size: 13px; }
 footer { color: #52514e; font-size: 12.5px; text-align: center; }
 """
+
+#: The report stylesheet, shared with the experiment service's landing
+#: page so served pages and report.html read as one product.
+REPORT_CSS = _CSS
 
 
 # ----------------------------------------------------------------------

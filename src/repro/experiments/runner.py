@@ -65,6 +65,12 @@ from repro.experiments.render import (
     get_renderer,
     renderer_names,
 )
+from repro.experiments.sweep import (
+    recipe_out_dir as _recipe_out_dir,
+    stamp_provenance as _stamp_provenance,
+    stats_snapshot as _stats_snapshot,
+    write_recipe_report as _write_recipe_report,
+)
 from repro.orchestration import (
     BACKEND_NAMES,
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -292,64 +298,6 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
         progress=_progress_line if args.progress else None,
         backend=backend,
     )
-
-
-def _stats_snapshot(orch: OrchestrationContext) -> tuple:
-    provenance_seen = (
-        len(orch.cache.provenance_events) if orch.cache is not None else 0
-    )
-    return (
-        orch.stats.submitted,
-        orch.stats.hits,
-        orch.stats.executed,
-        provenance_seen,
-    )
-
-
-def _stamp_provenance(
-    result_set, orch: OrchestrationContext, before: tuple
-) -> None:
-    """Record how this ResultSet was computed (shown by the report).
-
-    ``before`` is the :func:`_stats_snapshot` taken just before the
-    experiment ran, so the task counts are per-experiment even though
-    the context is shared by the whole CLI invocation.  When a cache
-    is attached, ``workers`` maps each worker label (``host:pid``)
-    that computed one of this experiment's results -- this process,
-    a pool worker's parent, or any ``runner worker`` on any host --
-    to its result count, straight from the per-entry provenance
-    stamps in the cache.
-    """
-    submitted, hits, executed, provenance_before = before
-    now_submitted, now_hits, now_executed, _ = _stats_snapshot(orch)
-    provenance = {
-        "backend": orch.backend.describe(),
-        "cache_dir": (
-            str(orch.cache.directory) if orch.cache is not None else None
-        ),
-        "tasks": {
-            "submitted": now_submitted - submitted,
-            "cache_hits": now_hits - hits,
-            "executed": now_executed - executed,
-        },
-    }
-    if orch.cache is not None:
-        # Slice the append-only event log, not the first-seen dict:
-        # a repeated experiment's cache hits re-log already-seen
-        # entry keys, so its slice is never empty.  Dedup keys within
-        # the slice (a store immediately re-read counts once) and
-        # resolve worker labels through the dict, which the queue
-        # backend blanks for foreign submitters' entries.
-        workers: dict = {}
-        events = orch.cache.provenance_events[provenance_before:]
-        for entry_key in dict.fromkeys(events):
-            worker = orch.cache.provenance_seen.get(entry_key)
-            if worker is not None:
-                workers[worker] = workers.get(worker, 0) + 1
-        provenance["workers"] = {
-            worker: workers[worker] for worker in sorted(workers)
-        }
-    result_set.meta["provenance"] = provenance
 
 
 def _print_orchestration_stats(orch: OrchestrationContext) -> None:
@@ -775,6 +723,127 @@ def _cmd_queue(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# `serve`: the HTTP experiment service
+# ----------------------------------------------------------------------
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner serve",
+        description="Run the HTTP experiment service over a cache "
+                    "directory: POST recipe manifests to /runs to "
+                    "start sweeps (published into the same job queue "
+                    "`runner worker` processes drain), GET run "
+                    "records, artifacts, and report.html as they are "
+                    "published, and watch the fleet through /healthz "
+                    "and /queue.  Stdlib-only; all state lives on "
+                    "disk, so restarting the service loses nothing. "
+                    "See ORCHESTRATION.md.",
+    )
+    parser.add_argument(
+        "cache_dir", nargs="?", default=None, metavar="CACHE_DIR",
+        help="shared cache directory to serve (default: "
+             "$REPRO_CACHE_DIR or .repro_cache/); created if missing",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1; use 0.0.0.0 to "
+             "accept the fleet's curl from other hosts)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8321, metavar="N",
+        help="TCP port to bind (default: 8321; 0 picks a free port, "
+             "printed on startup)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=4, metavar="N",
+        help="sweeps executing at once; further submissions queue "
+             "(default: 4)",
+    )
+    parser.add_argument(
+        "--participate", action="store_true",
+        help="the service claims queue tasks itself while sweeps "
+             "wait, so it is useful with zero `runner worker` "
+             "processes (laptop mode); by default submissions only "
+             "publish tasks and the worker fleet drains them",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+        metavar="S",
+        help="queue lease timeout handed to each sweep's backend "
+             f"(default: {DEFAULT_LEASE_TIMEOUT:g}s)",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=DEFAULT_STALE_AFTER,
+        metavar="S",
+        help="report a worker as stale once its heartbeat is older "
+             "than S seconds (default: 30)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request and per-sweep log lines on stderr",
+    )
+    return parser
+
+
+def _cmd_serve(argv) -> int:
+    import signal
+
+    from repro.service import ExperimentHTTPServer, ExperimentService
+
+    parser = _serve_parser()
+    args = parser.parse_args(argv)
+    if args.max_concurrent < 1:
+        parser.error("--max-concurrent must be >= 1")
+    if args.lease_timeout <= 0:
+        parser.error("--lease-timeout must be positive")
+    if args.stale_after <= 0:
+        parser.error("--stale-after must be positive")
+    cache_dir = (
+        Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    )
+    service = ExperimentService(
+        cache_dir,
+        max_concurrent=args.max_concurrent,
+        participate=args.participate,
+        lease_timeout=args.lease_timeout,
+        stale_after=args.stale_after,
+        log=None if args.quiet else stderr_log,
+    )
+    try:
+        server = ExperimentHTTPServer((args.host, args.port), service)
+    except OSError as error:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    host, port = server.server_address[:2]
+    # The one startup line scripts parse (the smoke does): flushed so
+    # a pipe sees it before the first request ever arrives.
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(
+        f"[serve] cache {cache_dir}, "
+        f"{'participating' if args.participate else 'publish-only'} "
+        f"submitter, {args.max_concurrent} concurrent sweeps max",
+        file=sys.stderr,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] interrupted; exiting", file=sys.stderr)
+    except SystemExit as exit_request:
+        print("[serve] terminated; exiting", file=sys.stderr)
+        server.server_close()
+        return (
+            exit_request.code if isinstance(exit_request.code, int) else 143
+        )
+    server.server_close()
+    return 0
+
+
+# ----------------------------------------------------------------------
 # `recipe`: declarative sweep manifests
 # ----------------------------------------------------------------------
 
@@ -869,11 +938,6 @@ def _cmd_recipe_show(argv) -> int:
         file=sys.stderr,
     )
     return 0
-
-
-def _recipe_out_dir(out_dir: Path, recipe: Recipe, seed: int) -> Path:
-    """Deterministic artifact layout: one subdirectory per seed."""
-    return out_dir / f"seed{seed}"
 
 
 def _recipe_run_parser() -> argparse.ArgumentParser:
@@ -1006,47 +1070,6 @@ def _cmd_recipe_run(argv) -> int:
     return 1 if failed else 0
 
 
-def _write_recipe_report(
-    recipe: Recipe, smoke: bool, completed: List[tuple], out_dir: Path
-) -> Path:
-    """``<out>/report.html`` for the cells of one recipe run.
-
-    The cells aggregate **in memory** (per experiment, across the seed
-    matrix), so the report works with any ``--format`` -- the on-disk
-    artifacts need not be JSON.
-    """
-    from repro.experiments.aggregate import ResultSetAggregate
-    from repro.experiments.report import build_report
-
-    sections = []
-    for experiment_name in recipe.experiments:
-        members = [
-            (seed, result_set)
-            for name, seed, result_set in completed
-            if name == experiment_name
-        ]
-        if not members:
-            continue  # every seed of this experiment failed
-        if len(members) == 1:
-            sections.append(members[0][1])
-        else:
-            sections.append(ResultSetAggregate.from_result_sets(
-                [result_set for _, result_set in members],
-                [seed for seed, _ in members],
-            ).to_result_set())
-    seeds = ", ".join(str(seed) for seed in recipe.seeds)
-    html = build_report(
-        sections,
-        title=f"{recipe.name} v{recipe.version}",
-        subtitle=f"{recipe.description} -- seeds {seeds}"
-                 + (" (smoke scale)" if smoke else ""),
-    )
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "report.html"
-    path.write_text(html, encoding="utf-8")
-    return path
-
-
 # ----------------------------------------------------------------------
 # `report`: stitch an artifact tree into one self-contained HTML page
 # ----------------------------------------------------------------------
@@ -1154,7 +1177,7 @@ def _cmd_recipe(argv) -> int:
 
 
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,report} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,serve,report} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
@@ -1168,6 +1191,9 @@ subcommands:
   queue   observe a live sweep: `queue status [CACHE_DIR] [--json]`
           summarizes tasks, leases, failures, and live/stale workers
           from their heartbeat files
+  serve   run the HTTP experiment service over a cache directory:
+          POST recipes to start sweeps on the worker fleet, GET run
+          records, artifacts, report.html, /healthz, and /queue
   report  stitch ResultSet JSON artifact trees (including seed*/
           matrices, aggregated with error bands) into one
           self-contained HTML page
@@ -1200,6 +1226,7 @@ def help_all_text() -> str:
         _recipe_run_parser(),
         _worker_parser(),
         _queue_status_parser(),
+        _serve_parser(),
         _report_parser(),
     )
     saved = os.environ.get("COLUMNS")
@@ -1233,6 +1260,8 @@ def main(argv=None) -> int:
         return _cmd_worker(argv[1:])
     if argv and argv[0] == "queue":
         return _cmd_queue(argv[1:])
+    if argv and argv[0] == "serve":
+        return _cmd_serve(argv[1:])
     if argv and argv[0] == "report":
         return _cmd_report(argv[1:])
     if argv and argv[0] == "run":

@@ -1,0 +1,235 @@
+"""The recipe-sweep engine shared by the CLI and the HTTP service.
+
+``runner recipe run`` and the experiment service's submission manager
+execute the same loop: for every ``(experiment, seed, scale)`` cell of
+a :class:`~repro.experiments.recipes.Recipe`, run the experiment
+through an :class:`~repro.orchestration.OrchestrationContext`, stamp
+``meta.recipe`` + ``meta.provenance``, emit the artifact, and finally
+aggregate the seed matrix into one ``report.html``.  This module is
+the single home of that loop and of the artifact-layout and report
+conventions, so a sweep submitted over HTTP produces artifacts
+**byte-identical** (modulo the ``meta.provenance`` execution record,
+which deliberately says *how* each artifact was computed) to the same
+recipe run from the command line.
+
+Artifact layout under a sweep's output directory::
+
+    <out>/seed<seed>/<experiment>.json     one ResultSet per cell
+    <out>/report.html                      aggregated across seeds
+
+All files are published with atomic renames
+(:func:`repro.experiments.render.atomic_write_text`), so HTTP readers
+polling a directory mid-sweep see complete artifacts or none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments.api import ExperimentError, all_experiments
+from repro.experiments.recipes import Recipe
+from repro.experiments.render import atomic_write_text, get_renderer
+from repro.orchestration import OrchestrationContext
+
+__all__ = [
+    "SweepOutcome",
+    "recipe_out_dir",
+    "run_recipe_sweep",
+    "stamp_provenance",
+    "stats_snapshot",
+    "write_recipe_report",
+]
+
+
+def stats_snapshot(orch: OrchestrationContext) -> tuple:
+    """Orchestration counters *now*; pair with :func:`stamp_provenance`."""
+    provenance_seen = (
+        len(orch.cache.provenance_events) if orch.cache is not None else 0
+    )
+    return (
+        orch.stats.submitted,
+        orch.stats.hits,
+        orch.stats.executed,
+        provenance_seen,
+    )
+
+
+def stamp_provenance(
+    result_set, orch: OrchestrationContext, before: tuple
+) -> None:
+    """Record how this ResultSet was computed (shown by the report).
+
+    ``before`` is the :func:`stats_snapshot` taken just before the
+    experiment ran, so the task counts are per-experiment even though
+    the context is shared by the whole CLI invocation.  When a cache
+    is attached, ``workers`` maps each worker label (``host:pid``)
+    that computed one of this experiment's results -- this process,
+    a pool worker's parent, or any ``runner worker`` on any host --
+    to its result count, straight from the per-entry provenance
+    stamps in the cache.
+    """
+    submitted, hits, executed, provenance_before = before
+    now_submitted, now_hits, now_executed, _ = stats_snapshot(orch)
+    provenance = {
+        "backend": orch.backend.describe(),
+        "cache_dir": (
+            str(orch.cache.directory) if orch.cache is not None else None
+        ),
+        "tasks": {
+            "submitted": now_submitted - submitted,
+            "cache_hits": now_hits - hits,
+            "executed": now_executed - executed,
+        },
+    }
+    if orch.cache is not None:
+        # Slice the append-only event log, not the first-seen dict:
+        # a repeated experiment's cache hits re-log already-seen
+        # entry keys, so its slice is never empty.  Dedup keys within
+        # the slice (a store immediately re-read counts once) and
+        # resolve worker labels through the dict, which the queue
+        # backend blanks for foreign submitters' entries.
+        workers: dict = {}
+        events = orch.cache.provenance_events[provenance_before:]
+        for entry_key in dict.fromkeys(events):
+            worker = orch.cache.provenance_seen.get(entry_key)
+            if worker is not None:
+                workers[worker] = workers.get(worker, 0) + 1
+        provenance["workers"] = {
+            worker: workers[worker] for worker in sorted(workers)
+        }
+    result_set.meta["provenance"] = provenance
+
+
+def recipe_out_dir(out_dir: Path, recipe: Recipe, seed: int) -> Path:
+    """Deterministic artifact layout: one subdirectory per seed."""
+    return out_dir / f"seed{seed}"
+
+
+def write_recipe_report(
+    recipe: Recipe, smoke: bool, completed: List[tuple], out_dir: Path
+) -> Path:
+    """``<out>/report.html`` for the cells of one recipe run.
+
+    The cells aggregate **in memory** (per experiment, across the seed
+    matrix), so the report works with any ``--format`` -- the on-disk
+    artifacts need not be JSON.  ``completed`` holds
+    ``(experiment_name, seed, result_set)`` triples.  The page is
+    published atomically so an HTTP reader never sees half a report.
+    """
+    from repro.experiments.aggregate import ResultSetAggregate
+    from repro.experiments.report import build_report
+
+    sections = []
+    for experiment_name in recipe.experiments:
+        members = [
+            (seed, result_set)
+            for name, seed, result_set in completed
+            if name == experiment_name
+        ]
+        if not members:
+            continue  # every seed of this experiment failed
+        if len(members) == 1:
+            sections.append(members[0][1])
+        else:
+            sections.append(ResultSetAggregate.from_result_sets(
+                [result_set for _, result_set in members],
+                [seed for seed, _ in members],
+            ).to_result_set())
+    seeds = ", ".join(str(seed) for seed in recipe.seeds)
+    html = build_report(
+        sections,
+        title=f"{recipe.name} v{recipe.version}",
+        subtitle=f"{recipe.description} -- seeds {seeds}"
+                 + (" (smoke scale)" if smoke else ""),
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "report.html"
+    atomic_write_text(path, html)
+    return path
+
+
+@dataclass
+class SweepOutcome:
+    """What one :func:`run_recipe_sweep` call produced."""
+
+    #: ``experiment@seedN`` labels of cells that raised ExperimentError.
+    failed_cells: List[str] = field(default_factory=list)
+    #: Artifact files written, in completion order.
+    artifacts: List[Path] = field(default_factory=list)
+    #: ``<out>/report.html`` (``None`` when every cell failed or the
+    #: seed matrices misaligned -- the per-cell artifacts survive).
+    report_path: Optional[Path] = None
+    #: Why the report is missing despite completed cells, if so.
+    report_error: Optional[str] = None
+
+
+def run_recipe_sweep(
+    recipe: Recipe,
+    orch: OrchestrationContext,
+    out_dir: Path,
+    *,
+    smoke: bool = False,
+    report: bool = True,
+    format_name: str = "json",
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Execute every cell of ``recipe`` and write its artifact tree.
+
+    The service's submission manager calls this with a queue-backend
+    context; the cells publish through the shared cache exactly like
+    ``runner recipe run --backend queue``.  Backend failures
+    (a task that died on a worker, misconfiguration) propagate --
+    the whole sweep is wrong, not one cell; per-cell
+    :class:`ExperimentError` is recorded and the sweep continues,
+    mirroring the CLI.
+    """
+    log = log or (lambda message: None)
+    recipe.validate_experiments()
+    runs = recipe.runs(smoke=smoke)
+    experiments = all_experiments()
+    renderer = get_renderer(format_name)
+    renderer.check_available()
+    out_dir = Path(out_dir)
+    outcome = SweepOutcome()
+    completed: List[Tuple[str, int, object]] = []
+
+    for experiment_name, seed, scale in runs:
+        cell = f"{experiment_name}@seed{seed}"
+        log(f"[recipe {recipe.name} v{recipe.version}] {cell}")
+        before = stats_snapshot(orch)
+        try:
+            result_set = experiments[experiment_name].run_result_set(
+                scale, orch
+            )
+        except ExperimentError as error:
+            log(f"error: {cell}: {error}")
+            outcome.failed_cells.append(cell)
+            continue
+        result_set.meta["recipe"] = {
+            "name": recipe.name,
+            "version": recipe.version,
+            "seed": seed,
+            "smoke": smoke,
+        }
+        stamp_provenance(result_set, orch, before)
+        outcome.artifacts.extend(
+            renderer.write(result_set, recipe_out_dir(out_dir, recipe, seed))
+        )
+        if report:
+            completed.append((experiment_name, seed, result_set))
+
+    if report and completed:
+        from repro.experiments.aggregate import AggregationError
+
+        try:
+            outcome.report_path = write_recipe_report(
+                recipe, smoke, completed, out_dir
+            )
+        except AggregationError as error:
+            # The per-seed artifacts are all on disk by now; losing
+            # the report must not look like losing the sweep.
+            outcome.report_error = str(error)
+            log(f"error: report aggregation failed: {error}")
+    return outcome

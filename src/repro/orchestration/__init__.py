@@ -23,6 +23,8 @@ from repro.orchestration.cache import (
     CacheStats,
     ResultCache,
     default_cache_dir,
+    scan_cache_entry_keys,
+    shard_name,
 )
 from repro.orchestration.executor import (
     OrchestrationContext,
@@ -90,6 +92,8 @@ __all__ = [
     "queue_status",
     "render_status",
     "run_task",
+    "scan_cache_entry_keys",
     "serial_context",
+    "shard_name",
     "stable_hash",
 ]

@@ -310,12 +310,17 @@ class QueueBackend(ExecutionBackend):
     def _present_entries(
         self, outstanding: Dict[str, PendingTask], cache: ResultCache
     ) -> set:
-        """Outstanding entry keys that exist in the cache right now."""
+        """Outstanding entry keys that exist in the cache right now.
+
+        Per-entry checks go through ``cache.exists`` so entries in
+        either layout (sharded, or flat from a pre-sharding worker's
+        cache) are seen; large remainders use the one-pass shard scan.
+        """
         if len(outstanding) <= PER_ENTRY_POLL_MAX:
             return {
                 entry_key
                 for entry_key in outstanding
-                if cache.path_for(entry_key).exists()
+                if cache.exists(entry_key)
             }
         return cache.scan_entry_keys()
 

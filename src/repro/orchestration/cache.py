@@ -2,9 +2,31 @@
 
 Layout: one pickle file per result under the cache directory
 (default ``.repro_cache/``, overridable via ``$REPRO_CACHE_DIR``),
-named ``<sha256>.pkl`` where the hash covers::
+**sharded** by entry-key prefix into 256 fan-out directories::
+
+    <cache-dir>/ab/<ab...sha256...>.pkl
+
+where the hash covers::
 
     (task.key, fingerprint, code_version)
+
+Sharding exists for the always-on service: a million-entry cache in
+one flat directory makes every ``scandir`` (the submitter's
+collection pass, ``runner queue status``, the HTTP ``/queue``
+endpoint) a storm over one giant directory and brings out the worst
+in every filesystem's per-directory scaling.  256-way fan-out keeps
+each shard at ~1/256th of the entries while the full scan stays one
+pass: one top-level ``scandir`` plus one per shard directory, no
+per-entry ``stat`` calls.
+
+Caches written before sharding (flat ``<cache-dir>/<sha256>.pkl``)
+stay readable forever: reads fall through to the legacy flat path,
+scans count both layouts (each key once -- the sharded copy wins when
+both exist), and new stores always land sharded, so a legacy cache
+migrates incrementally as results are recomputed, never by a flag
+day.  Shard directories are exactly the two-character subdirectories
+of the cache dir; everything else (``queue/``, ``service/``) is
+ignored by scans.
 
 ``fingerprint`` is the experiment-level context -- by convention the
 full :class:`~repro.experiments.common.ExperimentScale` plus the
@@ -53,6 +75,12 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: Bumped when the on-disk entry format changes.
 _FORMAT = 1
 
+#: Entry-key prefix length naming a shard directory: 2 hex chars =
+#: 256-way fan-out.  Changing this would orphan existing sharded
+#: entries (they would only be found by a full scan, not by
+#: ``path_for``), so treat it as part of the on-disk format.
+SHARD_WIDTH = 2
+
 _MISS = object()
 
 
@@ -60,23 +88,59 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
-def scan_cache_entry_keys(directory: Union[str, Path]) -> set:
-    """Entry keys of every cache file in ``directory``, in ONE scan.
+def shard_name(entry_key: str) -> str:
+    """The shard directory holding ``entry_key`` (its first 2 chars)."""
+    return entry_key[:SHARD_WIDTH]
 
-    The single home of the cache filename contract (``<key>.pkl``,
-    dot-prefixed temp files excluded) -- shared by the submitter's
-    collection pass and ``runner queue status``.
+
+def is_shard_dir(name: str) -> bool:
+    """Whether a cache subdirectory name is a shard directory.
+
+    The contract is purely structural -- exactly ``SHARD_WIDTH``
+    characters, not hidden -- so sibling directories the cache shares
+    its home with (``queue/``, ``service/``, dot-prefixed scratch)
+    are never mistaken for shards.
     """
+    return len(name) == SHARD_WIDTH and not name.startswith(".")
+
+
+def _scan_one_dir(directory: Union[str, Path]) -> Tuple[set, List[str]]:
+    """``(entry_keys, shard_dir_names)`` from ONE ``scandir`` pass."""
+    keys, shards = set(), []
     try:
         with os.scandir(directory) as entries:
-            return {
-                entry.name[: -len(".pkl")]
-                for entry in entries
-                if entry.name.endswith(".pkl")
-                and not entry.name.startswith(".")
-            }
+            for entry in entries:
+                if entry.name.startswith("."):
+                    continue
+                if entry.name.endswith(".pkl"):
+                    keys.add(entry.name[: -len(".pkl")])
+                elif is_shard_dir(entry.name) and entry.is_dir(
+                    follow_symlinks=False
+                ):
+                    shards.append(entry.name)
     except FileNotFoundError:
-        return set()
+        pass
+    return keys, shards
+
+
+def scan_cache_entry_keys(directory: Union[str, Path]) -> set:
+    """Entry keys of every cache file in ``directory``, in ONE pass.
+
+    The single home of the cache layout contract (``<key>.pkl`` flat
+    or under a ``<key[:2]>/`` shard, dot-prefixed temp files
+    excluded) -- shared by the submitter's collection pass, ``runner
+    queue status``, and the service's ``/queue`` endpoint.  One
+    top-level ``scandir`` plus one per shard directory; no per-entry
+    ``stat`` calls, no re-listing a shard twice.  Keys present in
+    both layouts (a cache mid-migration) are counted **once** -- the
+    set union -- matching ``load``'s preference for the sharded copy.
+    """
+    directory = Path(directory)
+    keys, shards = _scan_one_dir(directory)
+    for shard in shards:
+        shard_keys, _ = _scan_one_dir(directory / shard)
+        keys |= shard_keys
+    return keys
 
 
 def result_provenance(version: str) -> Dict[str, Any]:
@@ -136,41 +200,65 @@ class ResultCache:
         return stable_hash((tuple(task_key), fingerprint, self.version))
 
     def path_for(self, entry_key: str) -> Path:
+        """Where ``entry_key`` lives (and is written): its shard."""
+        return self.directory / shard_name(entry_key) / f"{entry_key}.pkl"
+
+    def legacy_path_for(self, entry_key: str) -> Path:
+        """The pre-sharding flat location, still honored on reads."""
         return self.directory / f"{entry_key}.pkl"
 
+    def candidate_paths(self, entry_key: str) -> Tuple[Path, Path]:
+        """Read locations in preference order: sharded, then flat.
+
+        The sharded copy wins when both exist (a cache mid-migration):
+        it is the one new stores overwrite, so it is never staler than
+        the flat leftover.
+        """
+        return (self.path_for(entry_key), self.legacy_path_for(entry_key))
+
+    def exists(self, entry_key: str) -> bool:
+        """Whether a stored entry exists in either layout (no read)."""
+        return any(path.exists() for path in self.candidate_paths(entry_key))
+
     def scan_entry_keys(self) -> set:
-        """Every entry key currently on disk, from ONE directory scan.
+        """Every entry key currently on disk, from ONE scan pass.
 
         The queue submitter polls outstanding entries each pass; doing
         so with per-entry ``stat`` calls is O(N) metadata round-trips
         per pass -- O(N^2) over a draining sweep, ruinous on NFS.  One
-        ``scandir`` answers the whole pass.
+        pass over the shard fan-out answers the whole poll.
         """
         return scan_cache_entry_keys(self.directory)
 
     # ------------------------------------------------------------------
 
     def load(self, entry_key: str) -> Tuple[bool, Any]:
-        """``(hit, value)`` for an entry; corrupt files become misses."""
-        path = self.path_for(entry_key)
-        try:
-            with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return False, None
-        except Exception:
-            self._discard(path)
-            self.stats.misses += 1
-            return False, None
-        value = self._validate(entry, entry_key)
-        if value is _MISS:
-            self._discard(path)
-            self.stats.misses += 1
-            return False, None
-        self.stats.hits += 1
-        self._note_provenance(entry_key, entry.get("provenance"))
-        return True, value
+        """``(hit, value)`` for an entry; corrupt files become misses.
+
+        Reads prefer the sharded location and fall through to the
+        legacy flat one, so caches written before sharding replay
+        without migration.  A corrupt copy is deleted and the *next*
+        candidate still gets its chance -- a torn sharded overwrite
+        can never shadow a valid flat original.
+        """
+        for path in self.candidate_paths(entry_key):
+            try:
+                with open(path, "rb") as handle:
+                    entry = pickle.load(handle)
+            except FileNotFoundError:
+                continue
+            except Exception:
+                self._discard(path)
+                continue
+            value = self._validate(entry, entry_key)
+            if value is _MISS:
+                self._discard(path)
+                continue
+            self.stats.hits += 1
+            self._note_provenance(entry_key, entry.get("provenance"))
+            return True, value
+        self.stats.misses += 1
+        return False, None
 
     def load_provenance(self, entry_key: str) -> Optional[Dict[str, Any]]:
         """The provenance stamp of one stored entry, if readable.
@@ -178,15 +266,16 @@ class ResultCache:
         Purely observational (``runner queue status``, tests): does not
         touch hit/miss statistics and never deletes anything.
         """
-        try:
-            with open(self.path_for(entry_key), "rb") as handle:
-                entry = pickle.load(handle)
-        except Exception:
-            return None
-        if isinstance(entry, dict) and isinstance(
-            entry.get("provenance"), dict
-        ):
-            return entry["provenance"]
+        for path in self.candidate_paths(entry_key):
+            try:
+                with open(path, "rb") as handle:
+                    entry = pickle.load(handle)
+            except Exception:
+                continue
+            if isinstance(entry, dict) and isinstance(
+                entry.get("provenance"), dict
+            ):
+                return entry["provenance"]
         return None
 
     def store(
@@ -213,14 +302,18 @@ class ResultCache:
             "provenance": provenance,
             "payload": value,
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
+        destination = self.path_for(entry_key)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        # The temp file lives in the shard directory itself so the
+        # publishing os.replace stays a same-directory rename (atomic
+        # on every filesystem that matters, including NFS).
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            dir=destination.parent, prefix=".tmp-", suffix=".pkl"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, self.path_for(entry_key))
+            os.replace(tmp_name, destination)
         except BaseException:
             try:
                 os.unlink(tmp_name)

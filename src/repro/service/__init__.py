@@ -1,0 +1,32 @@
+"""The experiment service: sweeps over HTTP, results from the cache.
+
+``runner serve <cache-dir>`` wraps the existing queue + cache substrate
+in a long-lived stdlib HTTP front end: POST a recipe manifest to start
+a sweep, watch it through ``/queue`` and ``/healthz``, and GET the
+artifacts and ``report.html`` the moment they are published.  See
+ORCHESTRATION.md ("Running the service").
+"""
+
+from repro.service.app import (
+    ExperimentHTTPServer,
+    ExperimentService,
+    ServiceHandler,
+)
+from repro.service.submissions import (
+    RUN_RECORD_FORMAT,
+    RunNotFound,
+    SubmissionManager,
+    service_dir,
+    service_runs_dir,
+)
+
+__all__ = [
+    "RUN_RECORD_FORMAT",
+    "ExperimentHTTPServer",
+    "ExperimentService",
+    "RunNotFound",
+    "ServiceHandler",
+    "SubmissionManager",
+    "service_dir",
+    "service_runs_dir",
+]

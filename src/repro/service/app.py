@@ -1,0 +1,323 @@
+"""The experiment service: an HTTP front end over queue + cache.
+
+``runner serve <cache-dir>`` starts a :class:`ThreadingHTTPServer`
+(stdlib only -- the service adds **no** dependencies) whose state is
+entirely the on-disk substrate the CLI already uses: the result cache,
+the job-queue directory next to it, and the run records written by
+:class:`~repro.service.submissions.SubmissionManager`.  The process
+itself is stateless; kill it and restart it and nothing is lost.
+
+Routes::
+
+    GET  /                     landing page over all published runs
+    GET  /healthz              liveness + one-line queue summary (JSON)
+    GET  /queue                full `runner queue status --json` snapshot
+    GET  /recipes              every registered recipe manifest (JSON)
+    GET  /runs                 run records, newest first (JSON)
+    POST /runs                 submit a sweep: {"recipe": NAME} or a
+                               full manifest; optional "smoke": true
+    POST /submit               alias for POST /runs
+    GET  /runs/<id>            one run record (JSON)
+    GET  /runs/<id>/<path>     a run artifact (report.html, seed*/...)
+
+Artifacts are written with atomic renames end-to-end, so a GET racing
+an active sweep returns a complete file or a 404 -- never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.recipes import Recipe, RecipeError, all_recipes, get_recipe
+from repro.orchestration import DEFAULT_STALE_AFTER, queue_status
+from repro.orchestration.backends import DEFAULT_LEASE_TIMEOUT
+from repro.service.index import build_index
+from repro.service.submissions import RunNotFound, SubmissionManager
+
+__all__ = ["ExperimentHTTPServer", "ExperimentService", "ServiceHandler"]
+
+#: Artifact extensions the service will serve, with their MIME types.
+#: An allow-list: the artifact tree only ever contains renderer output
+#: plus the report, so anything else under a run directory (tempfiles
+#: mid-rename, stray editor droppings) is not reachable over HTTP.
+_CONTENT_TYPES = {
+    ".html": "text/html; charset=utf-8",
+    ".json": "application/json",
+    ".csv": "text/csv; charset=utf-8",
+    ".svg": "image/svg+xml",
+    ".png": "image/png",
+}
+
+#: Submission bodies larger than this are rejected outright; a recipe
+#: manifest is a few hundred bytes.
+_MAX_BODY = 1 << 20
+
+
+class ExperimentService:
+    """Request-independent service state: one per server process."""
+
+    def __init__(
+        self,
+        cache_dir: Path,
+        *,
+        max_concurrent: int = 4,
+        participate: bool = False,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        stale_after: float = DEFAULT_STALE_AFTER,
+        log=None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stale_after = stale_after
+        self.log = log or (lambda message: None)
+        self.submissions = SubmissionManager(
+            self.cache_dir,
+            max_concurrent=max_concurrent,
+            participate=participate,
+            lease_timeout=lease_timeout,
+            log=self.log,
+        )
+
+    # -- read models ---------------------------------------------------
+
+    def queue_snapshot(self) -> Dict[str, Any]:
+        return queue_status(self.cache_dir, stale_after=self.stale_after)
+
+    def healthz(self) -> Dict[str, Any]:
+        """Cheap-but-honest liveness: same scan helpers as `queue status`."""
+        snapshot = self.queue_snapshot()
+        runs = self.submissions.list_runs()
+        states: Dict[str, int] = {}
+        for record in runs:
+            state = str(record.get("state", "?"))
+            states[state] = states.get(state, 0) + 1
+        return {
+            "status": "ok",
+            "cache_dir": str(self.cache_dir),
+            "tasks": snapshot["tasks"],
+            "workers": {
+                "live": sum(
+                    1 for worker in snapshot["workers"]
+                    if worker["status"] == "live"
+                ),
+                "stale": sum(
+                    1 for worker in snapshot["workers"]
+                    if worker["status"] == "stale"
+                ),
+            },
+            "runs": states,
+            "active_sweeps": self.submissions.active_count(),
+        }
+
+    def index_page(self) -> str:
+        return build_index(
+            self.submissions.list_runs(),
+            self.queue_snapshot(),
+            {
+                name: recipe.to_manifest()
+                for name, recipe in all_recipes().items()
+            },
+            now=time.time(),
+        )
+
+    # -- write model ---------------------------------------------------
+
+    def submit_manifest(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate one POST body and enqueue the sweep.
+
+        Two accepted shapes: ``{"recipe": <registered name>}`` and a
+        full manifest document (``format`` key present), both with an
+        optional ``"smoke": true`` rider.  Raises
+        :class:`RecipeError` for anything else -- mapped to a 400.
+        """
+        if not isinstance(body, dict):
+            raise RecipeError(
+                "submission body must be a JSON object: a full recipe "
+                'manifest, or {"recipe": "<registered name>"}'
+            )
+        smoke = body.get("smoke", False)
+        if not isinstance(smoke, bool):
+            raise RecipeError('"smoke" must be a JSON boolean')
+        if "recipe" in body:
+            name = body["recipe"]
+            if not isinstance(name, str):
+                raise RecipeError('"recipe" must be a registered recipe name')
+            if name not in all_recipes():
+                raise RecipeError(
+                    f"unknown recipe {name!r}; known: "
+                    f"{sorted(all_recipes())} (or POST a full manifest)"
+                )
+            recipe = get_recipe(name)
+        else:
+            manifest = {k: v for k, v in body.items() if k != "smoke"}
+            recipe = Recipe.from_manifest(manifest)
+        return self.submissions.submit(recipe, smoke=smoke)
+
+    def artifact_path(self, run_id: str, relative: str) -> Optional[Path]:
+        """Resolve one artifact request, or ``None`` when unservable.
+
+        Confinement: the resolved path must stay inside the run's
+        artifact directory (rejects ``..``, absolute paths, and
+        symlink escapes) and carry an allow-listed extension.
+        """
+        self.submissions.get_run(run_id)  # 404 before path games
+        root = self.submissions.artifacts_dir(run_id).resolve()
+        if _CONTENT_TYPES.get(Path(relative).suffix) is None:
+            return None
+        try:
+            candidate = (root / relative).resolve()
+        except OSError:
+            return None
+        if root not in candidate.parents:
+            return None
+        return candidate if candidate.is_file() else None
+
+
+class ExperimentHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service object for handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ExperimentService) -> None:
+        super().__init__(address, ServiceHandler)
+        self.service = service
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Thin routing layer; all behavior lives on ExperimentService."""
+
+    server: ExperimentHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        self.server.service.log(
+            f"{self.address_string()} {format % args}"
+        )
+
+    def _send(
+        self, code: int, content_type: str, payload: bytes
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        # Everything here changes under the reader's feet by design.
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # impatient curl; nothing to clean up
+
+    def _send_json(self, code: int, document: Any) -> None:
+        self._send(
+            code,
+            "application/json",
+            (json.dumps(document, indent=2, sort_keys=True) + "\n").encode(),
+        )
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].split("#", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # -- GET -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        try:
+            self._get(self._route())
+        except Exception as error:  # noqa: BLE001 -- one request, not the server
+            self._send_error_json(
+                500, f"{type(error).__name__}: {error}"
+            )
+
+    def _get(self, route: Tuple[str, ...]) -> None:
+        service = self.server.service
+        if route == ():
+            self._send(
+                200, "text/html; charset=utf-8",
+                service.index_page().encode(),
+            )
+        elif route == ("healthz",):
+            self._send_json(200, service.healthz())
+        elif route == ("queue",):
+            self._send_json(200, service.queue_snapshot())
+        elif route == ("recipes",):
+            self._send_json(200, {
+                name: recipe.to_manifest()
+                for name, recipe in all_recipes().items()
+            })
+        elif route == ("runs",):
+            self._send_json(200, service.submissions.list_runs())
+        elif len(route) == 2 and route[0] == "runs":
+            try:
+                self._send_json(200, service.submissions.get_run(route[1]))
+            except RunNotFound:
+                self._send_error_json(404, f"no such run: {route[1]}")
+        elif len(route) > 2 and route[0] == "runs":
+            self._get_artifact(route[1], "/".join(route[2:]))
+        else:
+            self._send_error_json(404, f"no such resource: /{'/'.join(route)}")
+
+    def _get_artifact(self, run_id: str, relative: str) -> None:
+        service = self.server.service
+        try:
+            path = service.artifact_path(run_id, relative)
+        except RunNotFound:
+            self._send_error_json(404, f"no such run: {run_id}")
+            return
+        if path is None:
+            self._send_error_json(
+                404, f"no such artifact in {run_id}: {relative}"
+            )
+            return
+        # One read; the artifact was published by atomic rename, so
+        # this is a complete file even mid-sweep.
+        payload = path.read_bytes()
+        self._send(200, _CONTENT_TYPES[path.suffix], payload)
+
+    # -- POST ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        route = self._route()
+        if route not in (("runs",), ("submit",)):
+            self._send_error_json(
+                404, "POST a submission to /runs (or /submit)"
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if not 0 < length <= _MAX_BODY:
+            self._send_error_json(
+                400, f"submission body must be 1..{_MAX_BODY} bytes"
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"submission is not JSON: {error}")
+            return
+        try:
+            record = self.server.service.submit_manifest(body)
+        except RecipeError as error:
+            self._send_error_json(400, str(error))
+            return
+        except Exception as error:  # noqa: BLE001 -- one request, not the server
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+            return
+        run_id = record["id"]
+        self._send_json(202, {
+            "run": record,
+            "url": f"/runs/{run_id}",
+            "report_url": f"/runs/{run_id}/report.html",
+        })

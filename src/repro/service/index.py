@@ -1,0 +1,155 @@
+"""The service landing page: every published run, one HTML table.
+
+Pure string assembly over the run records and a ``queue_status``
+snapshot -- no templating dependency, same stylesheet as the report
+pipeline, self-contained like every other HTML artifact in this repo.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any, Dict, List, Mapping
+
+from repro.experiments.report import REPORT_CSS
+
+__all__ = ["build_index"]
+
+_INDEX_CSS = REPORT_CSS + """
+table.result td, table.result th { padding-right: 18px; }
+.state { font-weight: 600; }
+.state-done { color: #1d6b2f; }
+.state-running { color: #1c5cab; }
+.state-queued { color: #52514e; }
+.state-failed { color: #9d3c00; }
+code { font: 12.5px ui-monospace, monospace; }
+"""
+
+
+def _age(seconds: float) -> str:
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _run_row(record: Mapping[str, Any], now: float) -> str:
+    run_id = escape(str(record.get("id", "?")))
+    recipe = record.get("recipe") or {}
+    state = str(record.get("state", "?"))
+    submitted = record.get("submitted_at")
+    age = (
+        _age(max(0.0, now - submitted))
+        if isinstance(submitted, (int, float)) else "?"
+    )
+    report = record.get("report")
+    report_cell = (
+        f'<a href="/runs/{run_id}/{escape(str(report))}">report</a>'
+        if report else "&mdash;"
+    )
+    failed = len(record.get("failed_cells") or ())
+    detail = f"{len(record.get('artifacts') or ())} artifacts"
+    if failed:
+        detail += f", {failed} failed cells"
+    return (
+        "<tr>"
+        f'<td><a href="/runs/{run_id}"><code>{run_id}</code></a></td>'
+        f"<td>{escape(str(recipe.get('name', '?')))} "
+        f"v{escape(str(recipe.get('version', '?')))}"
+        f"{' (smoke)' if record.get('smoke') else ''}</td>"
+        f'<td class="state state-{escape(state)}">{escape(state)}</td>'
+        f"<td>{age} ago</td>"
+        f"<td>{report_cell}</td>"
+        f"<td>{escape(detail)}</td>"
+        "</tr>"
+    )
+
+
+def build_index(
+    runs: List[Dict[str, Any]],
+    queue: Mapping[str, Any],
+    recipes: Mapping[str, Any],
+    *,
+    now: float,
+) -> str:
+    """The ``GET /`` page over ``list_runs()`` + a queue snapshot."""
+    tasks = queue.get("tasks", {})
+    workers = queue.get("workers", ())
+    live = sum(1 for worker in workers if worker.get("status") == "live")
+    cards = "".join(
+        f'<div class="card"><div class="value">{escape(str(value))}</div>'
+        f'<div class="label">{escape(label)}</div></div>'
+        for label, value in (
+            ("pending tasks", tasks.get("pending", "?")),
+            ("leased", tasks.get("leased", "?")),
+            ("failed", tasks.get("failed", "?")),
+            ("results cached", tasks.get("results_cached", "?")),
+            ("live workers", live),
+            ("stale workers", len(workers) - live),
+        )
+    )
+    if runs:
+        rows = "\n".join(_run_row(record, now) for record in runs)
+        runs_html = (
+            '<table class="result">'
+            "<tr><th>run</th><th>recipe</th><th>state</th>"
+            "<th>submitted</th><th>report</th><th></th></tr>"
+            f"{rows}</table>"
+        )
+    else:
+        runs_html = (
+            "<p>No runs yet.  Submit one:</p>"
+            '<pre class="note">curl -X POST http://HOST:PORT/runs '
+            "-d '{\"recipe\": \"report-smoke\", \"smoke\": true}'</pre>"
+        )
+    recipe_rows = "\n".join(
+        "<tr>"
+        f"<td><code>{escape(name)}</code></td>"
+        f"<td>v{escape(str(manifest.get('version', '?')))}</td>"
+        f"<td>{escape(', '.join(manifest.get('experiments', ())))}</td>"
+        f"<td>{escape(str(len(manifest.get('seeds', ()))))}</td>"
+        f"<td>{escape(str(manifest.get('description', '')))}</td>"
+        "</tr>"
+        for name, manifest in sorted(recipes.items())
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro experiment service</title>
+<style>{_INDEX_CSS}</style>
+</head>
+<body>
+<main>
+<header class="page">
+<h1>repro experiment service</h1>
+<p class="sub">cache <code>{escape(str(queue.get("cache_dir", "?")))}</code>
+&middot; queue <code>{escape(str(queue.get("queue_dir", "?")))}</code>
+&middot; <a href="/queue">queue JSON</a>
+&middot; <a href="/healthz">healthz</a>
+&middot; <a href="/runs">runs JSON</a>
+&middot; <a href="/recipes">recipes JSON</a></p>
+</header>
+<div class="cards">{cards}</div>
+<section class="experiment">
+<h2>Runs</h2>
+{runs_html}
+</section>
+<section class="experiment">
+<h2>Recipes</h2>
+<table class="result">
+<tr><th>name</th><th>ver</th><th>experiments</th><th>seeds</th>
+<th>description</th></tr>
+{recipe_rows}
+</table>
+<p>POST <code>{{"recipe": NAME}}</code> (or a full manifest JSON) to
+<code>/runs</code> to start a sweep; add <code>"smoke": true</code>
+for the reduced grid.</p>
+</section>
+<footer>repro experiment service &middot; generated page, state lives
+on disk</footer>
+</main>
+</body>
+</html>
+"""

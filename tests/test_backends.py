@@ -396,7 +396,9 @@ class TestQueueMechanics:
         real_exists = Path.exists
 
         def counting_exists(path):
-            if path.suffix == ".pkl" and path.parent == cache.directory:
+            # Count per-entry existence probes in either cache layout
+            # (sharded `ab/<key>.pkl` or legacy flat `<key>.pkl`).
+            if path.suffix == ".pkl" and cache.directory in path.parents:
                 per_entry_stats.append(path)
             return real_exists(path)
 

@@ -26,6 +26,8 @@ from repro.orchestration import (
     canonicalize,
     derive_task_seed,
     make_task,
+    scan_cache_entry_keys,
+    shard_name,
     stable_hash,
 )
 
@@ -189,6 +191,7 @@ class TestCacheCorrectness:
 
         imposter = make_task(("other",), _double, 1)
         dst = cache.path_for(cache.entry_key(imposter.key, TINY))
+        dst.parent.mkdir(parents=True, exist_ok=True)  # its shard
         shutil.copy(src, dst)
 
         fresh = ResultCache(tmp_path)
@@ -208,6 +211,133 @@ class TestCacheCorrectness:
         ctx = OrchestrationContext(cache=ResultCache(tmp_path))
         task = make_task(("t",), _double, 5)
         assert ctx.run([task], fingerprint=None) == {("t",): 10}
+
+
+# ----------------------------------------------------------------------
+# Sharded layout: fan-out on store, flat read-through, honest scans.
+# ----------------------------------------------------------------------
+
+
+class TestShardedLayout:
+    def test_store_lands_in_the_prefix_shard(self, tmp_path):
+        from repro.orchestration import shard_name
+        from repro.orchestration.cache import SHARD_WIDTH
+
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, TINY)
+        OrchestrationContext(cache=cache).run([task], fingerprint=TINY)
+        path = cache.path_for(entry_key)
+        assert path.parent == tmp_path / entry_key[:SHARD_WIDTH]
+        assert path.parent.name == shard_name(entry_key)
+        assert path.exists()
+        assert not cache.legacy_path_for(entry_key).exists()
+
+    def test_legacy_flat_entry_read_through(self, tmp_path):
+        """A pre-shard cache keeps working verbatim: flat entries are
+        found, loaded, and counted without any migration step."""
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, TINY)
+        OrchestrationContext(cache=cache).run([task], fingerprint=TINY)
+        # Demote the entry to the legacy flat layout by hand.
+        cache.path_for(entry_key).rename(cache.legacy_path_for(entry_key))
+        (tmp_path / shard_name(entry_key)).rmdir()
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.exists(entry_key)
+        ctx = OrchestrationContext(cache=fresh)
+        assert ctx.run([task], fingerprint=TINY) == {("t",): 42}
+        assert ctx.stats.hits == 1 and ctx.stats.executed == 0
+        assert scan_cache_entry_keys(tmp_path) == {entry_key}
+
+    def test_scan_counts_coexisting_copies_once(self, tmp_path):
+        """Mid-migration a key can exist flat AND sharded; scans (and
+        therefore `queue status` results_cached) count it once."""
+        cache = ResultCache(tmp_path)
+        sharded = cache.path_for("k1")
+        sharded.parent.mkdir(parents=True)
+        sharded.write_bytes(b"x")
+        cache.legacy_path_for("k1").write_bytes(b"x")
+        cache.legacy_path_for("k2").write_bytes(b"x")
+        assert scan_cache_entry_keys(tmp_path) == {"k1", "k2"}
+
+    def test_sharded_copy_preferred_over_flat(self, tmp_path):
+        """When both layouts hold a key, the sharded copy wins: new
+        stores go there, so it is the fresher of the two."""
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, TINY)
+        cache.store(entry_key, task.key, "sharded-value")
+        stale = ResultCache(tmp_path)
+        # Plant a conflicting flat copy with valid entry structure.
+        import pickle as pickle_module
+
+        sharded_bytes = cache.path_for(entry_key).read_bytes()
+        entry = pickle_module.loads(sharded_bytes)
+        entry["payload"] = "flat-value"
+        cache.legacy_path_for(entry_key).write_bytes(
+            pickle_module.dumps(entry)
+        )
+        assert stale.load(entry_key) == (True, "sharded-value")
+
+    def test_corrupt_sharded_copy_falls_back_to_flat(self, tmp_path):
+        """A torn sharded write must not mask a readable flat entry."""
+        cache = ResultCache(tmp_path)
+        task = make_task(("t",), _double, 21)
+        entry_key = cache.entry_key(task.key, TINY)
+        cache.store(entry_key, task.key, 42)
+        cache.path_for(entry_key).rename(cache.legacy_path_for(entry_key))
+        cache.path_for(entry_key).write_bytes(b"torn")
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(entry_key) == (True, 42)
+        assert fresh.stats.corrupt_discarded == 1
+        # The corrupt sharded file was removed, not left to re-discard.
+        assert not cache.path_for(entry_key).exists()
+
+    def test_non_shard_directories_never_scanned(self, tmp_path):
+        """`queue/` and `service/` live inside the cache directory;
+        their names are longer than a shard's, so scans skip them and
+        whatever .pkl files they hold (failure records!)."""
+        from repro.orchestration.cache import is_shard_dir
+
+        assert not is_shard_dir("queue")
+        assert not is_shard_dir("service")
+        assert not is_shard_dir(".hidden")
+        assert is_shard_dir("ab") and is_shard_dir("k1")
+
+        cache = ResultCache(tmp_path)
+        failed = tmp_path / "queue" / "failed"
+        failed.mkdir(parents=True)
+        (failed / "record.pkl").write_bytes(b"x")
+        runs = tmp_path / "service" / "runs"
+        runs.mkdir(parents=True)
+        (runs / "stray.pkl").write_bytes(b"x")
+        cache.store("k1", ("t",), 1)
+        assert scan_cache_entry_keys(tmp_path) == {"k1"}
+
+    def test_serial_process_queue_identical_on_sharded_cache(
+        self, tmp_path
+    ):
+        """The three-backend equivalence holds across the new layout --
+        and a queue run warms the same sharded entries a serial run
+        then hits."""
+        from repro.orchestration import QueueBackend, default_queue_dir
+
+        serial = _fig12(TINY)
+        cache_dir = tmp_path / "cache"
+        queue_ctx = OrchestrationContext(
+            cache=ResultCache(cache_dir),
+            backend=QueueBackend(default_queue_dir(cache_dir)),
+        )
+        with queue_ctx:
+            queued = _fig12(TINY, queue_ctx)
+        assert serial.metrics == queued.metrics
+        warm_ctx = OrchestrationContext(cache=ResultCache(cache_dir))
+        warm = _fig12(TINY, warm_ctx)
+        assert serial.metrics == warm.metrics
+        assert warm_ctx.stats.hits == warm_ctx.stats.submitted == 3
 
 
 # ----------------------------------------------------------------------

@@ -276,6 +276,21 @@ class TestQueueStatus:
         assert status["throughput"]["completed"] == 4
         assert status["throughput"]["tasks_per_second"] == round(4 / 60, 4)
 
+    def test_results_cached_counts_migrating_keys_once(self, tmp_path):
+        """Flat + sharded copies of one entry (a cache mid-migration to
+        the sharded layout) must read as ONE cached result, and the
+        sharded tree must be counted at all."""
+        cache_dir = synthetic_queue_state(tmp_path)  # e1..e3 flat
+        cache = ResultCache(cache_dir)
+        duplicate = cache.path_for("e1")  # e1 again, sharded this time
+        duplicate.parent.mkdir(parents=True, exist_ok=True)
+        duplicate.write_bytes(b"x")
+        fresh = cache.path_for("e9")
+        fresh.parent.mkdir(parents=True, exist_ok=True)
+        fresh.write_bytes(b"x")
+        status = queue_status(cache_dir, now=NOW)
+        assert status["tasks"]["results_cached"] == 4  # e1..e3 + e9
+
     def test_empty_queue_reports_zeros(self, tmp_path):
         cache_dir = tmp_path / "cache"
         cache_dir.mkdir()
@@ -336,7 +351,8 @@ class TestResultProvenance:
             "format": 1, "entry_key": "k1", "task_key": ("t",),
             "version": "vX", "payload": 7,
         }
-        with open(cache.path_for("k1"), "wb") as handle:
+        # Legacy entries predate sharding: flat in the cache dir.
+        with open(cache.legacy_path_for("k1"), "wb") as handle:
             pickle.dump(entry, handle)
         assert cache.load("k1") == (True, 7)
         assert cache.load_provenance("k1") is None

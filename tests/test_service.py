@@ -1,0 +1,400 @@
+"""HTTP experiment service: routing, submissions, and read atomicity.
+
+A real ``ThreadingHTTPServer`` binds an ephemeral port for every test
+(no mocked sockets -- the request path under test includes the
+stdlib's own header and body plumbing).  The submission tests use a
+tiny one-experiment recipe (``sec64``, the seed-independent hardware
+cost table) so a full POST -> sweep -> report round-trip stays fast;
+the service participates in its own queue, so no external worker
+process is needed.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.render import atomic_write_text
+from repro.service import (
+    ExperimentHTTPServer,
+    ExperimentService,
+    SubmissionManager,
+    service_runs_dir,
+)
+
+#: Two seeds of the hardware-cost table: the cheapest real recipe.
+TINY_MANIFEST = {
+    "format": 1,
+    "name": "svc-tiny",
+    "version": 1,
+    "description": "cheap service round-trip",
+    "experiments": ["sec64"],
+    "seeds": [0, 1],
+}
+
+
+@pytest.fixture
+def httpd(tmp_path):
+    service = ExperimentService(
+        tmp_path / "cache", participate=True, log=None
+    )
+    server = ExperimentHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def get(server, path):
+    """``(status, body bytes)`` -- error statuses returned, not raised."""
+    url = f"http://127.0.0.1:{server.server_address[1]}{path}"
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def post(server, path, body: bytes):
+    url = f"http://127.0.0.1:{server.server_address[1]}{path}"
+    request = urllib.request.Request(url, data=body, method="POST")
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def submit(server, manifest: dict):
+    status, body = post(server, "/runs", json.dumps(manifest).encode())
+    assert status == 202, body
+    return json.loads(body)
+
+
+def finished_record(server, run_id: str) -> dict:
+    assert server.service.submissions.wait_idle(timeout=120)
+    status, body = get(server, f"/runs/{run_id}")
+    assert status == 200
+    return json.loads(body)
+
+
+# ----------------------------------------------------------------------
+# Read-side routing
+# ----------------------------------------------------------------------
+
+
+class TestReadEndpoints:
+    def test_healthz_on_an_empty_service(self, httpd):
+        status, body = get(httpd, "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["tasks"] == {
+            "pending": 0, "leased": 0, "failed": 0, "results_cached": 0,
+        }
+        assert health["workers"] == {"live": 0, "stale": 0}
+        assert health["runs"] == {}
+
+    def test_queue_endpoint_is_the_status_snapshot(self, httpd):
+        status, body = get(httpd, "/queue")
+        assert status == 200
+        snapshot = json.loads(body)
+        # Same document `runner queue status --json` prints.
+        assert {"tasks", "workers", "leases", "failures",
+                "throughput"} <= set(snapshot)
+
+    def test_recipes_lists_the_registry(self, httpd):
+        status, body = get(httpd, "/recipes")
+        assert status == 200
+        recipes = json.loads(body)
+        assert "report-smoke" in recipes
+        assert recipes["report-smoke"]["experiments"] == ["fig3", "sec64"]
+
+    def test_landing_page_serves_html(self, httpd):
+        status, body = get(httpd, "/")
+        assert status == 200
+        page = body.decode()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "No runs yet" in page
+        assert "report-smoke" in page
+
+    def test_runs_empty_and_unknown(self, httpd):
+        assert json.loads(get(httpd, "/runs")[1]) == []
+        assert get(httpd, "/runs/0001-nope")[0] == 404
+        assert get(httpd, "/nothing/here")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# Submission validation (the 400 surface)
+# ----------------------------------------------------------------------
+
+
+class TestSubmissionValidation:
+    def test_non_json_body_rejected(self, httpd):
+        status, body = post(httpd, "/runs", b"not json {")
+        assert status == 400
+        assert "not JSON" in json.loads(body)["error"]
+
+    def test_empty_body_rejected(self, httpd):
+        assert post(httpd, "/runs", b"")[0] == 400
+
+    def test_unknown_recipe_name_rejected(self, httpd):
+        status, body = post(
+            httpd, "/runs", json.dumps({"recipe": "nope"}).encode()
+        )
+        assert status == 400
+        assert "unknown recipe" in json.loads(body)["error"]
+
+    def test_unrecognized_manifest_rejected(self, httpd):
+        status, body = post(
+            httpd, "/runs", json.dumps({"name": "x"}).encode()
+        )
+        assert status == 400
+        assert "manifest" in json.loads(body)["error"]
+
+    def test_manifest_with_unknown_experiment_rejected(self, httpd):
+        """Validated against the live registry at POST time: the
+        service must 400, not accept a doomed run."""
+        manifest = dict(TINY_MANIFEST, experiments=["not-a-figure"])
+        status, body = post(httpd, "/runs", json.dumps(manifest).encode())
+        assert status == 400
+        assert "unknown experiment" in json.loads(body)["error"]
+        assert json.loads(get(httpd, "/runs")[1]) == []  # no orphan record
+
+    def test_smoke_must_be_boolean(self, httpd):
+        manifest = dict(TINY_MANIFEST, smoke="yes")
+        status, body = post(httpd, "/runs", json.dumps(manifest).encode())
+        assert status == 400
+
+    def test_post_to_unknown_route(self, httpd):
+        assert post(httpd, "/elsewhere", b"{}")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# The full round-trip: POST -> sweep -> served artifacts
+# ----------------------------------------------------------------------
+
+
+class TestSubmissionRoundTrip:
+    def test_manifest_sweep_to_done(self, httpd, tmp_path):
+        accepted = submit(httpd, TINY_MANIFEST)
+        run_id = accepted["run"]["id"]
+        assert accepted["run"]["state"] == "queued"
+        assert accepted["url"] == f"/runs/{run_id}"
+        assert run_id.endswith("-svc-tiny")
+
+        record = finished_record(httpd, run_id)
+        assert record["state"] == "done"
+        assert record["failed_cells"] == []
+        assert record["report"] == "report.html"
+        assert sorted(record["artifacts"]) == [
+            "seed0/sec64.json", "seed1/sec64.json",
+        ]
+
+        status, body = get(httpd, f"/runs/{run_id}/report.html")
+        assert status == 200
+        assert b"svc-tiny v1" in body
+        status, body = get(httpd, f"/runs/{run_id}/seed0/sec64.json")
+        assert status == 200
+        artifact = json.loads(body)
+        assert artifact["meta"]["recipe"] == {
+            "name": "svc-tiny", "version": 1, "seed": 0, "smoke": False,
+        }
+
+    def test_served_artifacts_match_the_cli_modulo_provenance(
+        self, httpd, tmp_path
+    ):
+        """The acceptance bar: a sweep POSTed to the service and the
+        same recipe under ``runner recipe run`` produce identical
+        artifacts except for ``meta.provenance`` (which records *how*
+        each was computed, and legitimately differs)."""
+        run_id = submit(httpd, TINY_MANIFEST)["run"]["id"]
+        record = finished_record(httpd, run_id)
+        assert record["state"] == "done"
+
+        manifest_path = tmp_path / "tiny.json"
+        manifest_path.write_text(json.dumps(TINY_MANIFEST))
+        out_dir = tmp_path / "cli-out"
+        assert runner.main([
+            "recipe", "run", str(manifest_path),
+            "--no-cache", "--format", "json", "--out", str(out_dir),
+        ]) == 0
+
+        for artifact in record["artifacts"]:
+            _, served = get(httpd, f"/runs/{run_id}/{artifact}")
+            served = json.loads(served)
+            local = json.loads((out_dir / artifact).read_text())
+            served["meta"].pop("provenance")
+            local["meta"].pop("provenance")
+            assert served == local, artifact
+
+    def test_registered_recipe_by_name_with_smoke(self, httpd):
+        run_id = submit(
+            httpd, {"recipe": "report-smoke", "smoke": True}
+        )["run"]["id"]
+        record = finished_record(httpd, run_id)
+        assert record["state"] == "done"
+        assert record["smoke"] is True
+        assert record["recipe"]["name"] == "report-smoke"
+        status, body = get(httpd, f"/runs/{run_id}/report.html")
+        assert status == 200
+        assert b"smoke scale" in body
+
+    def test_run_records_survive_a_service_restart(self, httpd, tmp_path):
+        run_id = submit(httpd, TINY_MANIFEST)["run"]["id"]
+        assert finished_record(httpd, run_id)["state"] == "done"
+        # A fresh service over the same cache dir: disk is the state.
+        reborn = ExperimentService(tmp_path / "cache", log=None)
+        records = reborn.submissions.list_runs()
+        assert [record["id"] for record in records] == [run_id]
+        assert records[0]["state"] == "done"
+
+    def test_run_ids_are_monotonic(self, httpd):
+        first = submit(httpd, TINY_MANIFEST)["run"]["id"]
+        second = submit(httpd, TINY_MANIFEST)["run"]["id"]
+        assert first.startswith("0001-") and second.startswith("0002-")
+        assert httpd.service.submissions.wait_idle(timeout=120)
+
+
+# ----------------------------------------------------------------------
+# Artifact confinement
+# ----------------------------------------------------------------------
+
+
+def fabricate_run(cache_dir, run_id="0042-fixture", state="running"):
+    """A run directory written by hand: routing tests need a run that
+    is *not* finishing underneath them."""
+    run_dir = service_runs_dir(cache_dir) / run_id
+    (run_dir / "artifacts").mkdir(parents=True)
+    (run_dir / "run.json").write_text(json.dumps({
+        "format": 1, "id": run_id, "state": state,
+        "recipe": {"name": "fixture", "version": 1},
+        "smoke": False, "submitted_at": 0.0, "started_at": 0.0,
+        "finished_at": None, "error": None, "failed_cells": [],
+        "artifacts": [], "report": None,
+    }))
+    return run_dir / "artifacts"
+
+
+class TestArtifactConfinement:
+    def test_traversal_and_sidecars_unreachable(self, httpd, tmp_path):
+        artifacts = fabricate_run(tmp_path / "cache")
+        (artifacts / "report.html").write_text("<html>ok</html>")
+        (tmp_path / "cache" / "secret.html").write_text("outside")
+
+        assert get(httpd, "/runs/0042-fixture/report.html")[0] == 200
+        # The run record itself is /runs/<id>, never a file download;
+        # ../ cannot escape the artifact root.
+        assert get(httpd, "/runs/0042-fixture/run.json")[0] == 404
+        assert get(
+            httpd, "/runs/0042-fixture/%2e%2e/run.json"
+        )[0] == 404
+        assert get(
+            httpd, "/runs/0042-fixture/%2e%2e/%2e%2e/%2e%2e/secret.html"
+        )[0] == 404
+
+    def test_unlisted_extensions_not_served(self, httpd, tmp_path):
+        artifacts = fabricate_run(tmp_path / "cache", "0043-fixture")
+        (artifacts / "notes.txt").write_text("internal")
+        (artifacts / ".tmp-report.html-x1").write_text("mid-rename")
+        assert get(httpd, "/runs/0043-fixture/notes.txt")[0] == 404
+        assert get(
+            httpd, "/runs/0043-fixture/.tmp-report.html-x1"
+        )[0] == 404
+
+    def test_missing_artifact_is_404_not_500(self, httpd, tmp_path):
+        fabricate_run(tmp_path / "cache", "0044-fixture")
+        assert get(httpd, "/runs/0044-fixture/report.html")[0] == 404
+
+
+# ----------------------------------------------------------------------
+# Read atomicity: GETs racing an active sweep
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentReads:
+    def test_reads_during_rewrites_are_never_torn(self, httpd, tmp_path):
+        """Hammer GET against a report being atomically rewritten: every
+        response must be one complete payload, never a splice.  This is
+        the HTTP face of the cache's atomic-rename guarantee -- the
+        payloads differ in every 64-byte block, so any torn read would
+        fail the set membership below."""
+        artifacts = fabricate_run(tmp_path / "cache", "0050-rewrite")
+        payloads = [
+            (f"<html>{marker * 65536}</html>").encode()
+            for marker in ("a", "b")
+        ]
+        path = artifacts / "report.html"
+        atomic_write_text(path, payloads[0].decode())
+
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            flip = 0
+            while not stop.is_set():
+                flip ^= 1
+                atomic_write_text(path, payloads[flip].decode())
+
+        def reader():
+            for _ in range(40):
+                status, body = get(httpd, "/runs/0050-rewrite/report.html")
+                if status != 200 or body not in payloads:
+                    failures.append((status, len(body)))
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        readers = [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        writer_thread.join(timeout=10)
+        assert failures == []
+
+    def test_record_reads_during_state_flips_parse(self, httpd, tmp_path):
+        """run.json is rewritten at every state transition; a polling
+        client must always parse a complete record."""
+        fabricate_run(tmp_path / "cache", "0051-flip")
+        manager = SubmissionManager(tmp_path / "cache", log=None)
+        record = manager.get_run("0051-flip")
+
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            states = ("queued", "running", "done")
+            count = 0
+            while not stop.is_set():
+                record["state"] = states[count % 3]
+                manager._write_record(record)
+                count += 1
+
+        def reader():
+            for _ in range(60):
+                status, body = get(httpd, "/runs/0051-flip")
+                try:
+                    document = json.loads(body)
+                except json.JSONDecodeError:
+                    failures.append(body[:80])
+                    continue
+                if status != 200 or document["id"] != "0051-flip":
+                    failures.append((status, document))
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        writer_thread.join(timeout=10)
+        assert failures == []
