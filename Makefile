@@ -2,7 +2,8 @@
 # only the baked-in python toolchain (numpy/scipy/pytest).
 #
 #   make test           tier-1 test suite + report smoke + queue chaos
-#                       smoke + service smoke + kernels smoke (CI gate)
+#                       smoke + service smoke + kernels smoke + profile
+#                       smoke (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
@@ -20,11 +21,14 @@
 #   make bench-smoke    tier-1 tests + a 2-job orchestrated Fig 12 smoke
 #   make bench          full pytest-benchmark suite (cold caches)
 #   make bench-backends serial vs process vs 2-worker queue timings
-#                       -> BENCH_backends.json
+#                       -> BENCH_backends.json, plus a queue chunk-size
+#                       sweep (1/8/32) -> BENCH_chunks.json
 #   make bench-kernels  loop-oracle vs vectorized characterization
 #                       timings -> BENCH_kernels.json
 #   make kernels-smoke  tiny platform characterization, kernel path
 #                       byte-diffed against the loop oracle
+#   make profile-smoke  tiny sweep -> `runner profile`: every per-task
+#                       profiling stamp complete and non-negative
 #   make golden         regenerate tests/golden/*.json snapshots
 #   make clean-cache    drop the on-disk orchestration result cache
 #
@@ -38,8 +42,8 @@ JOBS ?= 2
 export PYTHONPATH := src
 
 .PHONY: test smoke recipes-smoke queue-smoke report-smoke service-smoke \
-        kernels-smoke figures bench-smoke bench bench-backends \
-        bench-kernels golden worker serve clean-cache
+        kernels-smoke profile-smoke figures bench-smoke bench \
+        bench-backends bench-kernels golden worker serve clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +51,7 @@ test:
 	$(MAKE) queue-smoke
 	$(MAKE) service-smoke
 	$(MAKE) kernels-smoke
+	$(MAKE) profile-smoke
 
 report-smoke:
 	$(PYTHON) scripts/report_smoke.py
@@ -59,6 +64,9 @@ service-smoke:
 
 kernels-smoke:
 	$(PYTHON) scripts/kernels_smoke.py
+
+profile-smoke:
+	$(PYTHON) scripts/profile_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list

@@ -21,9 +21,9 @@ import os
 import pytest
 
 from repro.experiments import common as experiments_common
-from repro.experiments import fig12_performance
 from repro.experiments.common import ExperimentScale
 from repro.orchestration import OrchestrationContext, ResultCache
+from repro.orchestration import task as orchestration_task
 
 
 @pytest.fixture(scope="session")
@@ -58,7 +58,7 @@ def cold_caches(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
     experiments_common._CHARACTERIZATION_CACHE.clear()
     experiments_common._PROFILE_MEMO.clear()
-    fig12_performance._PROVIDER_MEMO.clear()
+    orchestration_task._PROCESS_SETUP_CACHE.clear()
 
 
 @pytest.fixture

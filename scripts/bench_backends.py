@@ -17,6 +17,12 @@ orchestration overhead is tracked over time.  On a single-core
 container the pool and queue backends show their coordination cost
 rather than a speedup; on real multi-core hosts the same numbers turn
 into the scaling win.
+
+A second pass sweeps the queue backend's ``--chunk-size`` over
+1 / 8 / 32 and writes ``BENCH_chunks.json``, pairing each wall-clock
+with the per-task overhead breakdown recovered from the profiling
+stamps (``runner profile``) -- so the transport cost that chunking
+amortizes is visible next to the time it saves.
 """
 
 from __future__ import annotations
@@ -43,6 +49,8 @@ from repro.orchestration import (  # noqa: E402
     ResultCache,
     SerialBackend,
     default_queue_dir,
+    profile_cache,
+    queue_status,
 )
 
 #: Smoke-scale Fig 12 grid: 1 baseline + 5 defenses x 2 configs x
@@ -91,6 +99,24 @@ def spawn_workers(cache_dir: Path, count: int):
     ]
 
 
+def wait_for_workers(cache_dir: Path, count: int, timeout: float = 60.0):
+    """Block until ``count`` workers have a live heartbeat.
+
+    Spawned workers spend 1-2 s booting an interpreter and importing
+    the package before their first claim; waiting them out keeps the
+    timed cold run a measurement of queue transport, not of Python
+    startup.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = queue_status(cache_dir)
+        live = sum(1 for w in status["workers"] if w["status"] == "live")
+        if live >= count:
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"{count} workers not live after {timeout:g}s")
+
+
 def bench_backend(label: str, make_context, scratch: Path):
     """``(timings dict, cold Fig12Result)`` for one backend config."""
     cache_dir = scratch / f"cache-{label}"
@@ -107,13 +133,73 @@ def bench_backend(label: str, make_context, scratch: Path):
 
     print(f"  {label:<12} cold {cold_s:7.2f}s   warm {warm_s:6.3f}s "
           f"({cold_ctx.stats.submitted} tasks)")
-    return {
+    timings = {
         "cold_s": round(cold_s, 3),
         "warm_s": round(warm_s, 3),
         "tasks": cold_ctx.stats.submitted,
         "cold_executed": cold_ctx.stats.executed,
         "warm_hits": warm_ctx.stats.hits,
-    }, cold_result
+    }
+    backend_stats = getattr(cold_ctx.backend, "stats", None)
+    chunks = getattr(backend_stats, "chunks_enqueued", 0)
+    if chunks:
+        # Realized transport batching: tasks per queue envelope.
+        timings["chunks_enqueued"] = chunks
+    return timings, cold_result
+
+
+def overhead_breakdown(cache_dir: Path) -> dict:
+    """Per-task cost split recovered from the profiling stamps."""
+    overall = profile_cache(cache_dir)["overall"]
+    return {
+        "tasks_profiled": overall["tasks"],
+        "run_p50_s": overall["run_s"]["p50"],
+        "run_p95_s": overall["run_s"]["p95"],
+        "setup_mean_s": overall["setup_s"]["mean"],
+        "store_mean_s": overall["store_s"]["mean"],
+        "overhead_share": overall["overhead_share"],
+        "chunk_size_mean": overall["chunk_size"]["mean"],
+    }
+
+
+def bench_chunk_size(chunk: int, scratch: Path, reference_metrics) -> dict:
+    """One cold queue drain at a fixed ``--chunk-size``."""
+    cache_dir = scratch / f"cache-chunk{chunk}"
+    workers = spawn_workers(cache_dir, QUEUE_WORKERS)
+    try:
+        wait_for_workers(cache_dir, QUEUE_WORKERS)
+        ctx = OrchestrationContext(
+            cache=ResultCache(cache_dir),
+            backend=QueueBackend(
+                default_queue_dir(cache_dir),
+                participate=False,
+                poll_interval=0.05,
+                chunk_size=chunk,
+            ),
+        )
+        result, cold_s = timed(ctx)
+        ctx.close()
+    finally:
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.wait(timeout=30)
+    assert result.metrics == reference_metrics, (
+        f"chunk_size={chunk} changed the results"
+    )
+    tasks = ctx.stats.submitted
+    entry = {
+        "chunk_size": chunk,
+        "cold_s": round(cold_s, 3),
+        "tasks": tasks,
+        "chunks_enqueued": ctx.backend.stats.chunks_enqueued,
+        "per_task_ms": round(1000.0 * cold_s / tasks, 1),
+        "profile": overhead_breakdown(cache_dir),
+    }
+    print(f"  chunk={chunk:<3} cold {cold_s:7.2f}s   "
+          f"{entry['chunks_enqueued']} envelopes   "
+          f"overhead {100.0 * entry['profile']['overhead_share']:.1f}%")
+    return entry
 
 
 def main() -> int:
@@ -142,6 +228,7 @@ def main() -> int:
     queue_cache = scratch / "cache-queue_w2"
     workers = spawn_workers(queue_cache, QUEUE_WORKERS)
     try:
+        wait_for_workers(queue_cache, QUEUE_WORKERS)
         results["queue_w2"], reference["queue_w2"] = bench_backend(
             "queue_w2",
             lambda cache_dir: OrchestrationContext(
@@ -165,16 +252,37 @@ def main() -> int:
     assert reference["serial"].metrics == reference["queue_w2"].metrics
     print("  all backends bit-identical")
 
+    print("bench-chunks: queue backend at fixed chunk sizes")
+    chunk_entries = [
+        bench_chunk_size(chunk, scratch, reference["serial"].metrics)
+        for chunk in (1, 8, 32)
+    ]
+
+    host = {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    chunks_document = {
+        "bench": "chunks",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "grid": "fig12 smoke (1 mix, 3 HC values, Svärd-S0, 512 rows)",
+        "queue_workers": QUEUE_WORKERS,
+        "host": host,
+        "results": chunk_entries,
+    }
+    chunks_path = ROOT / "BENCH_chunks.json"
+    chunks_path.write_text(
+        json.dumps(chunks_document, indent=2, ensure_ascii=False) + "\n"
+    )
+    print(f"wrote {chunks_path}")
+
     document = {
         "bench": "backends",
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "grid": "fig12 smoke (1 mix, 3 HC values, Svärd-S0, 512 rows)",
         "queue_workers": QUEUE_WORKERS,
-        "host": {
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "host": host,
         "results": results,
     }
     out_path = ROOT / "BENCH_backends.json"

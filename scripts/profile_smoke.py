@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""`make profile-smoke`: the profiling layer end to end.
+
+Runs one tiny Fig 12 sweep through the real CLI into a fresh cache,
+then checks the per-task profiling stamps from both ends:
+
+1. **raw**: every cache entry carries a complete profile stamp --
+   each :data:`PROFILE_FIELDS` field present and non-negative, with
+   sane invariants (``result_bytes > 0``, ``chunk_size >= 1``);
+2. **aggregated**: ``runner profile <cache-dir> --json`` reports every
+   entry as profiled, with non-negative distributions and an
+   ``overhead_share`` in [0, 1]; the human-readable rendering
+   mentions the experiment.
+
+This is the ``make test``-time guarantee that no execution path can
+silently stop stamping (or stamp garbage) without CI noticing.
+
+Everything happens in a temp directory; the working tree is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+RUNNER = [sys.executable, "-m", "repro.experiments.runner"]
+
+from repro.orchestration import (  # noqa: E402
+    PROFILE_FIELDS,
+    profile_from_provenance,
+    scan_cache_entry_keys,
+)
+from repro.orchestration.status import _read_entry  # noqa: E402
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def run_cli(args, env) -> str:
+    proc = subprocess.run(
+        RUNNER + args, env=env, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"runner {' '.join(args)} failed "
+            f"(rc {proc.returncode}):\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def check_raw_stamps(cache_dir: Path) -> int:
+    entry_keys = sorted(scan_cache_entry_keys(cache_dir))
+    assert entry_keys, f"no cache entries under {cache_dir}"
+    for entry_key in entry_keys:
+        entry = _read_entry(cache_dir, entry_key)
+        assert isinstance(entry, dict), f"unreadable entry {entry_key}"
+        stamp = profile_from_provenance(entry.get("provenance"))
+        assert stamp is not None, f"entry {entry_key} has no profile stamp"
+        for field in PROFILE_FIELDS:
+            assert field in stamp, f"{entry_key}: stamp missing {field!r}"
+            value = stamp[field]
+            assert isinstance(value, (int, float)), (
+                f"{entry_key}: {field} is {type(value).__name__}"
+            )
+            assert value >= 0, f"{entry_key}: {field} is negative ({value})"
+        assert stamp["result_bytes"] > 0, f"{entry_key}: empty result?"
+        assert stamp["chunk_size"] >= 1, f"{entry_key}: chunk_size < 1"
+    return len(entry_keys)
+
+
+def check_summary(summary: dict, label: str) -> None:
+    assert summary["tasks"] >= 1, f"{label}: no tasks in summary"
+    for field in ("setup_s", "run_s", "store_s"):
+        dist = summary[field]
+        for stat in ("mean", "p50", "p95", "max"):
+            value = dist[stat]
+            assert value >= 0, f"{label}: {field}.{stat} negative ({value})"
+    assert summary["result_bytes"]["total"] > 0, f"{label}: no result bytes"
+    assert summary["chunk_size"]["mean"] >= 1, f"{label}: chunk mean < 1"
+    assert 0.0 <= summary["overhead_share"] <= 1.0, (
+        f"{label}: overhead_share out of range "
+        f"({summary['overhead_share']})"
+    )
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="profile-smoke-"))
+    cache_dir = scratch / "cache"
+    env = cli_env()
+    try:
+        print("profile-smoke: tiny fig12 sweep ...")
+        run_cli(
+            [
+                "run", "fig12",
+                "--rows-per-bank", "256", "--banks", "1",
+                "--requests-per-core", "300",
+                "--cache-dir", str(cache_dir),
+                "--format", "json", "--out", str(scratch / "out"),
+            ],
+            env,
+        )
+
+        stamped = check_raw_stamps(cache_dir)
+        print(f"  {stamped} cache entries, every profile stamp complete")
+
+        profile = json.loads(
+            run_cli(["profile", str(cache_dir), "--json"], env)
+        )
+        assert profile["entries_total"] == stamped
+        assert profile["entries_profiled"] == stamped, (
+            f"only {profile['entries_profiled']}/{stamped} entries profiled"
+        )
+        assert "fig12" in profile["experiments"], (
+            f"experiments grouped as {sorted(profile['experiments'])}"
+        )
+        for name, summary in profile["experiments"].items():
+            check_summary(summary, name)
+        check_summary(profile["overall"], "(overall)")
+        print("  aggregation sane (runner profile --json)")
+
+        rendered = run_cli(["profile", str(cache_dir)], env)
+        assert "fig12" in rendered, f"rendering lost the experiment:\n{rendered}"
+        assert f"{stamped} profiled / {stamped} total" in rendered, rendered
+
+        print(
+            f"profile-smoke OK: {stamped} tasks profiled, all "
+            f"{len(PROFILE_FIELDS)} fields present and non-negative, "
+            "aggregation + rendering verified"
+        )
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,15 +10,23 @@ results byte-identical to a serial run**.  Concretely:
 2. run the same recipe on the **queue** backend (`--queue-wait`
    submitter, short `--lease-timeout`) with a first worker attached;
 3. wait -- via live `queue status` snapshots -- until that worker is
-   *mid-task* (its heartbeat names a current lease), then **SIGKILL**
-   it;
+   **mid-chunk** (its heartbeat names a `chunk-*` lease and at least
+   one member result has been published), then **SIGKILL** it;
 4. attach a second worker and let the sweep finish: the submitter
-   reclaims the dead worker's lease once its heartbeat goes silent
-   for a lease-timeout;
+   reclaims the dead worker's chunk lease once its heartbeat goes
+   silent for a lease-timeout, and the reclaimed chunk re-runs only
+   the members whose results never landed -- every result cached at
+   kill time must survive the drain byte-untouched (checked by
+   mtime snapshot);
 5. byte-compare the two artifact trees (modulo `meta.provenance`,
    which deliberately records how each was computed) and assert the
    final queue state is clean except for the victim's stale
    heartbeat -- the death notice `runner queue status` shows.
+
+The recipe grid is 42 tasks, so the submitter auto-chunks at size 6
+(`auto_chunk_size`): the victim is reliably killed partway through a
+6-task envelope, which is exactly the loss window the chunk contract
+bounds to "the un-published remainder of one chunk".
 
 Along the way the real `runner queue status --json` CLI is exercised
 against the in-flight sweep, pinning the acceptance criterion that a
@@ -29,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import shutil
 import signal
 import socket
@@ -46,7 +55,11 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from recipes_smoke import cli_env, tree  # noqa: E402  (shared helpers)
 
-from repro.orchestration import JobQueue, queue_status  # noqa: E402
+from repro.orchestration import (  # noqa: E402
+    JobQueue,
+    envelope_from_payload,
+    queue_status,
+)
 from repro.orchestration.cache import scan_cache_entry_keys  # noqa: E402
 
 #: Enough tasks that a worker is reliably mid-drain when killed, small
@@ -74,6 +87,9 @@ STATUS_POLL = 0.1
 MID_TASK_TIMEOUT = 180.0
 DRAIN_TIMEOUT = 900.0
 
+#: The 42-task grid above auto-chunks at this size (auto_chunk_size).
+CHUNK_SIZE = 6
+
 
 def start_worker(cache_dir: Path, env: dict) -> subprocess.Popen:
     return subprocess.Popen(
@@ -88,23 +104,47 @@ def start_worker(cache_dir: Path, env: dict) -> subprocess.Popen:
     )
 
 
-def wait_for_mid_task_worker(cache_dir: Path, worker_id: str) -> None:
-    """Block until ``worker_id`` is live and executing a lease."""
+def wait_for_mid_chunk_worker(cache_dir: Path, worker_id: str) -> None:
+    """Block until ``worker_id`` is live, holds a **chunk** lease, and
+    is in the *first half* of that chunk (some member results already
+    published, several still to come) -- so the SIGKILL the caller
+    fires immediately afterwards reliably lands partway through a
+    multi-task envelope."""
     deadline = time.monotonic() + MID_TASK_TIMEOUT
     while time.monotonic() < deadline:
         status = queue_status(cache_dir)
+        # Chunks publish member results in order, so the cached count
+        # modulo the chunk size is the position inside the current one.
+        position = status["tasks"]["results_cached"] % CHUNK_SIZE
+        mid_chunk = 1 <= position <= CHUNK_SIZE // 2
         for worker in status["workers"]:
             if (
                 worker["worker_id"] == worker_id
                 and worker["status"] == "live"
-                and worker["current_lease"] is not None
+                and str(worker["current_lease"] or "").startswith("chunk-")
+                and mid_chunk
             ):
                 return
         time.sleep(STATUS_POLL)
     raise AssertionError(
-        f"worker {worker_id} never showed a current lease within "
-        f"{MID_TASK_TIMEOUT}s"
+        f"worker {worker_id} never showed a mid-chunk lease with "
+        f"published results within {MID_TASK_TIMEOUT}s"
     )
+
+
+def snapshot_results(cache_dir: Path) -> dict:
+    """``{relative entry path: mtime_ns}`` of every cached result.
+
+    Taken at kill time (victim dead, replacement not yet started, the
+    submitter is `--queue-wait`), so it is a stable census of exactly
+    the results the victim published before dying.
+    """
+    snapshot = {}
+    for path in sorted(cache_dir.glob("??/*.pkl")) + sorted(
+        cache_dir.glob("*.pkl")
+    ):
+        snapshot[str(path.relative_to(cache_dir))] = path.stat().st_mtime_ns
+    return snapshot
 
 
 def check_inflight_status_cli(cache_dir: Path, env: dict) -> None:
@@ -125,6 +165,13 @@ def check_inflight_status_cli(cache_dir: Path, env: dict) -> None:
         RUNNER + ["queue", "status", str(cache_dir)], env=env, text=True
     )
     assert "workers:" in table and "tasks:" in table
+    # --profile aggregates the timing stamps of whatever has already
+    # been published, against the same live, mid-sweep cache.
+    profiled = json.loads(subprocess.check_output(
+        RUNNER + ["queue", "status", str(cache_dir), "--json", "--profile"],
+        env=env, text=True,
+    ))
+    assert profiled["profile"]["entries_profiled"] >= 1, profiled["profile"]
     print(
         f"  in-flight status: {tasks['pending']} pending, "
         f"{tasks['leased']} leased, {tasks['results_cached']} cached, "
@@ -169,13 +216,25 @@ def main() -> int:
         victim = start_worker(queue_cache, env)
         victim_id = f"{socket.gethostname()}:{victim.pid}"
 
-        wait_for_mid_task_worker(queue_cache, victim_id)
-        check_inflight_status_cli(queue_cache, env)
-
+        # Kill the instant mid-chunk is observed -- any check between
+        # detection and SIGKILL would give the victim time to finish
+        # the chunk (or the whole sweep).
+        wait_for_mid_chunk_worker(queue_cache, victim_id)
         os.kill(victim.pid, signal.SIGKILL)
         victim.wait(timeout=30)
         kill_time = time.monotonic()
-        print(f"  SIGKILLed worker {victim_id} mid-task")
+        # The victim is dead, its replacement not yet started, and the
+        # --queue-wait submitter never executes: nothing can write the
+        # cache right now, so this census is exactly what survived.
+        survivors = snapshot_results(queue_cache)
+        print(
+            f"  SIGKILLed worker {victim_id} mid-chunk "
+            f"({len(survivors)} results already published)"
+        )
+        # The sweep is still in flight (pending chunks, the victim's
+        # lease, its now-silent heartbeat): exercise the observability
+        # CLI against exactly that state.
+        check_inflight_status_cli(queue_cache, env)
 
         worker2 = start_worker(queue_cache, env)
         try:
@@ -204,6 +263,22 @@ def main() -> int:
         ]
         assert not mismatched, f"byte mismatch in {mismatched}"
 
+        # Publish-as-completes: every result the victim published
+        # before dying must have survived the reclaim untouched (same
+        # file, same mtime -- never recomputed, never rewritten); only
+        # the unpublished remainder of its chunk re-ran.
+        final = snapshot_results(queue_cache)
+        rewritten = [
+            rel for rel, mtime in survivors.items()
+            if final.get(rel) != mtime
+        ]
+        assert not rewritten, (
+            f"results published before the kill were rewritten "
+            f"afterwards: {rewritten}"
+        )
+        re_ran = len(final) - len(survivors)
+        assert re_ran >= 1, "the kill lost nothing? (not mid-chunk)"
+
         # Final state: sweep drained clean; the victim's heartbeat --
         # beats stopped at the SIGKILL, seconds ago by now -- is the
         # only residue of the chaos (the SIGTERMed second worker
@@ -218,13 +293,28 @@ def main() -> int:
         tasks = status["tasks"]
         cached = scan_cache_entry_keys(queue_cache)
         queue = JobQueue(queue_cache / "queue")
-        leftovers = [
-            path.stem
-            for directory in (queue.tasks_dir, queue.leases_dir)
-            for path in directory.iterdir()
-            if not path.name.startswith(".")
-        ]
-        not_moot = [key for key in leftovers if key not in cached]
+        not_moot = []
+        for directory in (queue.tasks_dir, queue.leases_dir):
+            for path in directory.iterdir():
+                if path.name.startswith("."):
+                    continue
+                if path.stem.startswith("chunk-"):
+                    # A leftover chunk file is moot only if every
+                    # member's result is cached.
+                    envelope = envelope_from_payload(
+                        pickle.loads(path.read_bytes())
+                    )
+                    missing = [
+                        member.entry_key
+                        for member in envelope.members
+                        if member.entry_key not in cached
+                    ]
+                    if missing:
+                        not_moot.append(
+                            f"{path.stem} ({len(missing)} members uncached)"
+                        )
+                elif path.stem not in cached:
+                    not_moot.append(path.stem)
         assert not not_moot, (
             f"tasks left behind without a cached result: {not_moot}"
         )
@@ -238,10 +328,11 @@ def main() -> int:
         )
 
         print(
-            "queue-smoke OK: SIGKILL survived, "
-            f"{tasks['results_cached']} results, artifact trees "
-            "byte-identical to serial (modulo provenance), victim "
-            "visible as stale worker"
+            "queue-smoke OK: mid-chunk SIGKILL survived, "
+            f"{tasks['results_cached']} results "
+            f"({len(survivors)} published pre-kill, all intact, "
+            f"{re_ran} re-ran), artifact trees byte-identical to "
+            "serial (modulo provenance), victim visible as stale worker"
         )
         return 0
     finally:

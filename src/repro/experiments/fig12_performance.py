@@ -186,39 +186,43 @@ def _mean_metrics(values: Sequence[MultiProgramMetrics]) -> MultiProgramMetrics:
     )
 
 
-#: Per-process memo for Svärd threshold providers: building one walks
-#: the full vulnerability profile, and every defense at the same
-#: (profile, HC_first) shares it -- worth keeping warm inside each
-#: pool worker.  Providers are pure functions of their key, so the
-#: memo never changes results.
-_PROVIDER_MEMO: Dict[tuple, ThresholdProvider] = {}
+def _provider_setup(task: Task) -> ThresholdProvider:
+    """Setup hook: the Svärd threshold provider this task needs.
+
+    Building one walks the full vulnerability profile, and every
+    defense at the same (profile, HC_first) shares it -- declared as
+    the task's *setup context* so the execution layers build it once
+    per ``setup_key`` per worker process and reuse it across a chunk
+    (see ``SetupCache``).  Providers are pure functions of their key,
+    so memoization never changes results.
+    """
+    _mix, _defense, configuration, hc, scale, _config = task.params
+    return _svard_provider(configuration.removeprefix("Svärd-"), hc, scale)
 
 
-def _cached_provider(
-    profile_label: str, hc_first: int, scale: ExperimentScale
-) -> ThresholdProvider:
-    key = (
-        profile_label, hc_first,
+def _provider_setup_key(
+    configuration: str, hc_first: int, scale: ExperimentScale
+) -> tuple:
+    profile_label = configuration.removeprefix("Svärd-")
+    return (
+        "fig12-provider", profile_label, hc_first,
         scale.banks, scale.rows_for(profile_label), scale.seed,
     )
-    if key not in _PROVIDER_MEMO:
-        _PROVIDER_MEMO[key] = _svard_provider(profile_label, hc_first, scale)
-    return _PROVIDER_MEMO[key]
 
 
-def _simulation_task(task: Task) -> List[float]:
+def _simulation_task(
+    task: Task, thresholds: Optional[ThresholdProvider] = None
+) -> List[float]:
     """One defended simulation; returns raw per-core finish times.
 
     Normalization happens in the parent so that this task depends on
     nothing but its own parameters (all configurations of a mix
     replay the same traces, seeded from the experiment scale).
+    ``thresholds`` arrives from the setup hook for Svärd
+    configurations and stays ``None`` for the No-Svärd rows (which
+    declare no setup).
     """
-    mix, defense_name, configuration, hc, scale, config = task.params
-    thresholds = None
-    if configuration != NO_SVARD:
-        thresholds = _cached_provider(
-            configuration.removeprefix("Svärd-"), hc, scale
-        )
+    mix, defense_name, _configuration, hc, scale, config = task.params
     defense = _make_defense(defense_name, hc, config, thresholds, scale.seed)
     result = MemorySystem(
         config, build_traces(mix, config), defense=defense
@@ -290,6 +294,13 @@ class Fig12Experiment(Experiment):
                 _simulation_task,
                 (mix, defense_name, configuration, hc, scale, config),
                 base_seed=scale.seed,
+                setup=(
+                    _provider_setup if configuration != NO_SVARD else None
+                ),
+                setup_key=(
+                    _provider_setup_key(configuration, hc, scale)
+                    if configuration != NO_SVARD else None
+                ),
             )
             for defense_name in self._defense_names()
             for configuration in svard_configurations(scale)

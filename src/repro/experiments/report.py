@@ -7,7 +7,8 @@ scalar summary cards, the layout-aware presentation tables, inline
 SVG charts rendered from the declarative PlotSpecs (pure python; see
 :mod:`repro.experiments.svgplot`), and a provenance line per section
 (recipe name/version, seeds, scale fingerprint, backend, cache hit
-stats).
+stats, and -- when the sweep stamped per-task timings -- a one-line
+profile summary).
 
 The page is **self-contained by construction**: one file, all CSS in
 a ``<style>`` block, charts as inline SVG, no scripts, no external
@@ -226,6 +227,56 @@ def _format_worker_count(count: Any) -> str:
     return _format_value(count)
 
 
+def _format_profile_number(value: Any, spec: str, scale: float = 1.0) -> str:
+    """A profile leaf that may be a per-seed list after aggregation.
+
+    ``aggregate._merge_values`` merges the per-seed profile dicts key
+    by key, so any leaf can be a scalar, a per-seed list, or carry
+    ``None`` holes (a seed run entirely from cache stamps nothing);
+    render lists with the ``N+M`` per-seed convention.
+    """
+    if isinstance(value, list):
+        return "+".join(
+            _format_profile_number(v, spec, scale) for v in value
+        )
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return "?"
+    return format(value * scale, spec)
+
+
+def _format_profile(profile: Any) -> str:
+    """One compact line for a provenance profile summary.
+
+    ``profile`` is :func:`repro.orchestration.status.summarize_profiles`
+    output -- or, after seed aggregation, the key-wise merge of those
+    (or a per-seed list, when some seeds lack the key entirely).
+    """
+    if isinstance(profile, list):
+        return "; ".join(
+            _format_profile(member)
+            for member in profile
+            if isinstance(member, dict)
+        )
+    parts = [f"{_format_merged(profile.get('tasks'))} tasks"]
+    run = profile.get("run_s")
+    if isinstance(run, dict):
+        parts.append(
+            f"run p50 {_format_profile_number(run.get('p50'), '.3f')}s "
+            f"p95 {_format_profile_number(run.get('p95'), '.3f')}s"
+        )
+    share = profile.get("overhead_share")
+    if share is not None:
+        parts.append(
+            f"overhead {_format_profile_number(share, '.1f', 100.0)}%"
+        )
+    chunk = profile.get("chunk_size")
+    if isinstance(chunk, dict):
+        parts.append(
+            f"chunk mean {_format_profile_number(chunk.get('mean'), '.1f')}"
+        )
+    return ", ".join(parts)
+
+
 def _provenance(result_set: ResultSet) -> List[tuple]:
     """Ordered (label, value) rows for the section provenance block."""
     meta = result_set.meta
@@ -287,6 +338,11 @@ def _provenance(result_set: ResultSet) -> List[tuple]:
                 f"{worker} ×{_format_worker_count(count)}"
                 for worker, count in sorted(workers.items())
             )))
+        profile = provenance.get("profile")
+        if isinstance(profile, (dict, list)):
+            formatted = _format_profile(profile)
+            if formatted:
+                rows.append(("profile", formatted))
         if provenance.get("cache_dir") is not None:
             rows.append(("cache", _format_merged(provenance["cache_dir"])))
     return rows

@@ -82,7 +82,9 @@ from repro.orchestration import (
     create_backend,
     default_cache_dir,
     default_queue_dir,
+    profile_cache,
     queue_status,
+    render_profile,
     render_status,
 )
 from repro.orchestration.backends import DEFAULT_LEASE_TIMEOUT
@@ -122,6 +124,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--queue-wait", action="store_true",
         help="with --backend queue: do not execute tasks in this "
              "process; wait for workers to drain the queue",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="K",
+        help="with --backend queue or process: batch K tasks per "
+             "queue envelope / pool submission (default: auto-sized "
+             "from the grid; small sweeps stay unchunked). Results "
+             "are bit-identical at any K",
     )
     parser.add_argument(
         "--lease-timeout", type=float, default=None, metavar="S",
@@ -180,6 +189,12 @@ def _validate_execution_flags(parser, args) -> None:
         parser.error("--lease-timeout requires --backend queue")
     if args.lease_timeout is not None and args.lease_timeout <= 0:
         parser.error("--lease-timeout must be positive")
+    if args.chunk_size is not None:
+        if args.backend not in ("queue", "process"):
+            parser.error("--chunk-size requires --backend queue or "
+                         "--backend process")
+        if args.chunk_size < 1:
+            parser.error("--chunk-size must be at least 1")
 
 
 def _run_parser() -> argparse.ArgumentParser:
@@ -291,6 +306,7 @@ def build_context(args: argparse.Namespace) -> OrchestrationContext:
                 if args.lease_timeout is not None
                 else DEFAULT_LEASE_TIMEOUT
             ),
+            chunk_size=args.chunk_size,
         )
     return OrchestrationContext(
         jobs=args.jobs,
@@ -674,6 +690,13 @@ def _queue_status_parser() -> argparse.ArgumentParser:
         help="show a worker as stale once its heartbeat is older than "
              "S seconds (default: 30)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also aggregate the per-task timing stamps in the result "
+             "cache (setup/run/store seconds, result sizes, chunk "
+             "sizes) into a per-experiment table; see also `runner "
+             "profile CACHE_DIR`",
+    )
     return parser
 
 
@@ -693,7 +716,8 @@ def _cmd_queue_status(argv) -> int:
         )
         return 1
     status = queue_status(
-        cache_dir, args.queue_dir, stale_after=args.stale_after
+        cache_dir, args.queue_dir, stale_after=args.stale_after,
+        profile=args.profile,
     )
     try:
         if args.json:
@@ -716,10 +740,62 @@ def _cmd_queue(argv) -> int:
         return _cmd_queue_status(argv[1:])
     print(
         "usage: python -m repro.experiments.runner queue status "
-        "[CACHE_DIR] [--queue-dir DIR] [--json] [--stale-after S]",
+        "[CACHE_DIR] [--queue-dir DIR] [--json] [--stale-after S] "
+        "[--profile]",
         file=sys.stderr,
     )
     return 2
+
+
+# ----------------------------------------------------------------------
+# `profile`: aggregate per-task timing stamps from a result cache
+# ----------------------------------------------------------------------
+
+
+def _profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner profile",
+        description="Aggregate the per-task timing stamps "
+                    "(setup/run/store seconds, result sizes, chunk "
+                    "sizes) that every executed task leaves in its "
+                    "cache entry's provenance, grouped per experiment "
+                    "with p50/p95 run times and the share of wall "
+                    "time spent outside task functions.  Read-only; "
+                    "entries predating the profiling layer simply "
+                    "don't count.",
+    )
+    parser.add_argument(
+        "cache_dir", nargs="?", default=None, metavar="CACHE_DIR",
+        help="the sweep's result cache directory (default: "
+             "$REPRO_CACHE_DIR or .repro_cache/)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregation as one JSON document instead of "
+             "the human-readable table",
+    )
+    return parser
+
+
+def _cmd_profile(argv) -> int:
+    parser = _profile_parser()
+    args = parser.parse_args(argv)
+    cache_dir = (
+        Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    )
+    if not cache_dir.exists():
+        print(
+            f"error: no such cache directory: {cache_dir} (pass the "
+            "directory the sweep's --cache-dir points at as CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    profile = profile_cache(cache_dir)
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -1177,7 +1253,7 @@ def _cmd_recipe(argv) -> int:
 
 
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,serve,report} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,profile,serve,report} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
@@ -1188,9 +1264,12 @@ subcommands:
           checked-in paper-scale grids, runnable on any backend
   worker  attach this process to a job-queue directory and execute
           tasks published by `--backend queue` submitters
-  queue   observe a live sweep: `queue status [CACHE_DIR] [--json]`
-          summarizes tasks, leases, failures, and live/stale workers
-          from their heartbeat files
+  queue   observe a live sweep: `queue status [CACHE_DIR] [--json]
+          [--profile]` summarizes tasks, leases, failures, and
+          live/stale workers from their heartbeat files
+  profile aggregate the per-task timing stamps a sweep left in its
+          result cache: per-experiment p50/p95 run times, setup and
+          store overhead share, result sizes, chunk sizes
   serve   run the HTTP experiment service over a cache directory:
           POST recipes to start sweeps on the worker fleet, GET run
           records, artifacts, report.html, /healthz, and /queue
@@ -1226,6 +1305,7 @@ def help_all_text() -> str:
         _recipe_run_parser(),
         _worker_parser(),
         _queue_status_parser(),
+        _profile_parser(),
         _serve_parser(),
         _report_parser(),
     )
@@ -1260,6 +1340,8 @@ def main(argv=None) -> int:
         return _cmd_worker(argv[1:])
     if argv and argv[0] == "queue":
         return _cmd_queue(argv[1:])
+    if argv and argv[0] == "profile":
+        return _cmd_profile(argv[1:])
     if argv and argv[0] == "serve":
         return _cmd_serve(argv[1:])
     if argv and argv[0] == "report":

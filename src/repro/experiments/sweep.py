@@ -68,7 +68,9 @@ def stamp_provenance(
     that computed one of this experiment's results -- this process,
     a pool worker's parent, or any ``runner worker`` on any host --
     to its result count, straight from the per-entry provenance
-    stamps in the cache.
+    stamps in the cache; ``profile`` summarizes the per-task timing
+    stamps (:data:`~repro.orchestration.PROFILE_FIELDS`) of the
+    entries this experiment touched that carry them.
     """
     submitted, hits, executed, provenance_before = before
     now_submitted, now_hits, now_executed, _ = stats_snapshot(orch)
@@ -91,14 +93,22 @@ def stamp_provenance(
         # resolve worker labels through the dict, which the queue
         # backend blanks for foreign submitters' entries.
         workers: dict = {}
+        profiles: list = []
         events = orch.cache.provenance_events[provenance_before:]
         for entry_key in dict.fromkeys(events):
             worker = orch.cache.provenance_seen.get(entry_key)
             if worker is not None:
                 workers[worker] = workers.get(worker, 0) + 1
+            profile = orch.cache.profile_seen.get(entry_key)
+            if profile is not None:
+                profiles.append(profile)
         provenance["workers"] = {
             worker: workers[worker] for worker in sorted(workers)
         }
+        if profiles:
+            from repro.orchestration.status import summarize_profiles
+
+            provenance["profile"] = summarize_profiles(profiles)
     result_set.meta["provenance"] = provenance
 
 
@@ -174,6 +184,7 @@ def run_recipe_sweep(
     report: bool = True,
     format_name: str = "json",
     log: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> SweepOutcome:
     """Execute every cell of ``recipe`` and write its artifact tree.
 
@@ -184,6 +195,11 @@ def run_recipe_sweep(
     the whole sweep is wrong, not one cell; per-cell
     :class:`ExperimentError` is recorded and the sweep continues,
     mirroring the CLI.
+
+    ``progress(cells_done, cells_total)`` is called once per finished
+    cell (failed cells count as done -- it tracks sweep position, not
+    success), so callers like the experiment service can surface live
+    completion counts without parsing the log stream.
     """
     log = log or (lambda message: None)
     recipe.validate_experiments()
@@ -194,8 +210,11 @@ def run_recipe_sweep(
     out_dir = Path(out_dir)
     outcome = SweepOutcome()
     completed: List[Tuple[str, int, object]] = []
+    cells_total = len(runs)
+    if progress is not None:
+        progress(0, cells_total)
 
-    for experiment_name, seed, scale in runs:
+    for cells_done, (experiment_name, seed, scale) in enumerate(runs, 1):
         cell = f"{experiment_name}@seed{seed}"
         log(f"[recipe {recipe.name} v{recipe.version}] {cell}")
         before = stats_snapshot(orch)
@@ -206,6 +225,8 @@ def run_recipe_sweep(
         except ExperimentError as error:
             log(f"error: {cell}: {error}")
             outcome.failed_cells.append(cell)
+            if progress is not None:
+                progress(cells_done, cells_total)
             continue
         result_set.meta["recipe"] = {
             "name": recipe.name,
@@ -219,6 +240,8 @@ def run_recipe_sweep(
         )
         if report:
             completed.append((experiment_name, seed, result_set))
+        if progress is not None:
+            progress(cells_done, cells_total)
 
     if report and completed:
         from repro.experiments.aggregate import AggregationError

@@ -20,9 +20,11 @@ from repro.orchestration.backends import (
 from repro.orchestration.cache import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
+    PROFILE_FIELDS,
     CacheStats,
     ResultCache,
     default_cache_dir,
+    profile_from_provenance,
     scan_cache_entry_keys,
     shard_name,
 )
@@ -32,14 +34,19 @@ from repro.orchestration.executor import (
     serial_context,
 )
 from repro.orchestration.jobqueue import (
+    ChunkEnvelope,
     JobQueue,
     TaskEnvelope,
     WorkerHeartbeat,
+    chunk_queue_key,
     default_queue_dir,
+    envelope_from_payload,
 )
 from repro.orchestration.status import (
     DEFAULT_STALE_AFTER,
+    profile_cache,
     queue_status,
+    render_profile,
     render_status,
 )
 from repro.orchestration.worker import (
@@ -54,7 +61,15 @@ from repro.orchestration.hashing import (
     derive_task_seed,
     stable_hash,
 )
-from repro.orchestration.task import Task, TaskGroup, make_task, run_task
+from repro.orchestration.task import (
+    SetupCache,
+    Task,
+    TaskGroup,
+    execute_task_profiled,
+    make_task,
+    run_task,
+    run_task_profiled,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -63,7 +78,9 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_STALE_AFTER",
+    "PROFILE_FIELDS",
     "CacheStats",
+    "ChunkEnvelope",
     "ExecutionBackend",
     "HeartbeatWriter",
     "JobQueue",
@@ -76,11 +93,13 @@ __all__ = [
     "QueueWorker",
     "ResultCache",
     "SerialBackend",
+    "SetupCache",
     "Task",
     "TaskEnvelope",
     "TaskGroup",
     "WorkerHeartbeat",
     "WorkerStats",
+    "chunk_queue_key",
     "create_backend",
     "default_backend",
     "default_queue_dir",
@@ -88,10 +107,16 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "derive_task_seed",
+    "envelope_from_payload",
+    "execute_task_profiled",
     "make_task",
+    "profile_cache",
+    "profile_from_provenance",
     "queue_status",
+    "render_profile",
     "render_status",
     "run_task",
+    "run_task_profiled",
     "scan_cache_entry_keys",
     "serial_context",
     "shard_name",

@@ -44,17 +44,21 @@ def create_backend(
     participate: bool = True,
     poll_interval: float = 0.2,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    chunk_size: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build a backend by registry name.
 
     ``queue_dir`` is required for the queue backend (the runner
     defaults it to ``<cache_dir>/queue``); the other options are
-    ignored by backends they do not apply to.
+    ignored by backends they do not apply to.  ``chunk_size`` batches
+    transport on the queue backend (tasks per queue file) and pool
+    submissions on the process backend; ``None`` auto-sizes per
+    submission and keeps small sweeps unchunked.
     """
     if name == "serial":
         return SerialBackend()
     if name == "process":
-        return ProcessBackend(jobs)
+        return ProcessBackend(jobs, chunksize=chunk_size)
     if name == "queue":
         if queue_dir is None:
             raise BackendError("the queue backend needs a queue directory")
@@ -63,6 +67,7 @@ def create_backend(
             participate=participate,
             poll_interval=poll_interval,
             lease_timeout=lease_timeout,
+            chunk_size=chunk_size,
         )
     raise BackendError(
         f"unknown backend {name!r}; known: {list(BACKEND_NAMES)}"

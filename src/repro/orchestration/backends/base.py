@@ -23,13 +23,19 @@ Contract:
   :class:`~repro.orchestration.cache.ResultCache` itself (the queue
   backend: its workers publish results) sets ``publishes_to_cache`` so
   the context does not store them a second time.
+* Execution is profiled: backends that run tasks locally stash each
+  task's ``{setup_s, run_s}`` stamp in ``profiles`` (keyed by task
+  key), which the context pops and hands to ``cache.store`` -- keeping
+  the yielded pairs exactly ``(key, result)`` as they always were.
+  The queue backend's workers stamp profiles directly into the cache
+  entries they publish instead.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
@@ -64,6 +70,18 @@ class ExecutionBackend(ABC):
     #: cache by the time ``execute`` yields them (queue workers store
     #: results themselves); the context then skips its own ``store``.
     publishes_to_cache: bool = False
+
+    @property
+    def profiles(self) -> Dict[TaskKey, Dict[str, Any]]:
+        """Per-task profile stamps for results this backend executed
+        locally, keyed by task key.  Lazily created; the context pops
+        entries as it stores results, so the dict never outgrows one
+        in-flight batch."""
+        existing = getattr(self, "_profiles", None)
+        if existing is None:
+            existing = {}
+            self._profiles = existing
+        return existing
 
     @abstractmethod
     def execute(

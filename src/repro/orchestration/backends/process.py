@@ -8,7 +8,26 @@ from typing import Any, Iterator, Optional, Sequence, Tuple
 from repro.orchestration.backends.base import ExecutionBackend, PendingTask
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
-from repro.orchestration.task import run_task
+from repro.orchestration.task import (
+    SetupCache,
+    execute_task_profiled,
+    run_task_profiled,
+)
+
+
+def auto_pool_chunksize(task_count: int, jobs: int) -> int:
+    """Pool chunk size when the caller did not pick one.
+
+    Large batches are split into ~4 chunks per worker -- big enough to
+    amortize the per-submission IPC (pickle a task, wake a worker,
+    pickle a result), small enough that one slow chunk cannot idle the
+    rest of the pool -- capped at 32 so a huge grid still rebalances.
+    Small batches stay at 1: they fit in a single round of submissions
+    anyway, and chunking them only hurts latency.
+    """
+    if task_count <= max(2 * jobs, 8):
+        return 1
+    return max(1, min(32, task_count // (jobs * 4)))
 
 
 class ProcessBackend(ExecutionBackend):
@@ -17,20 +36,24 @@ class ProcessBackend(ExecutionBackend):
     The pool is created lazily on the first batch that is worth
     parallelizing and then reused for every later submission from the
     same context -- a full runner invocation submits once per
-    experiment, so per-worker memos (Svärd threshold providers,
-    characterization profiles) stay warm and the fork cost is paid
-    once.  Batches smaller than two tasks run inline: a pool round-trip
-    costs more than the work.
+    experiment, so per-worker memos (setup contexts, characterization
+    profiles) stay warm and the fork cost is paid once.  Batches
+    smaller than two tasks run inline: a pool round-trip costs more
+    than the work.  ``chunksize=None`` (the default) batches pool
+    submissions via :func:`auto_pool_chunksize`.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int, *, chunksize: int = 1) -> None:
+    def __init__(self, jobs: int, *, chunksize: Optional[int] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
         self.jobs = jobs
         self.chunksize = chunksize
         self._pool = None
+        self._setup_cache = SetupCache()
 
     def execute(
         self,
@@ -40,14 +63,28 @@ class ProcessBackend(ExecutionBackend):
         tasks = [item.task for item in pending]
         if self.jobs == 1 or len(tasks) < 2:
             for task in tasks:
-                yield run_task(task)
+                result, profile = execute_task_profiled(
+                    task, self._setup_cache
+                )
+                self.profiles[task.key] = profile
+                yield task.key, result
             return
         if self._pool is None:
             self._pool = multiprocessing.get_context().Pool(self.jobs)
+        chunksize = (
+            self.chunksize
+            if self.chunksize is not None
+            else auto_pool_chunksize(len(tasks), self.jobs)
+        )
         # imap (not unordered) keeps results in submission order so
         # progress output is stable; tasks are coarse enough that
         # head-of-line blocking is negligible.
-        yield from self._pool.imap(run_task, tasks, chunksize=self.chunksize)
+        for key, result, profile in self._pool.imap(
+            run_task_profiled, tasks, chunksize=chunksize
+        ):
+            profile["chunk_size"] = chunksize
+            self.profiles[key] = profile
+            yield key, result
 
     def close(self) -> None:
         if self._pool is not None:

@@ -17,6 +17,16 @@ for free:
 * **bit-identical results** -- workers run the same pure task
   functions, so a queue run is indistinguishable from a serial one.
 
+Large submissions are **chunked**: cache misses travel K to a queue
+file (:class:`~repro.orchestration.jobqueue.ChunkEnvelope`), so a
+31-task grid costs ~8 enqueue/claim/lease round-trips instead of 31.
+Chunking batches *transport only* -- each member keeps its own cache
+entry, failure record, and publish-as-it-completes semantics, so
+results remain bit-identical to unchunked runs and a worker killed
+mid-chunk loses at most the task in flight.  ``chunk_size=None`` (the
+default) sizes chunks from the submission via :func:`auto_chunk_size`;
+small sweeps stay unchunked.
+
 By default the submitter *participates*: while waiting it claims and
 executes queued tasks itself, so a queue run with zero workers still
 completes (it degenerates to a serial run with extra file traffic).
@@ -30,7 +40,7 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.orchestration.backends.base import (
     BackendError,
@@ -40,11 +50,18 @@ from repro.orchestration.backends.base import (
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
 from repro.orchestration.jobqueue import (
+    ChunkEnvelope,
     JobQueue,
+    QueueEnvelope,
     TaskEnvelope,
     reclaim_throttle,
 )
-from repro.orchestration.worker import HeartbeatWriter, execute_lease
+from repro.orchestration.task import SetupCache
+from repro.orchestration.worker import (
+    HeartbeatWriter,
+    WorkerStats,
+    execute_lease,
+)
 
 #: How long a lease may sit untouched before the submitter assumes its
 #: worker died and makes the task claimable again.  Characterization
@@ -65,12 +82,42 @@ STALL_REPORT_INTERVAL = 60.0
 #: tasks remain.
 PER_ENTRY_POLL_MAX = 16
 
+#: Auto chunking aims for at least this many chunks per submission, so
+#: a small worker fleet can still load-balance one sweep.
+AUTO_CHUNK_TARGET = 8
+
+#: Auto chunking never puts more tasks than this under one lease: the
+#: chunk is the reclaim/loss granularity, so a bound keeps worst-case
+#: duplicated work after a SIGKILL small.
+AUTO_CHUNK_MAX = 32
+
+
+def auto_chunk_size(task_count: int) -> int:
+    """Chunk size when the caller did not pick one.
+
+    Submissions at or below :data:`AUTO_CHUNK_TARGET` stay unchunked
+    (size 1): the per-task queue overhead is negligible there and
+    single-task files keep the PR 5 semantics byte-for-byte.  Larger
+    submissions are split into ~:data:`AUTO_CHUNK_TARGET` chunks,
+    capped at :data:`AUTO_CHUNK_MAX` tasks per chunk.
+    """
+    if task_count <= AUTO_CHUNK_TARGET:
+        return 1
+    return min(AUTO_CHUNK_MAX, -(-task_count // AUTO_CHUNK_TARGET))
+
 
 @dataclass
 class QueueBackendStats:
-    """What one submitter saw while draining its batch."""
+    """What one submitter saw while draining its batch.
+
+    ``enqueued``/``already_in_flight``/``requeued`` count *tasks*
+    (chunk members individually); ``chunks_enqueued`` counts the queue
+    files actually published, so ``enqueued / chunks_enqueued`` is the
+    realized transport batching.
+    """
 
     enqueued: int = 0
+    chunks_enqueued: int = 0
     already_in_flight: int = 0
     local_executed: int = 0
     remote_completed: int = 0
@@ -95,17 +142,24 @@ class QueueBackend(ExecutionBackend):
         participate: bool = True,
         poll_interval: float = 0.2,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        chunk_size: Optional[int] = None,
     ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise BackendError("chunk size must be at least 1")
         self.queue = JobQueue(queue_dir)
         self.participate = participate
         self.poll_interval = poll_interval
         self.lease_timeout = lease_timeout
+        self.chunk_size = chunk_size
         self.stats = QueueBackendStats()
-        #: Entry keys published by a submitter on a different code
+        #: Queue keys published by a submitter on a different code
         #: version.  Remembered so the participating claim loop skips
         #: them *before* the claim rename instead of re-claiming and
         #: re-releasing the same foreign tasks every poll.
         self._foreign_keys = set()
+        #: Setup-context memo for locally executed (participation)
+        #: leases, mirroring a worker's per-process cache.
+        self._setup_cache = SetupCache()
 
     # ------------------------------------------------------------------
 
@@ -128,22 +182,49 @@ class QueueBackend(ExecutionBackend):
                 )
         self.queue.ensure()
 
-        envelopes: Dict[str, TaskEnvelope] = {
-            item.entry_key: TaskEnvelope(
+        size = (
+            self.chunk_size
+            if self.chunk_size is not None
+            else auto_chunk_size(len(pending))
+        )
+        # ``carriers`` maps every entry key to the envelope that
+        # transports it -- the TaskEnvelope itself when unchunked, the
+        # enclosing ChunkEnvelope otherwise.  Grouping follows
+        # submission order, which is deterministic per sweep, so two
+        # submitters chunking the same batch produce identical chunk
+        # queue keys and dedupe through ``enqueue``.
+        carriers: Dict[str, QueueEnvelope] = {}
+        to_enqueue: List[QueueEnvelope] = []
+        members = [
+            TaskEnvelope(
                 entry_key=item.entry_key,
                 task=item.task,
                 cache_version=cache.version,
             )
             for item in pending
-        }
+        ]
+        for start in range(0, len(members), max(size, 1)):
+            batch = members[start:start + max(size, 1)]
+            envelope: QueueEnvelope = (
+                batch[0] if len(batch) == 1
+                else ChunkEnvelope(
+                    members=tuple(batch), cache_version=cache.version
+                )
+            )
+            to_enqueue.append(envelope)
+            for member in batch:
+                carriers[member.entry_key] = envelope
+
         outstanding: Dict[str, PendingTask] = {}
         for item in pending:
             self.queue.clear_failure(item.entry_key)  # fresh attempt
-            if self.queue.enqueue(envelopes[item.entry_key]):
-                self.stats.enqueued += 1
-            else:
-                self.stats.already_in_flight += 1
             outstanding[item.entry_key] = item
+        for envelope in to_enqueue:
+            if self.queue.enqueue(envelope):
+                self.stats.enqueued += len(envelope.members)
+                self.stats.chunks_enqueued += 1
+            else:
+                self.stats.already_in_flight += len(envelope.members)
 
         # A participating submitter executes tasks exactly like a
         # worker, so it publishes a heartbeat exactly like one: its
@@ -154,7 +235,7 @@ class QueueBackend(ExecutionBackend):
         )
         try:
             yield from self._drain(
-                outstanding, envelopes, cache, heartbeat
+                outstanding, carriers, cache, heartbeat
             )
         finally:
             if heartbeat is not None:
@@ -163,12 +244,21 @@ class QueueBackend(ExecutionBackend):
     def _drain(
         self,
         outstanding: Dict[str, PendingTask],
-        envelopes: Dict[str, TaskEnvelope],
+        carriers: Dict[str, QueueEnvelope],
         cache: ResultCache,
         heartbeat: Optional[HeartbeatWriter],
     ) -> Iterator[Tuple[TaskKey, Any]]:
         last_reclaim = time.monotonic()
         last_progress = time.monotonic()
+        # Chunk queue keys -> member entry keys, for retiring a chunk
+        # file once every member's result exists (it may have become
+        # moot through another submitter's cache, never claimed here).
+        chunk_members: Dict[str, List[str]] = {}
+        for entry_key, envelope in carriers.items():
+            if len(envelope.members) > 1:
+                chunk_members.setdefault(
+                    envelope.queue_key, []
+                ).append(entry_key)
         while outstanding:
             progressed = False
             # Collect everything workers have published since last
@@ -203,11 +293,24 @@ class QueueBackend(ExecutionBackend):
                 del outstanding[entry_key]
                 # The result may have arrived from outside the queue
                 # (another submitter's cache); drop our now-moot task
-                # file so workers stop seeing it.
-                self.queue.discard_task(entry_key)
+                # file so workers stop seeing it.  Chunk files are
+                # retired below, once *every* member is accounted for.
+                if carriers[entry_key].queue_key == entry_key:
+                    self.queue.discard_task(entry_key)
                 self.stats.remote_completed += 1
                 progressed = True
                 yield item.task.key, value
+
+            # Retire chunk files whose members have all completed
+            # elsewhere: a chunk is only moot as a whole.
+            for queue_key in list(chunk_members):
+                if any(
+                    member in outstanding
+                    for member in chunk_members[queue_key]
+                ):
+                    continue
+                self.queue.discard_task(queue_key)
+                del chunk_members[queue_key]
 
             if not outstanding:
                 break
@@ -218,62 +321,17 @@ class QueueBackend(ExecutionBackend):
                 # results computed by the wrong code under its key (the
                 # same refusal QueueWorker makes).  The claim filter
                 # skips such tasks without starving our own behind
-                # them, and once an envelope has been refused its entry
+                # them, and once an envelope has been refused its queue
                 # key is skipped *before* the rename on later polls.
                 lease = self.queue.claim(
                     accept=self._accept_own_version(cache),
                     skip=self._foreign_keys.__contains__,
                 )
                 if lease is not None:
-                    entry_key = lease.envelope.entry_key
-                    already_attributed = entry_key in cache.provenance_seen
-                    heartbeat.beat(
-                        current_lease=entry_key,
-                        claimed=heartbeat.state.claimed + 1,
-                    )
-                    ok = execute_lease(lease, cache, self.queue)
-                    heartbeat.beat(
-                        current_lease=None,
-                        completed=heartbeat.state.completed + (1 if ok else 0),
-                        failed=heartbeat.state.failed + (0 if ok else 1),
-                    )
-                    # The claimed task may belong to another submitter
-                    # sharing this queue; its owner collects (or
-                    # surfaces the failure of) that one, not us.
-                    item = outstanding.pop(entry_key, None)
-                    if item is None and not already_attributed:
-                        # Not one of this submitter's results: blank
-                        # its worker label (a None label is never
-                        # counted when the CLI resolves its event-log
-                        # slice through ``provenance_seen``), or the
-                        # current experiment's worker counts would
-                        # disagree with its task counts.  (A key
-                        # attributed *before* this claim was one of
-                        # ours, already collected -- this is a
-                        # reclaimed duplicate; keep its label, the
-                        # CLI dedups the repeated key within a
-                        # slice.)
-                        cache.provenance_seen[entry_key] = None
-                    if item is not None:
-                        if not ok:
-                            failure = self.queue.failure_for(entry_key)
-                            detail = (
-                                f"{failure.error}\n{failure.traceback}"
-                                if failure is not None
-                                else "(failure record missing)"
-                            )
-                            raise QueueTaskFailed(
-                                f"task {item.task.key} failed: {detail}"
-                            )
-                        hit, value = cache.load(entry_key)
-                        if not hit:  # pragma: no cover - store just ran
-                            raise BackendError(
-                                f"result for {item.task.key} vanished "
-                                "immediately after store"
-                            )
-                        self.stats.local_executed += 1
-                        yield item.task.key, value
                     progressed = True
+                    yield from self._run_claimed(
+                        lease, outstanding, cache, heartbeat
+                    )
 
             if not progressed:
                 now = time.monotonic()
@@ -289,7 +347,7 @@ class QueueBackend(ExecutionBackend):
                     # requeued one throttle interval later, off a
                     # fresh scan.
                     self.stats.requeued += self._requeue_vanished(
-                        outstanding, envelopes, present, failed
+                        outstanding, carriers, present, failed
                     )
                     last_reclaim = now
                 if now - last_progress >= STALL_REPORT_INTERVAL:
@@ -306,6 +364,75 @@ class QueueBackend(ExecutionBackend):
                 time.sleep(self.poll_interval)
             else:
                 last_progress = time.monotonic()
+
+    def _run_claimed(
+        self,
+        lease,
+        outstanding: Dict[str, PendingTask],
+        cache: ResultCache,
+        heartbeat: Optional[HeartbeatWriter],
+    ) -> Iterator[Tuple[TaskKey, Any]]:
+        """Execute one claimed lease locally and yield our results.
+
+        Works member-by-member so a chunk lease behaves exactly like
+        K single-task leases: each member of ours is collected (or its
+        failure surfaced) individually, and members belonging to
+        another submitter sharing the queue are left for their owner.
+        """
+        members = lease.envelope.members
+        # Keys attributed *before* this claim were already collected
+        # for one of our experiments; re-executing them (a reclaimed
+        # duplicate) must keep their worker label -- the CLI dedups
+        # the repeated key within a provenance slice.
+        attributed_before = {
+            member.entry_key
+            for member in members
+            if member.entry_key in cache.provenance_seen
+        }
+        heartbeat.beat(
+            current_lease=lease.envelope.queue_key,
+            claimed=heartbeat.state.claimed + 1,
+        )
+        local_stats = WorkerStats()
+        execute_lease(
+            lease, cache, self.queue,
+            setup_cache=self._setup_cache, stats=local_stats,
+        )
+        heartbeat.beat(
+            current_lease=None,
+            completed=heartbeat.state.completed + local_stats.completed,
+            failed=heartbeat.state.failed + local_stats.failed,
+        )
+        for member in members:
+            entry_key = member.entry_key
+            # The claimed task may belong to another submitter
+            # sharing this queue; its owner collects (or surfaces
+            # the failure of) that one, not us.
+            item = outstanding.pop(entry_key, None)
+            if item is None:
+                if entry_key not in attributed_before:
+                    # Not one of this submitter's results: blank its
+                    # worker label (a None label is never counted when
+                    # the CLI resolves its event-log slice through
+                    # ``provenance_seen``), or the current experiment's
+                    # worker counts would disagree with its task
+                    # counts.
+                    cache.provenance_seen[entry_key] = None
+                continue
+            failure = self.queue.failure_for(entry_key)
+            if failure is not None:
+                raise QueueTaskFailed(
+                    f"task {item.task.key} failed: "
+                    f"{failure.error}\n{failure.traceback}"
+                )
+            hit, value = cache.load(entry_key)
+            if not hit:  # pragma: no cover - store just ran
+                raise BackendError(
+                    f"result for {item.task.key} vanished "
+                    "immediately after store"
+                )
+            self.stats.local_executed += 1
+            yield item.task.key, value
 
     def _present_entries(
         self, outstanding: Dict[str, PendingTask], cache: ResultCache
@@ -325,10 +452,10 @@ class QueueBackend(ExecutionBackend):
         return cache.scan_entry_keys()
 
     def _accept_own_version(self, cache: ResultCache):
-        def accept(envelope: TaskEnvelope) -> bool:
+        def accept(envelope: QueueEnvelope) -> bool:
             if envelope.cache_version == cache.version:
                 return True
-            self._foreign_keys.add(envelope.entry_key)
+            self._foreign_keys.add(envelope.queue_key)
             return False
 
         return accept
@@ -336,7 +463,7 @@ class QueueBackend(ExecutionBackend):
     def _requeue_vanished(
         self,
         outstanding: Dict[str, PendingTask],
-        envelopes: Dict[str, TaskEnvelope],
+        carriers: Dict[str, QueueEnvelope],
         present: set,
         failed: set,
     ) -> int:
@@ -349,6 +476,12 @@ class QueueBackend(ExecutionBackend):
         ``cache.load`` -- is simply enqueued again instead of being
         waited on forever.  Pure tasks make the retry free of risk.
         ``present``/``failed`` are the calling pass's directory scans.
+
+        A vanished chunk member republishes its whole carrier chunk;
+        the enqueue existence check dedupes members sharing a carrier
+        (and suppresses the republish entirely while the chunk's file
+        or lease is still in flight), and already-cached members are
+        skipped on re-execution, so only the missing work re-runs.
         """
         requeued = 0
         for entry_key in outstanding:
@@ -370,7 +503,7 @@ class QueueBackend(ExecutionBackend):
                 # across NFS users): it must not strand the sweep, so
                 # clear it if we can and retry the task.
                 self.queue.clear_failure(entry_key)
-            if self.queue.enqueue(envelopes[entry_key]):
+            if self.queue.enqueue(carriers[entry_key]):
                 requeued += 1
         return requeued
 

@@ -7,7 +7,7 @@ from typing import Any, Iterator, Optional, Sequence, Tuple
 from repro.orchestration.backends.base import ExecutionBackend, PendingTask
 from repro.orchestration.cache import ResultCache
 from repro.orchestration.hashing import TaskKey
-from repro.orchestration.task import run_task
+from repro.orchestration.task import SetupCache, execute_task_profiled
 
 
 class SerialBackend(ExecutionBackend):
@@ -15,10 +15,16 @@ class SerialBackend(ExecutionBackend):
 
     This is the reference implementation the other backends are tested
     against, and the fallback wherever multiprocessing (or a shared
-    filesystem) is unavailable.
+    filesystem) is unavailable.  Setup contexts are memoized across
+    the whole run via one :class:`SetupCache` -- the serial equivalent
+    of a queue worker's per-process memo -- and every execution is
+    profiled (stashed in ``profiles`` for the context to store).
     """
 
     name = "serial"
+
+    def __init__(self) -> None:
+        self._setup_cache = SetupCache()
 
     def execute(
         self,
@@ -26,4 +32,8 @@ class SerialBackend(ExecutionBackend):
         cache: Optional[ResultCache] = None,
     ) -> Iterator[Tuple[TaskKey, Any]]:
         for item in pending:
-            yield run_task(item.task)
+            result, profile = execute_task_profiled(
+                item.task, self._setup_cache
+            )
+            self.profiles[item.task.key] = profile
+            yield item.task.key, result

@@ -48,6 +48,14 @@ never influences results, it only makes them attributable (the CLI
 folds the per-worker counts into ``meta.provenance`` and the HTML
 report renders them per section).
 
+Executions that went through the profiled path extend the stamp with
+a **profile**: ``{setup_s, run_s, store_s, result_bytes, chunk_size}``
+(see :data:`PROFILE_FIELDS`).  Like the rest of provenance it is
+outside the content hash, so profiled and unprofiled stores of the
+same task are interchangeable cache entries with byte-identical
+payloads.  ``runner profile`` and ``runner queue status --profile``
+aggregate these stamps into per-experiment timing distributions.
+
 Cache files are ordinary pickles: they are a *local* artifact, not an
 interchange format -- do not load cache directories from untrusted
 sources.
@@ -152,6 +160,28 @@ def result_provenance(version: str) -> Dict[str, Any]:
     }
 
 
+#: Profiling keys a profiled execution merges into the provenance
+#: stamp.  ``setup_s``/``run_s`` are measured around the task function,
+#: ``store_s``/``result_bytes`` around result serialization, and
+#: ``chunk_size`` records the transport batch the task travelled in.
+PROFILE_FIELDS = ("setup_s", "run_s", "store_s", "result_bytes", "chunk_size")
+
+
+def profile_from_provenance(provenance: Any) -> Optional[Dict[str, Any]]:
+    """The profile stamp embedded in a provenance dict, if any.
+
+    ``None`` for entries stored by unprofiled code paths (including
+    every pre-profiling cache entry) -- aggregation simply skips them.
+    """
+    if not isinstance(provenance, dict) or "run_s" not in provenance:
+        return None
+    return {
+        name: provenance[name]
+        for name in PROFILE_FIELDS
+        if name in provenance
+    }
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache instance (cumulative across runs)."""
@@ -192,6 +222,10 @@ class ResultCache:
         #: ``meta.provenance`` so reports can say *which workers*
         #: computed a figure.
         self.provenance_events: List[str] = []
+        #: ``entry_key -> profile stamp`` for every profiled entry this
+        #: instance stored or served; the sweep engine aggregates the
+        #: slice it touched into ``meta.provenance``.
+        self.profile_seen: Dict[str, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
 
@@ -285,15 +319,35 @@ class ResultCache:
         value: Any,
         *,
         provenance: Optional[Dict[str, Any]] = None,
+        profile: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Atomically persist one result.
 
         ``provenance`` defaults to a stamp for *this* process (worker
         label, wall-clock store time, code version); queue workers thus
         sign their results without any extra plumbing.
+
+        ``profile`` (``setup_s``/``run_s`` from the executor, plus an
+        optional ``chunk_size``) is merged flat into the provenance
+        stamp, completed here with ``store_s`` and ``result_bytes``
+        from a timed serialization of the payload.  The payload is
+        pickled once extra for the measurement -- results are small
+        (lists of floats), and the profile must live *inside* the
+        entry being written, so measuring the publishing write itself
+        is not possible.
         """
         if provenance is None:
             provenance = result_provenance(self.version)
+        if profile is not None:
+            measure_started = time.perf_counter()
+            result_bytes = len(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            provenance = dict(provenance)
+            provenance.update(profile)
+            provenance.setdefault("chunk_size", 1)
+            provenance["result_bytes"] = result_bytes
+            provenance["store_s"] = time.perf_counter() - measure_started
         entry = {
             "format": _FORMAT,
             "entry_key": entry_key,
@@ -332,6 +386,9 @@ class ResultCache:
         self.provenance_events.append(entry_key)
         if entry_key not in self.provenance_seen or worker is not None:
             self.provenance_seen[entry_key] = worker
+        profile = profile_from_provenance(provenance)
+        if profile is not None:
+            self.profile_seen[entry_key] = profile
 
     def _validate(self, entry: Any, entry_key: str) -> Any:
         if (

@@ -137,7 +137,13 @@ class OrchestrationContext:
         store = self.cache is not None and not self.backend.publishes_to_cache
         for key, value in self._execute(pending):
             if store:
-                self.cache.store(entry_keys[key], key, value)
+                # Locally executing backends stash per-task timing
+                # stamps in ``profiles``; fold them into the entry's
+                # provenance (popped, so the dict stays bounded).
+                self.cache.store(
+                    entry_keys[key], key, value,
+                    profile=self.backend.profiles.pop(key, None),
+                )
             results[key] = value
             self.stats.executed += 1
             done += 1

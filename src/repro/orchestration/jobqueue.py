@@ -9,11 +9,19 @@ No daemon, no sockets, no locks beyond what ``os.rename`` gives us:
 
 ```
 queue/
-  tasks/<entry_key>.task    pickled TaskEnvelope, awaiting a claim
-  leases/<entry_key>.task   the same file, claimed by some worker
+  tasks/<queue_key>.task    pickled TaskEnvelope or ChunkEnvelope,
+                            awaiting a claim
+  leases/<queue_key>.task   the same file, claimed by some worker
   failed/<entry_key>.pkl    failure record for a task that raised
   workers/<worker>.json     heartbeat: who is attached, doing what
 ```
+
+A *queue key* names one queue file: the cache entry key for a single
+:class:`TaskEnvelope`, a deterministic ``chunk-<sha>`` digest of the
+member entry keys for a :class:`ChunkEnvelope` (K tasks travelling
+under one lease; see "Chunking" in ORCHESTRATION.md).  Failure records
+are always per *entry key* -- a chunk member that raises gets its own
+record, exactly as if it had travelled alone.
 
 State transitions are single atomic renames, so two workers can never
 both own a task:
@@ -61,9 +69,9 @@ import time
 import traceback
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
-from repro.orchestration.hashing import TaskKey
+from repro.orchestration.hashing import TaskKey, stable_hash
 from repro.orchestration.task import Task
 
 #: Bumped when the on-disk envelope format changes.
@@ -100,6 +108,16 @@ class TaskEnvelope:
     task: Task
     cache_version: str
 
+    @property
+    def queue_key(self) -> str:
+        """The queue-file stem this envelope travels under."""
+        return self.entry_key
+
+    @property
+    def members(self) -> Tuple["TaskEnvelope", ...]:
+        """Uniform per-task view shared with :class:`ChunkEnvelope`."""
+        return (self,)
+
     def to_payload(self) -> dict:
         return {
             "format": ENVELOPE_FORMAT,
@@ -123,6 +141,78 @@ class TaskEnvelope:
         )
 
 
+def chunk_queue_key(entry_keys) -> str:
+    """Deterministic queue-file stem for a chunk of entry keys.
+
+    Derived from the member keys alone, so two submitters racing over
+    the same sweep (and chunking it the same way) produce the *same*
+    file name and dedupe through the existing enqueue existence check,
+    exactly like single-task envelopes do.
+    """
+    return "chunk-" + stable_hash(tuple(entry_keys))[:32]
+
+
+@dataclass(frozen=True)
+class ChunkEnvelope:
+    """K tasks travelling through the queue under one lease.
+
+    Purely a *transport* batching: each member keeps its own cache
+    entry key, its own failure record, and is published to the result
+    cache individually as it completes.  A worker killed mid-chunk
+    therefore loses only the unfinished remainder -- the reclaimed
+    chunk's already-cached members are skipped on re-execution.
+    """
+
+    members: Tuple[TaskEnvelope, ...]
+    cache_version: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(self.members))
+
+    @property
+    def queue_key(self) -> str:
+        return chunk_queue_key(
+            member.entry_key for member in self.members
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "format": ENVELOPE_FORMAT,
+            "kind": "chunk",
+            "members": [member.to_payload() for member in self.members],
+            "cache_version": self.cache_version,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ChunkEnvelope":
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != ENVELOPE_FORMAT
+            or payload.get("kind") != "chunk"
+            or not isinstance(payload.get("members"), list)
+            or not payload["members"]
+        ):
+            raise QueueFormatError(f"unrecognized chunk envelope: {payload!r}")
+        return cls(
+            members=tuple(
+                TaskEnvelope.from_payload(member)
+                for member in payload["members"]
+            ),
+            cache_version=payload["cache_version"],
+        )
+
+
+#: Anything a queue file may contain.
+QueueEnvelope = Union[TaskEnvelope, ChunkEnvelope]
+
+
+def envelope_from_payload(payload: Any) -> QueueEnvelope:
+    """Decode either envelope kind; raises :class:`QueueFormatError`."""
+    if isinstance(payload, dict) and payload.get("kind") == "chunk":
+        return ChunkEnvelope.from_payload(payload)
+    return TaskEnvelope.from_payload(payload)
+
+
 @dataclass(frozen=True)
 class FailureRecord:
     """Why one task failed, published for the submitter to surface."""
@@ -136,9 +226,9 @@ class FailureRecord:
 
 @dataclass(frozen=True)
 class Lease:
-    """A claimed task: the envelope plus its lease file."""
+    """A claimed task or chunk: the envelope plus its lease file."""
 
-    envelope: TaskEnvelope
+    envelope: QueueEnvelope
     path: Path
 
 
@@ -234,20 +324,28 @@ class JobQueue:
     # Submitter side
     # ------------------------------------------------------------------
 
-    def enqueue(self, envelope: TaskEnvelope) -> bool:
-        """Publish one task; ``False`` if it is already in flight.
+    def enqueue(self, envelope: QueueEnvelope) -> bool:
+        """Publish one task/chunk; ``False`` if it is already in flight.
 
-        "In flight" means a task or lease file for the same entry key
+        "In flight" means a task or lease file for the same queue key
         already exists -- e.g. a second submitter sharing the sweep, or
         a leftover from an interrupted run that a worker can still
-        finish.
+        finish.  Chunk queue keys are content-derived, so two
+        submitters chunking the same sweep identically dedupe here.
         """
         self.ensure()
-        task_path = self._task_path(envelope.entry_key)
-        if task_path.exists() or self._lease_path(envelope.entry_key).exists():
+        task_path = self._task_path(envelope.queue_key)
+        if task_path.exists() or self._lease_path(envelope.queue_key).exists():
             return False
         self._atomic_write_pickle(envelope.to_payload(), task_path)
         return True
+
+    def in_flight(self, queue_key: str) -> bool:
+        """Whether a task or lease file for ``queue_key`` exists."""
+        return (
+            self._task_path(queue_key).exists()
+            or self._lease_path(queue_key).exists()
+        )
 
     def failure_for(self, entry_key: str) -> Optional[FailureRecord]:
         path = self.failed_dir / f"{entry_key}.pkl"
@@ -273,9 +371,10 @@ class JobQueue:
     def clear_failure(self, entry_key: str) -> None:
         self._unlink_quietly(self.failed_dir / f"{entry_key}.pkl")
 
-    def discard_task(self, entry_key: str) -> None:
-        """Drop an unclaimed task file (its result arrived elsewhere)."""
-        self._unlink_quietly(self._task_path(entry_key))
+    def discard_task(self, queue_key: str) -> None:
+        """Drop an unclaimed task/chunk file (its results arrived
+        elsewhere)."""
+        self._unlink_quietly(self._task_path(queue_key))
 
     def reclaim_stale(
         self, lease_timeout: float, *, now: Optional[float] = None
@@ -339,13 +438,13 @@ class JobQueue:
 
     def claim(
         self,
-        accept: Optional[Callable[[TaskEnvelope], bool]] = None,
+        accept: Optional[Callable[[QueueEnvelope], bool]] = None,
         *,
         skip: Optional[Callable[[str], bool]] = None,
     ) -> Optional[Lease]:
-        """Atomically take one queued task; ``None`` when none qualify.
+        """Atomically take one queued task/chunk; ``None`` when none qualify.
 
-        ``skip`` filters by **entry key** *before* the claim rename.
+        ``skip`` filters by **queue key** *before* the claim rename.
         Rejections ``accept`` will repeat forever (a version-mismatched
         envelope looks the same on every poll) should be remembered and
         fed back through ``skip``, so an incompatible task stops
@@ -388,7 +487,7 @@ class JobQueue:
                 pass
             try:
                 with open(lease_path, "rb") as handle:
-                    envelope = TaskEnvelope.from_payload(pickle.load(handle))
+                    envelope = envelope_from_payload(pickle.load(handle))
             except FileNotFoundError:
                 continue  # reclaimed between the bump and the read
             except Exception:
@@ -407,10 +506,19 @@ class JobQueue:
         """The result is in the cache; retire the lease."""
         self._unlink_quietly(lease.path)
 
-    def fail(self, lease: Lease, error: BaseException) -> None:
+    def record_failure(
+        self, entry_key: str, task_key: TaskKey, error: BaseException
+    ) -> None:
+        """Publish a per-task failure record (no lease bookkeeping).
+
+        Chunk executors use this directly: a member that raises gets
+        its own record -- addressable by *entry key*, exactly as if it
+        had travelled alone -- while the chunk lease stays live until
+        the remaining members have run.
+        """
         record = FailureRecord(
-            entry_key=lease.envelope.entry_key,
-            task_key=lease.envelope.task.key,
+            entry_key=entry_key,
+            task_key=task_key,
             error=f"{type(error).__name__}: {error}",
             traceback="".join(
                 traceback.format_exception(
@@ -421,8 +529,13 @@ class JobQueue:
         )
         self.failed_dir.mkdir(parents=True, exist_ok=True)
         self._atomic_write_pickle(
-            record, self.failed_dir / f"{lease.envelope.entry_key}.pkl"
+            record, self.failed_dir / f"{entry_key}.pkl"
         )
+
+    def fail(self, lease: Lease, error: BaseException) -> None:
+        """Record failure(s) for the lease's task(s) and retire it."""
+        for member in lease.envelope.members:
+            self.record_failure(member.entry_key, member.task.key, error)
         self._unlink_quietly(lease.path)
 
     def release(self, lease: Lease) -> None:
@@ -506,7 +619,7 @@ class JobQueue:
         return len(self._listdir(self.leases_dir))
 
     def lease_entries(self) -> List[tuple]:
-        """``(entry_key, claim_mtime)`` for every live lease file."""
+        """``(queue_key, claim_mtime)`` for every live lease file."""
         entries = []
         for path in sorted(self._listdir(self.leases_dir)):
             try:
@@ -536,11 +649,11 @@ class JobQueue:
 
     # ------------------------------------------------------------------
 
-    def _task_path(self, entry_key: str) -> Path:
-        return self.tasks_dir / f"{entry_key}.task"
+    def _task_path(self, queue_key: str) -> Path:
+        return self.tasks_dir / f"{queue_key}.task"
 
-    def _lease_path(self, entry_key: str) -> Path:
-        return self.leases_dir / f"{entry_key}.task"
+    def _lease_path(self, queue_key: str) -> Path:
+        return self.leases_dir / f"{queue_key}.task"
 
     def _listdir(self, directory: Path) -> List[Path]:
         try:

@@ -16,15 +16,28 @@ The snapshot answers the operator questions a black-box sweep raises:
   unplugged), and what each one is doing right now;
 * what exactly failed, where, and with which traceback;
 * rough **throughput** across all workers that ever beat.
+
+This module also hosts the **profiling aggregation** behind
+``runner profile <cache-dir>`` and ``runner queue status --profile``:
+every profiled execution stamps ``{setup_s, run_s, store_s,
+result_bytes, chunk_size}`` into its cache entry's provenance (see
+``repro.orchestration.cache``), and :func:`profile_cache` folds those
+stamps into per-experiment timing distributions (p50/p95 task times,
+overhead share) -- the raw series a perf-trend dashboard charts.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.orchestration.cache import scan_cache_entry_keys
+from repro.orchestration.cache import (
+    profile_from_provenance,
+    scan_cache_entry_keys,
+    shard_name,
+)
 from repro.orchestration.jobqueue import JobQueue, default_queue_dir
 
 #: A worker whose heartbeat is older than this many seconds is shown
@@ -34,6 +47,9 @@ DEFAULT_STALE_AFTER = 30.0
 #: Bumped when the snapshot JSON shape changes.
 STATUS_FORMAT = 1
 
+#: Bumped when the profile aggregation JSON shape changes.
+PROFILE_FORMAT = 1
+
 
 def queue_status(
     cache_dir: Union[str, Path],
@@ -41,11 +57,15 @@ def queue_status(
     *,
     now: Optional[float] = None,
     stale_after: float = DEFAULT_STALE_AFTER,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """A JSON-ready snapshot of one queue directory and its cache.
 
     ``now`` is injectable so tests (and golden snapshots) can pin
     every derived age; production callers leave it to the wall clock.
+    ``profile=True`` additionally folds the cache's per-task profile
+    stamps into the snapshot (one full cache read -- opt-in because a
+    status poll should stay cheap on large caches).
     """
     cache_dir = Path(cache_dir)
     queue = JobQueue(
@@ -140,7 +160,7 @@ def queue_status(
         "tasks_per_second": round(sum(rates), 4) if rates else None,
     }
 
-    return {
+    status = {
         "format": STATUS_FORMAT,
         "generated_at": now,
         "cache_dir": str(cache_dir),
@@ -157,6 +177,9 @@ def queue_status(
         "failures": failures,
         "throughput": throughput,
     }
+    if profile:
+        status["profile"] = profile_cache(cache_dir)
+    return status
 
 
 def render_status(status: Dict[str, Any]) -> str:
@@ -240,7 +263,158 @@ def render_status(status: Dict[str, Any]) -> str:
             f"workers over {_seconds(throughput['window_seconds'])} "
             f"({throughput['tasks_per_second']:g} tasks/s)"
         )
+    if status.get("profile") is not None:
+        lines.append("")
+        lines.append(render_profile(status["profile"]))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Profiling aggregation
+# ----------------------------------------------------------------------
+
+
+def summarize_profiles(profiles: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-task profile stamps into one distribution summary.
+
+    ``overhead_share`` is the fraction of total busy time spent
+    *around* the task function (setup construction + result
+    serialization) rather than inside it -- the number chunking and
+    setup memoization exist to drive down.
+    """
+    setup = [float(p.get("setup_s", 0.0)) for p in profiles]
+    run = [float(p.get("run_s", 0.0)) for p in profiles]
+    store = [float(p.get("store_s", 0.0)) for p in profiles]
+    sizes = [int(p.get("result_bytes", 0)) for p in profiles]
+    chunks = [int(p.get("chunk_size", 1)) for p in profiles]
+    overhead = sum(setup) + sum(store)
+    busy = overhead + sum(run)
+    return {
+        "tasks": len(profiles),
+        "setup_s": _distribution(setup),
+        "run_s": _distribution(run),
+        "store_s": _distribution(store),
+        "result_bytes": {
+            "total": sum(sizes),
+            "mean": sum(sizes) / len(sizes) if sizes else 0.0,
+        },
+        "chunk_size": {
+            "mean": sum(chunks) / len(chunks) if chunks else 0.0,
+            "max": max(chunks, default=0),
+        },
+        "overhead_share": round(overhead / busy, 6) if busy > 0 else 0.0,
+    }
+
+
+def profile_cache(cache_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Aggregate every profile stamp in a cache directory.
+
+    Entries stored by unprofiled code paths (anything pre-profiling)
+    simply lack the stamp and are counted in ``entries_total`` only.
+    Grouping is by the first task-key element -- by convention the
+    experiment name (``fig12``, ``fig7`` ...).  Reads are raw and
+    version-agnostic: the aggregation is observational, so entries
+    written by other code versions still count.
+    """
+    cache_dir = Path(cache_dir)
+    per_experiment: Dict[str, List[Dict[str, Any]]] = {}
+    everything: List[Dict[str, Any]] = []
+    entries_total = 0
+    for entry_key in sorted(scan_cache_entry_keys(cache_dir)):
+        entry = _read_entry(cache_dir, entry_key)
+        if not isinstance(entry, dict):
+            continue
+        entries_total += 1
+        stamp = profile_from_provenance(entry.get("provenance"))
+        if stamp is None:
+            continue
+        task_key = entry.get("task_key") or ()
+        name = str(task_key[0]) if task_key else "(unknown)"
+        per_experiment.setdefault(name, []).append(stamp)
+        everything.append(stamp)
+    return {
+        "format": PROFILE_FORMAT,
+        "cache_dir": str(cache_dir),
+        "entries_total": entries_total,
+        "entries_profiled": len(everything),
+        "experiments": {
+            name: summarize_profiles(stamps)
+            for name, stamps in sorted(per_experiment.items())
+        },
+        "overall": summarize_profiles(everything),
+    }
+
+
+def render_profile(profile: Dict[str, Any]) -> str:
+    """The human-readable form of one :func:`profile_cache` summary."""
+    lines = [
+        f"profile of cache {profile['cache_dir']}",
+        f"entries: {profile['entries_profiled']} profiled / "
+        f"{profile['entries_total']} total",
+    ]
+    if not profile["entries_profiled"]:
+        lines.append(
+            "no profiled entries yet (stored by a pre-profiling code "
+            "path, or the cache is empty)"
+        )
+        return "\n".join(lines)
+    lines.append("")
+    rows = [(
+        "experiment", "tasks", "run p50", "run p95",
+        "setup mean", "store mean", "overhead", "chunk",
+    )]
+    sections = list(profile["experiments"].items())
+    if len(sections) != 1:
+        sections.append(("(overall)", profile["overall"]))
+    for name, summary in sections:
+        rows.append((
+            name,
+            str(summary["tasks"]),
+            _seconds(summary["run_s"]["p50"]),
+            _seconds(summary["run_s"]["p95"]),
+            _seconds(summary["setup_s"]["mean"]),
+            _seconds(summary["store_s"]["mean"]),
+            f"{100.0 * summary['overhead_share']:.1f}%",
+            f"{summary['chunk_size']['mean']:.1f}",
+        ))
+    lines.extend(_table(rows, indent="  "))
+    return "\n".join(lines)
+
+
+def _read_entry(cache_dir: Path, entry_key: str) -> Any:
+    """One raw cache entry, sharded layout preferred; ``None`` if
+    unreadable (racing writers, corrupt files -- skip, never raise)."""
+    for path in (
+        cache_dir / shard_name(entry_key) / f"{entry_key}.pkl",
+        cache_dir / f"{entry_key}.pkl",
+    ):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            return None
+    return None
+
+
+def _distribution(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {"total": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    return {
+        "total": sum(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "max": ordered[-1],
+    }
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    rank = max(1, -(-int(q * 100) * len(ordered) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 # ----------------------------------------------------------------------

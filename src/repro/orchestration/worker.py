@@ -31,15 +31,22 @@ from repro.orchestration.jobqueue import (
     DEFAULT_HEARTBEAT_INTERVAL,
     JobQueue,
     Lease,
+    QueueEnvelope,
     WorkerHeartbeat,
     reclaim_throttle,
     worker_identity,
 )
+from repro.orchestration.task import SetupCache, execute_task_profiled
 
 
 @dataclass
 class WorkerStats:
-    """What one worker did across its lifetime."""
+    """What one worker did across its lifetime.
+
+    ``claimed`` counts leases (one per task *or chunk*); ``completed``
+    and ``failed`` count individual tasks, so throughput derived from
+    them stays in tasks/second regardless of chunking.
+    """
 
     claimed: int = 0
     completed: int = 0
@@ -48,28 +55,69 @@ class WorkerStats:
     reclaimed: int = 0
 
 
-def execute_lease(lease: Lease, cache: ResultCache, queue: JobQueue) -> bool:
-    """Run one claimed task end to end; ``True`` on success.
+def execute_lease(
+    lease: Lease,
+    cache: ResultCache,
+    queue: JobQueue,
+    *,
+    setup_cache: Optional[SetupCache] = None,
+    stats: Optional[WorkerStats] = None,
+) -> bool:
+    """Run one claimed task or chunk end to end; ``True`` if every
+    member succeeded.
 
-    The result is stored in the cache *before* the lease is retired, so
-    a crash between the two leaves a stale lease whose re-execution is
-    a cheap cache overwrite -- never a lost result.  A task that raises
-    produces a failure record for the submitter instead of killing the
-    worker.  An operator interrupt (Ctrl-C / SystemExit) is *not* a
-    task failure: the task goes straight back to the queue for another
-    worker, keeping the "kill a worker at any instant" contract.
+    Each result is stored in the cache *before* the lease is retired
+    -- and, for chunks, **as it completes** -- so a crash at any
+    instant loses at most the task in flight: a reclaimed chunk's
+    already-cached members are skipped on re-execution and only the
+    remainder re-runs.  (Single-task leases keep the original
+    contract: re-execution is a cheap cache overwrite, never checked
+    first.)  A member that raises produces a per-task failure record
+    for the submitter instead of killing the worker or the rest of
+    the chunk.  An operator interrupt (Ctrl-C / SystemExit) is *not*
+    a task failure: the lease goes straight back to the queue for
+    another worker, keeping the "kill a worker at any instant"
+    contract.
+
+    Executions are profiled (``setup_s``/``run_s``, chunk size; the
+    cache adds ``store_s``/``result_bytes``) and routed through
+    ``setup_cache`` when given, so chunk members sharing a
+    ``setup_key`` build their setup context once.
     """
+    members = lease.envelope.members
+    chunked = len(members) > 1
+    all_ok = True
     try:
-        result = lease.envelope.task.execute()
-        cache.store(lease.envelope.entry_key, lease.envelope.task.key, result)
+        for member in members:
+            if chunked and cache.exists(member.entry_key):
+                # Re-execution of a reclaimed chunk: this member's
+                # result survived the previous owner; only the
+                # remainder re-runs.
+                continue
+            try:
+                result, profile = execute_task_profiled(
+                    member.task, setup_cache
+                )
+                profile["chunk_size"] = len(members)
+                cache.store(
+                    member.entry_key, member.task.key, result,
+                    profile=profile,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 -- published, not hidden
+                queue.record_failure(member.entry_key, member.task.key, error)
+                if stats is not None:
+                    stats.failed += 1
+                all_ok = False
+                continue
+            if stats is not None:
+                stats.completed += 1
     except (KeyboardInterrupt, SystemExit):
         queue.release(lease)
         raise
-    except BaseException as error:  # noqa: BLE001 -- published, not hidden
-        queue.fail(lease, error)
-        return False
     queue.complete(lease)
-    return True
+    return all_ok
 
 
 class HeartbeatWriter:
@@ -198,6 +246,10 @@ class QueueWorker:
         #: instead of churning two renames per task per poll forever.
         self._refused_keys = set()
         self._heartbeat: Optional[HeartbeatWriter] = None
+        #: Per-worker-process memo of built setup contexts, shared
+        #: across every lease this worker executes (not just within a
+        #: chunk): consecutive chunks from one sweep reuse contexts.
+        self._setup_cache = SetupCache()
 
     def run(self) -> WorkerStats:
         self.queue.ensure()
@@ -261,7 +313,7 @@ class QueueWorker:
                 # an operator interrupt landing before execute_lease's
                 # own interrupt handling must still give the claimed
                 # task back.
-                self._beat(current_lease=lease.envelope.entry_key)
+                self._beat(current_lease=lease.envelope.queue_key)
             except (KeyboardInterrupt, SystemExit):
                 self.queue.release(lease)
                 raise
@@ -281,11 +333,11 @@ class QueueWorker:
         """
         if envelope.cache_version == self.cache.version:
             return True
-        if envelope.entry_key not in self._refused_keys:
-            self._refused_keys.add(envelope.entry_key)
+        if envelope.queue_key not in self._refused_keys:
+            self._refused_keys.add(envelope.queue_key)
             self.stats.refused += 1
             self.log(
-                f"refused {self._label(envelope.task.key)}: code version "
+                f"refused {self._envelope_label(envelope)}: code version "
                 f"{self.cache.version} != submitter "
                 f"{envelope.cache_version} (update this worker's checkout)"
             )
@@ -304,12 +356,19 @@ class QueueWorker:
 
     def _run_one(self, lease: Lease) -> None:
         envelope = lease.envelope
-        if execute_lease(lease, self.cache, self.queue):
-            self.stats.completed += 1
-            self.log(f"completed {self._label(envelope.task.key)}")
-        else:
-            self.stats.failed += 1
-            self.log(f"FAILED {self._label(envelope.task.key)}")
+        ok = execute_lease(
+            lease, self.cache, self.queue,
+            setup_cache=self._setup_cache, stats=self.stats,
+        )
+        label = self._envelope_label(envelope)
+        self.log(f"completed {label}" if ok else f"FAILED {label}")
+
+    @classmethod
+    def _envelope_label(cls, envelope: QueueEnvelope) -> str:
+        members = envelope.members
+        if len(members) == 1:
+            return cls._label(members[0].task.key)
+        return f"chunk {envelope.queue_key[-8:]} ({len(members)} tasks)"
 
     @staticmethod
     def _label(key) -> str:

@@ -55,8 +55,9 @@ __all__ = [
     "service_runs_dir",
 ]
 
-#: Bumped when the run.json shape changes.
-RUN_RECORD_FORMAT = 1
+#: Bumped when the run.json shape changes.  Format 2 added the live
+#: ``cells_done`` / ``cells_total`` progress counters.
+RUN_RECORD_FORMAT = 2
 
 #: Characters allowed in the recipe-name half of a run id.
 _ID_SAFE = re.compile(r"[^a-zA-Z0-9._-]+")
@@ -211,6 +212,8 @@ class SubmissionManager:
             "finished_at": None,
             "error": None,
             "failed_cells": [],
+            "cells_done": 0,
+            "cells_total": None,
             "artifacts": [],
             "report": None,
         }
@@ -254,12 +257,22 @@ class SubmissionManager:
                     lease_timeout=self.lease_timeout,
                 )
                 orch = OrchestrationContext(cache=cache, backend=backend)
+
+                def progress(cells_done: int, cells_total: int) -> None:
+                    # Re-persisted after every finished cell, so a
+                    # polling GET /runs/<id> watches the sweep advance
+                    # instead of staring at state "running".
+                    record["cells_done"] = cells_done
+                    record["cells_total"] = cells_total
+                    self._write_record(record)
+
                 with orch:
                     outcome = run_recipe_sweep(
                         recipe, orch, out_dir,
                         smoke=smoke,
                         report=True,
                         log=lambda message: self.log(f"[{run_id}] {message}"),
+                        progress=progress,
                     )
             except Exception as error:  # noqa: BLE001 -- run record is the report
                 record["state"] = "failed"

@@ -182,6 +182,15 @@ class MemorySystem:
         def rank_of(bank: int) -> int:
             return bank // banks_per_rank
 
+        # Hot-loop locals: try_schedule runs once per serviced request,
+        # so the invariant attribute lookups (config knobs, bound
+        # methods, trace list) are hoisted out of the closure body.
+        column_cap = config.column_cap
+        requests_per_core = config.requests_per_core
+        pick = self._pick
+        service = self._service
+        traces = self.traces
+
         def try_schedule(bank_id: int, now: float) -> None:
             nonlocal total_completed, queued_total
             bank = banks[bank_id]
@@ -192,12 +201,12 @@ class MemorySystem:
                         wake_at[bank_id] = busy
                         push(busy, "bank_free", (bank_id,))
                     return
-                request = self._pick(bank, config.column_cap)
+                request = pick(bank, column_cap)
                 queued_total -= 1
                 if not bank.queue:
                     has_queue[bank_id] = False
                 start = max(now, busy)
-                finish = self._service(
+                finish = service(
                     bank, bank_id, request, start,
                     rank_act_windows, rank_last_act, rank_of, busy_until,
                 )
@@ -208,8 +217,8 @@ class MemorySystem:
                 total_latency[core] += finish - request.arrival_ns
                 in_flight[core] -= 1
                 finish_time[core] = max(finish_time[core], finish)
-                if issued[core] < config.requests_per_core:
-                    step = self.traces[core].next_step(request.chain)
+                if issued[core] < requests_per_core:
+                    step = traces[core].next_step(request.chain)
                     issued[core] += 1
                     push(finish + step.gap_ns, "arrival", (core, request.chain, step))
                 now = max(now, finish)
@@ -317,26 +326,37 @@ class MemorySystem:
         busy_until: np.ndarray,
     ) -> float:
         """Serve one request; returns its completion time."""
+        # One attribute fetch per timing parameter per call: this is
+        # the hottest function in a Fig 12 sweep, and the dataclass
+        # attribute walk (self -> config -> timing -> field) shows up.
         timing = self.config.timing
+        tRCD = timing.tRCD
+        tCL = timing.tCL
+        tBL = timing.tBL
         t = start
         if bank.open_row == request.row:
             self._stat_row_hits += 1
-            data_start = max(t, bank.last_act_ns + timing.tRCD)
-            finish = data_start + timing.tCL + timing.tBL
+            data_start = max(t, bank.last_act_ns + tRCD)
+            # Summed left-to-right exactly as before the locals were
+            # hoisted: float addition is order-sensitive and these
+            # results are golden-protected bit-for-bit.
+            finish = data_start + tCL + tBL
             busy_until[bank_id] = data_start + timing.tCCD_L
             bank.hits_in_row += 1
             return finish
 
         # Row miss: precharge (if open) + activate.
+        tRRD_S = timing.tRRD_S
+        tFAW = timing.tFAW
         self._stat_row_misses += 1
         if bank.open_row is not None:
             t = max(t, bank.last_act_ns + timing.tRAS) + timing.tRP
 
         rank = rank_of(bank_id)
-        act_time = max(t, rank_last_act[rank] + timing.tRRD_S)
+        act_time = max(t, rank_last_act[rank] + tRRD_S)
         window = rank_act_windows[rank]
         if len(window) == 4:
-            act_time = max(act_time, window[0] + timing.tFAW)
+            act_time = max(act_time, window[0] + tFAW)
 
         chain_delay = 0.0
         preventive: List[float] = []
@@ -351,19 +371,19 @@ class MemorySystem:
         bank.open_row = request.row
         bank.last_act_ns = act_time
         bank.hits_in_row = 1
-        data_start = act_time + timing.tRCD
+        data_start = act_time + tRCD
         # Throttling (BlockHammer) stalls the issuing chain, not the
         # bank: other requests keep flowing while the aggressor waits.
-        finish = data_start + timing.tCL + timing.tBL + chain_delay
+        finish = data_start + tCL + tBL + chain_delay
 
         # Preventive actions are real DRAM activations: they occupy the
         # bank *and* consume rank-level ACT bandwidth (tRRD/tFAW), which
         # is how low-threshold defenses saturate the memory system.
-        free_at = data_start + timing.tBL
+        free_at = data_start + tBL
         for occupancy in preventive:
-            act = max(free_at, rank_last_act[rank] + timing.tRRD_S)
+            act = max(free_at, rank_last_act[rank] + tRRD_S)
             if len(window) == 4:
-                act = max(act, window[0] + timing.tFAW)
+                act = max(act, window[0] + tFAW)
             window.append(act)
             rank_last_act[rank] = act
             free_at = act + occupancy

@@ -20,7 +20,9 @@ import pytest
 from repro.experiments import fig12_performance
 from repro.experiments.common import ExperimentScale
 from repro.orchestration import (
+    PROFILE_FIELDS,
     BackendError,
+    ChunkEnvelope,
     JobQueue,
     OrchestrationContext,
     ProcessBackend,
@@ -29,13 +31,21 @@ from repro.orchestration import (
     QueueWorker,
     ResultCache,
     SerialBackend,
+    SetupCache,
     TaskEnvelope,
     WorkerHeartbeat,
+    WorkerStats,
+    chunk_queue_key,
     create_backend,
     default_backend,
     default_queue_dir,
+    envelope_from_payload,
+    execute_task_profiled,
     make_task,
+    profile_from_provenance,
 )
+from repro.orchestration.backends.process import auto_pool_chunksize
+from repro.orchestration.backends.queue import auto_chunk_size
 
 #: Matches tests/test_orchestration.py's TINY fig12 grid (3 tasks).
 TINY = ExperimentScale(
@@ -551,6 +561,270 @@ class TestQueueMechanics:
         assert backend.stats.local_executed == 0
         assert backend.stats.remote_completed == 4
         assert worker.returncode == 0, worker.stderr.read()
+
+
+# ----------------------------------------------------------------------
+# Chunked transport: batching must never change a single result bit.
+# ----------------------------------------------------------------------
+
+
+def _setup_context(task):
+    # Fully determined by setup_key -- the memoization contract.
+    label = task.setup_key
+    if isinstance(label, (tuple, list)):
+        label = label[-1]
+    return {"base": label * 10}
+
+
+def _add_base(task, context):
+    return context["base"] + task.params
+
+
+def _make_setup_task(i):
+    return make_task(
+        (i,), _add_base, i,
+        setup=_setup_context, setup_key=("base", i % 2),
+    )
+
+
+class TestChunkedExecution:
+    def test_chunked_queue_bit_identical_to_serial(self, tmp_path):
+        """The tentpole contract: chunking is transport only."""
+        serial = _fig12(TINY)
+        ctx, backend = _queue_context(tmp_path, chunk_size=2)
+        chunked = _fig12(TINY, ctx)
+        assert serial.metrics == chunked.metrics
+        assert backend.stats.chunks_enqueued >= 1
+        assert backend.stats.enqueued == 3
+        # Per-task cache entries, exactly as the unchunked queue lays
+        # them out: a warm unchunked run recalls everything.
+        warm_ctx, _ = _queue_context(tmp_path)
+        warm = _fig12(TINY, warm_ctx)
+        assert warm.metrics == serial.metrics
+        assert warm_ctx.stats.hits == warm_ctx.stats.submitted == 3
+
+    def test_chunked_process_backend_bit_identical(self, tmp_path):
+        serial = _fig12(TINY)
+        ctx = OrchestrationContext(backend=ProcessBackend(2, chunksize=3))
+        chunked = _fig12(TINY, ctx)
+        ctx.close()
+        assert serial.metrics == chunked.metrics
+
+    def test_auto_chunk_size_keeps_small_sweeps_unchunked(self):
+        assert auto_chunk_size(1) == 1
+        assert auto_chunk_size(8) == 1
+        assert auto_chunk_size(9) == 2
+        assert auto_chunk_size(42) == 6
+        assert auto_chunk_size(300) == 32  # capped
+        assert auto_pool_chunksize(8, jobs=2) == 1
+        assert auto_pool_chunksize(400, jobs=2) >= 1
+
+    def test_chunk_envelope_roundtrip_and_stable_key(self, tmp_path):
+        members = tuple(
+            TaskEnvelope(
+                entry_key=f"k{i}", task=make_task((i,), _double, i),
+                cache_version="v",
+            )
+            for i in range(3)
+        )
+        chunk = ChunkEnvelope(members=members, cache_version="v")
+        assert chunk.queue_key == chunk_queue_key(
+            [m.entry_key for m in members]
+        )
+        assert chunk.queue_key.startswith("chunk-")
+        revived = envelope_from_payload(chunk.to_payload())
+        assert isinstance(revived, ChunkEnvelope)
+        assert revived.queue_key == chunk.queue_key
+        assert [m.entry_key for m in revived.members] == ["k0", "k1", "k2"]
+        # Single-task payloads keep round-tripping as TaskEnvelopes.
+        single = envelope_from_payload(members[0].to_payload())
+        assert isinstance(single, TaskEnvelope)
+        assert single.queue_key == "k0"
+
+    def test_mid_chunk_failure_loses_only_the_failed_member(self, tmp_path):
+        """Member results publish as they complete; one bad member
+        records one failure and the rest of the chunk still lands."""
+        from repro.orchestration.worker import execute_lease
+
+        cache = ResultCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        good_a = make_task(("a",), _double, 1)
+        bad = make_task(("b",), _boom)
+        good_b = make_task(("c",), _double, 3)
+        members = tuple(
+            TaskEnvelope(
+                entry_key=cache.entry_key(task.key, "fp"), task=task,
+                cache_version=cache.version,
+            )
+            for task in (good_a, bad, good_b)
+        )
+        queue.enqueue(ChunkEnvelope(members=members, cache_version=cache.version))
+        lease = queue.claim()
+        stats = WorkerStats()
+        assert execute_lease(lease, cache, queue, stats=stats) is False
+        assert stats.completed == 2
+        assert stats.failed == 1
+        assert cache.load(members[0].entry_key) == (True, 2)
+        assert cache.load(members[2].entry_key) == (True, 6)
+        failure = queue.failure_for(members[1].entry_key)
+        assert failure is not None and "exploded" in failure.error
+        assert queue.failure_for(members[0].entry_key) is None
+        assert queue.leased_count() == 0
+        assert queue.pending_count() == 0
+
+    def test_requeued_chunk_skips_already_published_members(self, tmp_path):
+        """A chunk claimed again after a mid-chunk death re-runs only
+        the members whose results never landed."""
+        from repro.orchestration.worker import execute_lease
+
+        cache = ResultCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        members = tuple(
+            TaskEnvelope(
+                entry_key=cache.entry_key((i,), "fp"),
+                task=make_task((i,), _double, i),
+                cache_version=cache.version,
+            )
+            for i in range(3)
+        )
+        # The first worker published member 0, then was SIGKILLed; its
+        # stale lease got reclaimed back into tasks/.
+        cache.store(members[0].entry_key, (0,), 0)
+        survivor = cache.path_for(members[0].entry_key)
+        before = survivor.stat().st_mtime_ns
+        queue.enqueue(ChunkEnvelope(members=members, cache_version=cache.version))
+        stats = WorkerStats()
+        assert execute_lease(queue.claim(), cache, queue, stats=stats)
+        assert stats.completed == 2  # members 1 and 2 only
+        assert survivor.stat().st_mtime_ns == before  # untouched
+        assert all(
+            cache.load(member.entry_key) == (True, i * 2)
+            for i, member in enumerate(members)
+        )
+
+    def test_interrupted_chunk_released_with_survivors_intact(self, tmp_path):
+        """Ctrl-C mid-chunk: completed members stay published, the
+        chunk goes back to the queue, nothing is marked failed."""
+        from repro.orchestration.worker import execute_lease
+
+        cache = ResultCache(tmp_path / "cache")
+        queue = JobQueue(tmp_path / "cache" / "queue").ensure()
+        first = make_task(("a",), _double, 1)
+        interrupting = make_task(("b",), _interrupt)
+        members = tuple(
+            TaskEnvelope(
+                entry_key=cache.entry_key(task.key, "fp"), task=task,
+                cache_version=cache.version,
+            )
+            for task in (first, interrupting)
+        )
+        queue.enqueue(ChunkEnvelope(members=members, cache_version=cache.version))
+        lease = queue.claim()
+        with pytest.raises(KeyboardInterrupt):
+            execute_lease(lease, cache, queue)
+        assert cache.load(members[0].entry_key) == (True, 2)
+        assert queue.failure_for(members[1].entry_key) is None
+        assert queue.pending_count() == 1  # the chunk, claimable again
+
+
+# ----------------------------------------------------------------------
+# Setup memoization: once per key per process, bit-identical results.
+# ----------------------------------------------------------------------
+
+
+class TestSetupMemoization:
+    def test_memoized_matches_unmemoized(self):
+        tasks = [_make_setup_task(i) for i in range(6)]
+        unmemoized = [execute_task_profiled(t)[0] for t in tasks]
+        cache = SetupCache()
+        memoized = [execute_task_profiled(t, cache)[0] for t in tasks]
+        assert memoized == unmemoized
+        # Two distinct setup keys (i % 2) across six tasks.
+        assert cache.misses == 2
+        assert cache.hits == 4
+
+    def test_lru_eviction_rebuilds_not_breaks(self):
+        cache = SetupCache(capacity=2)
+        for i in range(4):
+            task = make_task(
+                (i,), _add_base, i, setup=_setup_context, setup_key=i,
+            )
+            assert cache.context_for(task) == {"base": i * 10}
+        assert cache.misses == 4
+        # Key 0 was evicted; asking again rebuilds rather than failing.
+        task0 = make_task(
+            (0,), _add_base, 0, setup=_setup_context, setup_key=0,
+        )
+        assert cache.context_for(task0) == {"base": 0}
+        assert cache.misses == 5
+
+    def test_unhashable_setup_key_falls_back_to_unmemoized(self):
+        cache = SetupCache()
+        task = make_task(
+            (0,), _add_base, 7, setup=_setup_context, setup_key=[1, 2],
+        )
+        assert cache.context_for(task) == {"base": 20}
+        assert cache.context_for(task) == {"base": 20}
+        assert cache.hits == 0  # never memoized, always rebuilt
+        assert cache.misses == 2
+
+    def test_fig12_declares_provider_setup(self, tmp_path):
+        """The Svärd threshold providers ride the setup hook (and the
+        goldens elsewhere pin that memoizing them changes nothing)."""
+        ctx, _ = _queue_context(tmp_path, chunk_size=3)
+        _fig12(TINY, ctx)
+        assert ctx.backend._setup_cache.misses >= 1
+
+
+# ----------------------------------------------------------------------
+# Profiling stamps: every execution leaves its timing in provenance.
+# ----------------------------------------------------------------------
+
+
+class TestProfilingStamps:
+    def _profile_of(self, cache, entry_key):
+        entry = pickle.loads(cache.path_for(entry_key).read_bytes())
+        return profile_from_provenance(entry.get("provenance"))
+
+    def assert_complete(self, profile, chunk_size):
+        assert profile is not None
+        assert set(PROFILE_FIELDS) <= set(profile)
+        assert all(profile[field] >= 0 for field in PROFILE_FIELDS)
+        assert profile["chunk_size"] == chunk_size
+        assert profile["result_bytes"] > 0
+
+    def test_serial_and_process_paths_stamp_profiles(self, tmp_path):
+        for jobs in (1, 2):
+            cache = ResultCache(tmp_path / f"cache{jobs}")
+            ctx = OrchestrationContext(jobs=jobs, cache=cache)
+            tasks = [make_task((i,), _double, i) for i in range(3)]
+            ctx.run(tasks, fingerprint="fp")
+            ctx.close()
+            for i in range(3):
+                self.assert_complete(
+                    self._profile_of(cache, cache.entry_key((i,), "fp")),
+                    chunk_size=1,
+                )
+
+    def test_chunked_queue_path_stamps_chunk_size(self, tmp_path):
+        ctx, _ = _queue_context(tmp_path, chunk_size=2)
+        tasks = [make_task((i,), _double, i) for i in range(4)]
+        ctx.run(tasks, fingerprint="fp")
+        for i in range(4):
+            self.assert_complete(
+                self._profile_of(
+                    ctx.cache, ctx.cache.entry_key((i,), "fp")
+                ),
+                chunk_size=2,
+            )
+
+    def test_setup_tasks_report_setup_time(self):
+        result, profile = execute_task_profiled(_make_setup_task(3))
+        assert result == 13  # base 10 (setup_key parity 1) + params 3
+        assert profile["setup_s"] >= 0.0
+        assert profile["run_s"] >= 0.0
+        # Transport fields are stamped at store time, not here.
+        assert "store_s" not in profile
 
 
 # ----------------------------------------------------------------------
