@@ -29,6 +29,11 @@
 #                       byte-diffed against the loop oracle
 #   make profile-smoke  tiny sweep -> `runner profile`: every per-task
 #                       profiling stamp complete and non-negative
+#   make conformance-smoke
+#                       tiny sweep with DDR4 command logging on, the
+#                       stream replayed against the JEDEC rulebook
+#                       (zero violations), then a broken rulebook as
+#                       negative control (must flag violations)
 #   make golden         regenerate tests/golden/*.json snapshots
 #   make clean-cache    drop the on-disk orchestration result cache
 #
@@ -42,8 +47,8 @@ JOBS ?= 2
 export PYTHONPATH := src
 
 .PHONY: test smoke recipes-smoke queue-smoke report-smoke service-smoke \
-        kernels-smoke profile-smoke figures bench-smoke bench \
-        bench-backends bench-kernels golden worker serve clean-cache
+        kernels-smoke profile-smoke conformance-smoke figures bench-smoke \
+        bench bench-backends bench-kernels golden worker serve clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +57,7 @@ test:
 	$(MAKE) service-smoke
 	$(MAKE) kernels-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) conformance-smoke
 
 report-smoke:
 	$(PYTHON) scripts/report_smoke.py
@@ -67,6 +73,9 @@ kernels-smoke:
 
 profile-smoke:
 	$(PYTHON) scripts/profile_smoke.py
+
+conformance-smoke:
+	$(PYTHON) scripts/conformance_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list

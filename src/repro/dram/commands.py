@@ -2,8 +2,12 @@
 
 The device model and the performance simulator both speak this small
 command vocabulary.  Commands are plain immutable records; timing
-enforcement lives in :mod:`repro.dram.bank` and
-:mod:`repro.sim.dram_system`.
+enforcement lives in :mod:`repro.dram.bank` (the per-bank state
+machine the characterization programs drive) and
+:mod:`repro.sim.engine` (the event-driven performance simulator).
+The simulator can additionally *log* its implied command stream as
+:class:`TimedCommand` records, which
+:mod:`repro.sim.conformance` replays against the JEDEC rulebook.
 """
 
 from __future__ import annotations
@@ -82,3 +86,31 @@ def ref(rank: int = 0) -> Command:
 def wait(ns: float) -> Command:
     """Idle for ``ns`` nanoseconds (Algorithm 1's WAIT)."""
     return Command(CommandKind.WAIT, wait_ns=ns)
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """One command stamped with its issue time.
+
+    The performance simulator emits these into an optional
+    ``command_log`` (see :meth:`repro.sim.engine.MemorySystem.run`);
+    the conformance checker replays them.  The engine charges an
+    all-bank refresh per bank as the bank becomes free, so logged REF
+    commands carry a ``bank`` operand and the timestamp of that bank's
+    effective refresh start.
+    """
+
+    time_ns: float
+    command: Command
+
+    def __str__(self) -> str:
+        cmd = self.command
+        parts = [f"t={self.time_ns:.3f}ns {cmd.kind.name:<3}"]
+        parts.append(f"rank={cmd.rank}")
+        if cmd.bank is not None:
+            parts.append(f"bank={cmd.bank}")
+        if cmd.row is not None:
+            parts.append(f"row={cmd.row}")
+        if cmd.column is not None:
+            parts.append(f"col={cmd.column}")
+        return " ".join(parts)

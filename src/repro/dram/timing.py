@@ -146,7 +146,14 @@ def timing_for_speed(data_rate_mts: int) -> TimingParameters:
     """Return the preset :class:`TimingParameters` for a speed grade.
 
     Raises:
-        KeyError: if ``data_rate_mts`` is not one of the supported
-            DDR4 speed grades (2400, 2666, 2933, 3200).
+        ValueError: if ``data_rate_mts`` is not one of the supported
+            DDR4 speed grades, naming the grades that exist.
     """
-    return _PRESETS[data_rate_mts]
+    try:
+        return _PRESETS[data_rate_mts]
+    except KeyError:
+        supported = ", ".join(str(rate) for rate in sorted(_PRESETS))
+        raise ValueError(
+            f"no DDR4 timing preset for {data_rate_mts} MT/s; "
+            f"supported speed grades: {supported}"
+        ) from None

@@ -920,6 +920,208 @@ def _cmd_serve(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# `check-timing`: run a configuration and replay its command stream
+# against the JEDEC conformance checker
+# ----------------------------------------------------------------------
+
+
+def _check_timing_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner check-timing",
+        description="Run one simulation with command logging on and "
+                    "replay the implied DDR4 command stream against "
+                    "the declarative JEDEC timing rulebook (tRCD, "
+                    "tRAS, tRP, tRC, tRRD_S, tFAW, tRFC, tREFI), an "
+                    "oracle independent of the engine's scheduler.  "
+                    "Workloads are synthetic suite traces by default; "
+                    "--trace replays ramulator/DRAMsim-style request "
+                    "files (plain or gzip, streamed).  Exit code 1 "
+                    "when any violation is found.",
+    )
+    parser.add_argument(
+        "--trace", action="append", default=None, metavar="FILE",
+        help="request trace file (`<addr> <R|W> [cycle]` lines, plain "
+             "or .gz); give one file shared by every core or repeat "
+             "the flag once per core (default: synthetic traces)",
+    )
+    parser.add_argument(
+        "--suite", default="ycsb", metavar="NAME",
+        help="synthetic suite profile when no --trace is given "
+             "(default: ycsb; see repro.workloads.suites)",
+    )
+    parser.add_argument(
+        "--defense", default=None, metavar="NAME",
+        help="attach a RowHammer defense (AQUA, BlockHammer, Hydra, "
+             "PARA, RRS; default: none)",
+    )
+    parser.add_argument(
+        "--hc-first", type=int, default=1024, metavar="N",
+        help="HC_first threshold for --defense (default: 1024)",
+    )
+    parser.add_argument(
+        "--cores", type=int, default=2, metavar="N",
+        help="simulated cores (default: 2)",
+    )
+    parser.add_argument(
+        "--requests-per-core", type=int, default=2000, metavar="N",
+        help="requests per core (default: 2000)",
+    )
+    parser.add_argument(
+        "--rows-per-bank", type=int, default=4096, metavar="N",
+        help="rows per bank (default: 4096)",
+    )
+    parser.add_argument(
+        "--speed", type=int, default=3200, metavar="MTS",
+        help="DDR4 speed grade for the timing rulebook and the engine "
+             "(2400, 2666, 2933, 3200; default: 3200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (default: 0)",
+    )
+    parser.add_argument(
+        "--clock-ns", type=float, default=None, metavar="NS",
+        help="with --trace: nanoseconds per trace cycle stamp; cycle "
+             "deltas become arrival gaps (default: stamps ignored)",
+    )
+    parser.add_argument(
+        "--gap-ns", type=float, default=0.0, metavar="NS",
+        help="with --trace: arrival gap for lines without usable "
+             "cycle stamps (default: 0, back-to-back)",
+    )
+    parser.add_argument(
+        "--max-violations", type=int, default=20, metavar="N",
+        help="violations listed in the text report (default: 20; the "
+             "JSON report always carries all of them)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (simulation counters + the full "
+             "violation report) instead of the text summary",
+    )
+    return parser
+
+
+def _cmd_check_timing(argv) -> int:
+    from repro.defenses import DEFENSE_CLASSES
+    from repro.dram.timing import timing_for_speed
+    from repro.sim.config import SystemConfig
+    from repro.sim.conformance import check_run
+    from repro.sim.engine import MemorySystem
+    from repro.workloads import (
+        SyntheticTrace,
+        TraceParseError,
+        profile_by_name,
+        readers_for_cores,
+    )
+
+    parser = _check_timing_parser()
+    args = parser.parse_args(argv)
+    if args.cores < 1:
+        parser.error("--cores must be positive")
+    if args.requests_per_core < 1:
+        parser.error("--requests-per-core must be positive")
+    if args.hc_first < 1:
+        parser.error("--hc-first must be positive")
+    if args.clock_ns is not None and args.trace is None:
+        parser.error("--clock-ns requires --trace")
+    try:
+        timing = timing_for_speed(args.speed)
+    except ValueError as error:
+        parser.error(str(error))
+    defense_name = args.defense
+    if defense_name is not None and defense_name not in DEFENSE_CLASSES:
+        parser.error(
+            f"unknown defense {defense_name!r}; known: "
+            f"{', '.join(sorted(DEFENSE_CLASSES))}"
+        )
+
+    config = SystemConfig(
+        cores=args.cores,
+        rows_per_bank=args.rows_per_bank,
+        requests_per_core=args.requests_per_core,
+        timing=timing,
+        defense_epoch_ns=1_000_000.0 if defense_name else None,
+    )
+    if args.trace is not None:
+        try:
+            traces = readers_for_cores(
+                args.trace, config.cores,
+                total_banks=config.total_banks,
+                rows_per_bank=config.rows_per_bank,
+                columns_per_row=config.columns_per_row,
+                clock_ns=args.clock_ns,
+                default_gap_ns=args.gap_ns,
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            profile = profile_by_name(args.suite)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        traces = [
+            SyntheticTrace(
+                profile,
+                total_banks=config.total_banks,
+                rows_per_bank=config.rows_per_bank,
+                columns_per_row=config.columns_per_row,
+                seed=args.seed * 1000 + core,
+            )
+            for core in range(config.cores)
+        ]
+
+    defense = None
+    if defense_name is not None:
+        kwargs = dict(rows_per_bank=config.rows_per_bank, seed=args.seed)
+        if defense_name == "BlockHammer":
+            kwargs["epoch_ns"] = config.defense_epoch_ns
+        defense = DEFENSE_CLASSES[defense_name](args.hc_first, **kwargs)
+
+    system = MemorySystem(config, traces, defense=defense, seed=args.seed)
+    try:
+        result, report = check_run(system)
+    except TraceParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    workload = (
+        f"trace files: {', '.join(args.trace)}"
+        if args.trace is not None
+        else f"synthetic suite {args.suite!r}"
+    )
+    if args.json:
+        document = {
+            "workload": workload,
+            "speed_mts": args.speed,
+            "defense": defense_name,
+            "cores": config.cores,
+            "requests": config.requests_per_core * config.cores,
+            "total_ns": result.total_ns,
+            "activations": result.activations,
+            "refreshes_issued": result.refreshes_issued,
+            "row_hit_rate": result.row_hit_rate,
+            "conformance": report.to_json_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"simulated {config.requests_per_core * config.cores} requests "
+            f"on {config.cores} core(s), DDR4-{args.speed}, "
+            f"defense: {defense_name or 'none'} ({workload})"
+        )
+        print(
+            f"  {result.activations} activations, "
+            f"{result.refreshes_issued} refreshes, "
+            f"row hit rate {result.row_hit_rate:.3f}, "
+            f"finished at {result.total_ns:.0f}ns"
+        )
+        print(report.render_text(max_violations=args.max_violations))
+    return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
 # `recipe`: declarative sweep manifests
 # ----------------------------------------------------------------------
 
@@ -1253,12 +1455,17 @@ def _cmd_recipe(argv) -> int:
 
 
 _TOP_LEVEL_HELP = """\
-usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,profile,serve,report} ...
+usage: python -m repro.experiments.runner {list,run,recipe,worker,queue,profile,serve,report,check-timing} ...
 
 subcommands:
   list    enumerate every registered experiment (--format text|json)
   run     run experiments and render their artifacts (the default:
           bare experiment names imply `run`)
+  check-timing
+          run one simulation with DDR4 command logging on and replay
+          the stream against the JEDEC conformance rulebook
+          (synthetic suites or --trace request files, plain or .gz);
+          exit 1 on any timing violation
   recipe  declarative sweep manifests: `recipe list`, `recipe show
           NAME`, `recipe run NAME [--smoke] [--report]` -- the
           checked-in paper-scale grids, runnable on any backend
@@ -1308,6 +1515,7 @@ def help_all_text() -> str:
         _profile_parser(),
         _serve_parser(),
         _report_parser(),
+        _check_timing_parser(),
     )
     saved = os.environ.get("COLUMNS")
     os.environ["COLUMNS"] = "78"
@@ -1346,6 +1554,8 @@ def main(argv=None) -> int:
         return _cmd_serve(argv[1:])
     if argv and argv[0] == "report":
         return _cmd_report(argv[1:])
+    if argv and argv[0] == "check-timing":
+        return _cmd_check_timing(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     # Bare experiment names (the pre-registry CLI) imply `run`.

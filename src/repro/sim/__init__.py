@@ -13,12 +13,23 @@ action's DRAM cost.
 * :mod:`repro.sim.cache` -- a set-associative last-level cache model.
 * :mod:`repro.sim.engine` -- the event-driven simulator core.
 * :mod:`repro.sim.metrics` -- weighted/harmonic speedup, max slowdown.
+* :mod:`repro.sim.conformance` -- the command-granular JEDEC timing
+  rulebook and checker that replays the engine's logged command
+  stream as an independent oracle.
 """
 
 from repro.sim.config import SystemConfig, MitigationCosts
 from repro.sim.request import MemoryRequest
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.engine import MemorySystem, SimulationResult, CoreResult
+from repro.sim.conformance import (
+    ConformanceReport,
+    TimingChecker,
+    TimingRule,
+    Violation,
+    check_run,
+    timing_rules,
+)
 from repro.sim.metrics import (
     harmonic_speedup,
     max_slowdown,
@@ -35,6 +46,12 @@ __all__ = [
     "MemorySystem",
     "SimulationResult",
     "CoreResult",
+    "ConformanceReport",
+    "TimingChecker",
+    "TimingRule",
+    "Violation",
+    "check_run",
+    "timing_rules",
     "weighted_speedup",
     "harmonic_speedup",
     "max_slowdown",

@@ -32,6 +32,15 @@ from repro.defenses.base import (
     ThrottleDelay,
     VictimRefresh,
 )
+from repro.dram.commands import (
+    Command,
+    CommandKind,
+    TimedCommand,
+    act as _act,
+    pre as _pre,
+    rd as _rd,
+    wr as _wr,
+)
 from repro.sim.config import MitigationCosts, SystemConfig
 from repro.sim.request import MemoryRequest
 
@@ -129,10 +138,26 @@ class MemorySystem:
             timing=config.timing, columns_per_row=config.columns_per_row
         )
         self.seed = seed
+        self._command_log: Optional[List[TimedCommand]] = None
 
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
+    def run(
+        self, *, command_log: Optional[List[TimedCommand]] = None
+    ) -> SimulationResult:
+        """Simulate to completion.
+
+        ``command_log``, when given, receives the implied DDR4 command
+        stream as :class:`TimedCommand` records (ACT/PRE/RD/WR from
+        demand servicing, per-bank REF at each bank's effective refresh
+        start, and the implied PRE that ends a preventive-action burst).
+        Logging is off by default and never changes a single scheduling
+        decision -- results are bit-identical either way; the log is
+        meant for :class:`repro.sim.conformance.TimingChecker`.  The
+        log is *not* globally time-sorted (banks drain independently);
+        the checker sorts it.
+        """
+        self._command_log = command_log
         config = self.config
         timing = config.timing
         n_banks = config.total_banks
@@ -264,6 +289,20 @@ class MemorySystem:
                     try_schedule(next_payload[0], time)
             elif kind == "refresh":
                 refreshes += 1
+                if command_log is not None:
+                    # The all-bank refresh is charged per bank as the
+                    # bank becomes free (busy banks finish their work
+                    # first); log each bank's effective refresh start,
+                    # the instant its tRFC lockout begins.
+                    for bank_id in range(n_banks):
+                        command_log.append(TimedCommand(
+                            max(float(busy_until[bank_id]), time),
+                            Command(
+                                CommandKind.REF,
+                                rank=rank_of(bank_id),
+                                bank=bank_id,
+                            ),
+                        ))
                 # All-bank refresh: one vectorized timing sweep instead
                 # of a per-bank pass.
                 np.maximum(busy_until, time, out=busy_until)
@@ -333,6 +372,7 @@ class MemorySystem:
         tRCD = timing.tRCD
         tCL = timing.tCL
         tBL = timing.tBL
+        log = self._command_log
         t = start
         if bank.open_row == request.row:
             self._stat_row_hits += 1
@@ -343,20 +383,35 @@ class MemorySystem:
             finish = data_start + tCL + tBL
             busy_until[bank_id] = data_start + timing.tCCD_L
             bank.hits_in_row += 1
+            if log is not None:
+                column_cmd = _wr if request.is_write else _rd
+                log.append(TimedCommand(
+                    data_start,
+                    column_cmd(bank_id, request.column, rank=rank_of(bank_id)),
+                ))
             return finish
 
         # Row miss: precharge (if open) + activate.
         tRRD_S = timing.tRRD_S
         tFAW = timing.tFAW
+        rank = rank_of(bank_id)
         self._stat_row_misses += 1
         if bank.open_row is not None:
-            t = max(t, bank.last_act_ns + timing.tRAS) + timing.tRP
-
-        rank = rank_of(bank_id)
+            # Split from the original one-liner `t = max(...) + tRP`
+            # with identical operations in identical order, so the
+            # PRE issue time is observable for the log.
+            t = max(t, bank.last_act_ns + timing.tRAS)
+            if log is not None:
+                log.append(TimedCommand(t, _pre(bank_id, rank=rank)))
+            t = t + timing.tRP
         act_time = max(t, rank_last_act[rank] + tRRD_S)
         window = rank_act_windows[rank]
         if len(window) == 4:
             act_time = max(act_time, window[0] + tFAW)
+        if log is not None:
+            log.append(TimedCommand(
+                act_time, _act(bank_id, request.row, rank=rank)
+            ))
 
         chain_delay = 0.0
         preventive: List[float] = []
@@ -372,6 +427,11 @@ class MemorySystem:
         bank.last_act_ns = act_time
         bank.hits_in_row = 1
         data_start = act_time + tRCD
+        if log is not None:
+            column_cmd = _wr if request.is_write else _rd
+            log.append(TimedCommand(
+                data_start, column_cmd(bank_id, request.column, rank=rank)
+            ))
         # Throttling (BlockHammer) stalls the issuing chain, not the
         # bank: other requests keep flowing while the aggressor waits.
         finish = data_start + tCL + tBL + chain_delay
@@ -393,6 +453,14 @@ class MemorySystem:
             # the just-opened demand row is lost.
             bank.open_row = None
             bank.hits_in_row = 0
+            if log is not None:
+                # Preventive bursts are modeled as opaque bank-busy
+                # time (each occupancy already includes a full row
+                # cycle), so only the closing precharge is observable:
+                # the bank is usable again tRP after it.
+                log.append(TimedCommand(
+                    free_at - timing.tRP, _pre(bank_id, rank=rank)
+                ))
         return finish
 
     def _mitigation_costs(

@@ -14,6 +14,8 @@ reproduce the memory behaviour classes those suites cover.
   8-core mixes.
 * :mod:`repro.workloads.adversarial` -- the Fig 13 adversarial
   patterns against Hydra and RRS.
+* :mod:`repro.workloads.tracefile` -- streamed ingestion of recorded
+  ramulator/DRAMsim-style request traces (plain or gzip).
 """
 
 from repro.workloads.synthetic import SuiteProfile, SyntheticTrace
@@ -22,6 +24,12 @@ from repro.workloads.mixes import WorkloadMix, generate_mixes, build_traces
 from repro.workloads.adversarial import (
     HydraAdversarialTrace,
     RrsAdversarialTrace,
+)
+from repro.workloads.tracefile import (
+    TraceExhausted,
+    TraceFileReader,
+    TraceParseError,
+    readers_for_cores,
 )
 
 __all__ = [
@@ -34,4 +42,8 @@ __all__ = [
     "build_traces",
     "HydraAdversarialTrace",
     "RrsAdversarialTrace",
+    "TraceExhausted",
+    "TraceFileReader",
+    "TraceParseError",
+    "readers_for_cores",
 ]

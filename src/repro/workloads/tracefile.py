@@ -1,0 +1,271 @@
+"""Streaming trace-file ingestion: real request streams as workloads.
+
+A :class:`TraceFileReader` implements the engine's ``Trace`` protocol
+from a ramulator/DRAMsim-style request file, so recorded application
+traces become first-class workloads next to the synthetic mixes.  The
+reader *streams*: lines are decoded out of a bounded chunk buffer
+(plain or gzip, sniffed from the magic bytes), never by slurping the
+file, so multi-gigabyte traces cost a few tens of kilobytes of memory
+per core.  ``peak_buffer_bytes`` exposes the high-water mark for the
+property test that pins this.
+
+Accepted line format (one request per line; blank lines and ``#`` /
+``//`` comments are skipped)::
+
+    <address> <type> [<cycle>]
+
+* ``address`` -- hex (``0x...``) or decimal byte address.
+* ``type`` -- ``R``/``RD``/``READ``/``P_MEM_RD`` or ``W``/``WR``/
+  ``WRITE``/``P_MEM_WR`` (case-insensitive).
+* ``cycle`` -- optional issue cycle; with ``clock_ns`` set, cycle
+  deltas become inter-request gaps, otherwise ``default_gap_ns``
+  applies.
+
+Addresses map onto (bank, row, column) with a cache-line-interleaved
+layout: consecutive ``line_bytes`` lines walk the columns of a row,
+rows interleave across banks, matching how the synthetic traces pin a
+row to one bank.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, List, Optional, Tuple, Union
+
+from repro.sim.engine import TraceStep
+
+#: Bytes fetched from the (decompressed) stream per refill.
+_CHUNK_BYTES = 64 * 1024
+
+_READ_TOKENS = frozenset({"r", "rd", "read", "p_mem_rd"})
+_WRITE_TOKENS = frozenset({"w", "wr", "write", "p_mem_wr"})
+
+
+class TraceParseError(ValueError):
+    """A request line that does not parse; names the file and line."""
+
+
+class TraceExhausted(RuntimeError):
+    """A non-looping reader ran out of request lines."""
+
+
+class _LineStream:
+    """Chunked line iterator over a plain or gzip file.
+
+    Reads ``_CHUNK_BYTES`` at a time into a carry buffer and splits
+    complete lines off it; ``peak_buffer_bytes`` records the largest
+    the carry buffer ever got (one chunk plus one partial line), which
+    is the reader's whole memory footprint for file content.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.peak_buffer_bytes = 0
+        self._handle: Optional[IO[bytes]] = None
+        self._carry = b""
+        self._eof = False
+        self._open()
+
+    def _open(self) -> None:
+        raw = open(self.path, "rb")
+        magic = raw.read(2)
+        raw.seek(0)
+        if magic == b"\x1f\x8b":
+            self._handle = gzip.GzipFile(fileobj=raw)
+        else:
+            self._handle = raw
+        self._carry = b""
+        self._eof = False
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reopen(self) -> None:
+        """Restart from the top of the file (trace looping)."""
+        self.close()
+        self._open()
+
+    def next_line(self) -> Optional[bytes]:
+        """The next ``\\n``-terminated line, or ``None`` at EOF."""
+        while True:
+            newline = self._carry.find(b"\n")
+            if newline >= 0:
+                line = self._carry[:newline]
+                self._carry = self._carry[newline + 1:]
+                return line
+            if self._eof:
+                if self._carry:
+                    line, self._carry = self._carry, b""
+                    return line
+                return None
+            chunk = self._handle.read(_CHUNK_BYTES)
+            if not chunk:
+                self._eof = True
+                continue
+            self._carry += chunk
+            if len(self._carry) > self.peak_buffer_bytes:
+                self.peak_buffer_bytes = len(self._carry)
+
+
+def _parse_address(token: str) -> int:
+    try:
+        return int(token, 16) if token.lower().startswith("0x") else int(token)
+    except ValueError:
+        raise ValueError(f"bad address {token!r}") from None
+
+
+class TraceFileReader:
+    """One core's request stream replayed from a trace file.
+
+    Implements the engine ``Trace`` protocol (``next_step``).  The
+    reader is stateful, so build one instance per core -- several
+    readers over the same path each keep their own stream position.
+
+    By default the trace loops: a file shorter than
+    ``requests_per_core`` wraps around (standard trace-replay
+    practice), restarting the cycle baseline so gaps stay sane.  With
+    ``loop=False`` exhaustion raises :class:`TraceExhausted` instead.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        total_banks: int = 32,
+        rows_per_bank: int = 128 * 1024,
+        columns_per_row: int = 128,
+        line_bytes: int = 64,
+        clock_ns: Optional[float] = None,
+        default_gap_ns: float = 0.0,
+        loop: bool = True,
+    ) -> None:
+        if total_banks < 1 or rows_per_bank < 1 or columns_per_row < 1:
+            raise ValueError("geometry dimensions must be positive")
+        if line_bytes < 1:
+            raise ValueError("line_bytes must be positive")
+        if clock_ns is not None and clock_ns <= 0:
+            raise ValueError("clock_ns must be positive")
+        if default_gap_ns < 0:
+            raise ValueError("default_gap_ns must be non-negative")
+        self.path = Path(path)
+        self.total_banks = total_banks
+        self.rows_per_bank = rows_per_bank
+        self.columns_per_row = columns_per_row
+        self.line_bytes = line_bytes
+        self.clock_ns = clock_ns
+        self.default_gap_ns = default_gap_ns
+        self.loop = loop
+        self.lines_read = 0
+        self.requests_emitted = 0
+        self._stream = _LineStream(self.path)
+        self._line_number = 0
+        self._prev_cycle: Optional[int] = None
+        self._emitted_this_pass = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def peak_buffer_bytes(self) -> int:
+        """High-water mark of the line buffer (whole-run maximum)."""
+        return self._stream.peak_buffer_bytes
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def _decode(self, line: str) -> Optional[Tuple[int, bool, Optional[int]]]:
+        """``(address, is_write, cycle)`` of one line, None to skip."""
+        text = line.strip()
+        if not text or text.startswith("#") or text.startswith("//"):
+            return None
+        tokens = text.split()
+        if len(tokens) < 2:
+            raise ValueError("expected `<address> <type> [<cycle>]`")
+        address = _parse_address(tokens[0])
+        type_token = tokens[1].lower()
+        if type_token in _WRITE_TOKENS:
+            is_write = True
+        elif type_token in _READ_TOKENS:
+            is_write = False
+        else:
+            raise ValueError(f"bad request type {tokens[1]!r}")
+        cycle: Optional[int] = None
+        if len(tokens) >= 3:
+            try:
+                cycle = int(tokens[2])
+            except ValueError:
+                raise ValueError(f"bad cycle stamp {tokens[2]!r}") from None
+        return address, is_write, cycle
+
+    def _next_request(self) -> Tuple[int, bool, Optional[int]]:
+        while True:
+            raw = self._stream.next_line()
+            if raw is None:
+                if not self.loop:
+                    raise TraceExhausted(
+                        f"{self.path}: trace exhausted after "
+                        f"{self.requests_emitted} requests"
+                    )
+                if not self._emitted_this_pass:
+                    raise TraceParseError(
+                        f"{self.path}: no request lines in the file"
+                    )
+                self._stream.reopen()
+                self._line_number = 0
+                self._prev_cycle = None
+                self._emitted_this_pass = False
+                continue
+            self._line_number += 1
+            self.lines_read += 1
+            try:
+                decoded = self._decode(raw.decode("ascii", "replace"))
+            except ValueError as error:
+                raise TraceParseError(
+                    f"{self.path}:{self._line_number}: {error}"
+                ) from None
+            if decoded is None:
+                continue
+            self._emitted_this_pass = True
+            return decoded
+
+    def next_step(self, chain: int) -> TraceStep:
+        address, is_write, cycle = self._next_request()
+        self.requests_emitted += 1
+        gap_ns = self.default_gap_ns
+        if cycle is not None and self.clock_ns is not None:
+            if self._prev_cycle is not None and cycle > self._prev_cycle:
+                gap_ns = (cycle - self._prev_cycle) * self.clock_ns
+            self._prev_cycle = cycle
+        line_index = address // self.line_bytes
+        column = line_index % self.columns_per_row
+        row_index = line_index // self.columns_per_row
+        bank = row_index % self.total_banks
+        row = (row_index // self.total_banks) % self.rows_per_bank
+        return TraceStep(
+            bank=bank,
+            row=row,
+            column=column,
+            is_write=is_write,
+            gap_ns=gap_ns,
+        )
+
+
+def readers_for_cores(
+    paths: List[Union[str, Path]],
+    cores: int,
+    **kwargs,
+) -> List[TraceFileReader]:
+    """One reader per core from one shared path or one path per core.
+
+    A single path is replayed on every core (each core gets its own
+    stream position); otherwise the path count must equal ``cores``.
+    """
+    if len(paths) == 1:
+        paths = list(paths) * cores
+    if len(paths) != cores:
+        raise ValueError(
+            f"{cores} cores need 1 or {cores} trace files, got {len(paths)}"
+        )
+    return [TraceFileReader(path, **kwargs) for path in paths]

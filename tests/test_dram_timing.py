@@ -18,8 +18,12 @@ class TestPresets:
             assert timing_for_speed(speed).data_rate_mts == speed
 
     def test_unknown_speed_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError) as excinfo:
             timing_for_speed(1600)
+        message = str(excinfo.value)
+        assert "1600" in message
+        for grade in ("2400", "2666", "2933", "3200"):
+            assert grade in message
 
     def test_trc_is_tras_plus_trp(self):
         for preset in (DDR4_2400, DDR4_2666, DDR4_2933, DDR4_3200):
