@@ -3,7 +3,8 @@
 #
 #   make test           tier-1 test suite + report smoke + queue chaos
 #                       smoke + service smoke + kernels smoke + profile
-#                       smoke (CI gate)
+#                       smoke + conformance smoke + generations smoke
+#                       (CI gate)
 #   make smoke          runner `list` + every experiment at tiny scale (JSON)
 #   make recipes-smoke  every checked-in recipe at tiny scale on the queue
 #                       backend (1 worker), byte-diffed against serial
@@ -34,6 +35,12 @@
 #                       stream replayed against the JEDEC rulebook
 #                       (zero violations), then a broken rulebook as
 #                       negative control (must flag violations)
+#   make generations-smoke
+#                       tiny sweep per device generation (DDR4 x2,
+#                       LPDDR4, DDR5) replayed against each
+#                       generation's own rulebook (zero violations),
+#                       plus a byte-diff of DDR4 `runner check-timing`
+#                       against the pre-refactor golden
 #   make golden         regenerate tests/golden/*.json snapshots
 #   make clean-cache    drop the on-disk orchestration result cache
 #
@@ -47,8 +54,9 @@ JOBS ?= 2
 export PYTHONPATH := src
 
 .PHONY: test smoke recipes-smoke queue-smoke report-smoke service-smoke \
-        kernels-smoke profile-smoke conformance-smoke figures bench-smoke \
-        bench bench-backends bench-kernels golden worker serve clean-cache
+        kernels-smoke profile-smoke conformance-smoke generations-smoke \
+        figures bench-smoke bench bench-backends bench-kernels golden \
+        worker serve clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +66,7 @@ test:
 	$(MAKE) kernels-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) conformance-smoke
+	$(MAKE) generations-smoke
 
 report-smoke:
 	$(PYTHON) scripts/report_smoke.py
@@ -76,6 +85,9 @@ profile-smoke:
 
 conformance-smoke:
 	$(PYTHON) scripts/conformance_smoke.py
+
+generations-smoke:
+	$(PYTHON) scripts/generations_smoke.py
 
 smoke:
 	$(PYTHON) -m repro.experiments.runner list

@@ -5,7 +5,8 @@ performance evaluation need from a DDR4 DRAM device:
 
 * :mod:`repro.dram.geometry` -- channel/rank/bank-group/bank/subarray/
   row/column topology and address arithmetic.
-* :mod:`repro.dram.timing` -- JEDEC DDR4 timing parameters.
+* :mod:`repro.dram.timing` -- JEDEC timing parameters as declarative
+  device-generation tables (DDR4, LPDDR4, DDR5).
 * :mod:`repro.dram.commands` -- the DDR4 command set used by test
   programs and the memory controller.
 * :mod:`repro.dram.bank` -- per-bank state machine enforcing timing.
@@ -16,7 +17,22 @@ performance evaluation need from a DDR4 DRAM device:
 """
 
 from repro.dram.geometry import DramGeometry, RowAddress, Subarray
-from repro.dram.timing import TimingParameters, DDR4_3200, DDR4_2666, DDR4_2400
+from repro.dram.timing import (
+    DDR4_2400,
+    DDR4_2666,
+    DDR4_3200,
+    DDR5_4800,
+    GENERATIONS,
+    LPDDR4_3200,
+    DDR5TimingParameters,
+    DeviceGeneration,
+    LPDDR4TimingParameters,
+    RuleSpec,
+    TimingParameters,
+    all_device_names,
+    device_for,
+    timing_for_speed,
+)
 from repro.dram.commands import Command, CommandKind
 from repro.dram.bank import Bank, BankState
 from repro.dram.cells import CellArray
@@ -28,9 +44,19 @@ __all__ = [
     "RowAddress",
     "Subarray",
     "TimingParameters",
+    "LPDDR4TimingParameters",
+    "DDR5TimingParameters",
+    "DeviceGeneration",
+    "RuleSpec",
+    "GENERATIONS",
     "DDR4_3200",
     "DDR4_2666",
     "DDR4_2400",
+    "LPDDR4_3200",
+    "DDR5_4800",
+    "all_device_names",
+    "device_for",
+    "timing_for_speed",
     "Command",
     "CommandKind",
     "Bank",

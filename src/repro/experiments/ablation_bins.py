@@ -155,7 +155,7 @@ class AblationBinsExperiment(Experiment):
         self.system_config = system_config
 
     def _config(self, scale: ExperimentScale) -> SystemConfig:
-        return self.system_config or SystemConfig(
+        return self.system_config or scale.system_config(
             requests_per_core=scale.requests_per_core, defense_epoch_ns=1e6
         )
 

@@ -485,13 +485,25 @@ class Experiment(ABC):
         orchestration: Optional[OrchestrationContext] = None,
     ) -> ResultSet:
         """Execute and convert; stamps the scale echo into ``meta``."""
-        from dataclasses import asdict
+        import dataclasses
 
         from repro.experiments.common import ExperimentScale
+        from repro.orchestration import OMIT_IF_NONE
 
         scale = scale if scale is not None else ExperimentScale()
         result_set = self.result_set(self.run(scale, orchestration))
-        result_set.meta.setdefault("scale", json_safe(asdict(scale)))
+        # Mirror canonicalize()'s OMIT_IF_NONE rule so optional
+        # dimensions (scale.device) never perturb the artifact bytes
+        # or displayed scale hash of runs that leave them unset.
+        echo = {
+            f.name: getattr(scale, f.name)
+            for f in dataclasses.fields(scale)
+            if not (
+                f.metadata.get(OMIT_IF_NONE)
+                and getattr(scale, f.name) is None
+            )
+        }
+        result_set.meta.setdefault("scale", json_safe(echo))
         result_set.meta.setdefault("paper_ref", self.paper_ref)
         return result_set
 
@@ -532,7 +544,7 @@ def all_experiments() -> Dict[str, Experiment]:
 
 #: Module-name prefixes that identify harness modules within
 #: ``repro.experiments`` (one registered experiment per module).
-HARNESS_PREFIXES = ("fig", "table", "ablation", "sec64")
+HARNESS_PREFIXES = ("fig", "table", "ablation", "sec64", "attack")
 
 _LOADED = False
 

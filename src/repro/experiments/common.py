@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.characterization.rowpress import T_AGG_ON_SWEEP_NS
@@ -14,14 +14,17 @@ from repro.characterization.runner import (
 )
 from repro.core.profile import VulnerabilityProfile
 from repro.dram.geometry import REPRESENTATIVE_BANKS
+from repro.dram.timing import device_for
 from repro.faults.modules import MODULES, ModuleSpec, module_by_label
 from repro.orchestration import (
+    OMIT_IF_NONE,
     OrchestrationContext,
     Task,
     TaskGroup,
     make_task,
     serial_context,
 )
+from repro.sim.config import SystemConfig
 from repro.sim.engine import MemorySystem
 from repro.workloads.mixes import (
     build_alone_trace,
@@ -73,6 +76,14 @@ class ExperimentScale:
     #: instead of the uniform ``rows_per_bank`` -- the paper-scale
     #: characterization geometry (runner flag ``--paper-rows``).
     paper_rows: bool = False
+    #: Device-generation spec (``"DDR5-4800"``, ``"LPDDR4-3200"``, ...)
+    #: resolved through :func:`repro.dram.timing.device_for` by
+    #: :meth:`system_config`.  ``None`` keeps the paper's DDR4-3200 and
+    #: -- via :data:`~repro.orchestration.OMIT_IF_NONE` -- leaves every
+    #: pre-generation cache key and fingerprint untouched.
+    device: Optional[str] = field(
+        default=None, metadata={OMIT_IF_NONE: True}
+    )
 
     def __post_init__(self) -> None:
         if self.rows_per_bank < 64:
@@ -91,6 +102,20 @@ class ExperimentScale:
         if len(set(sweep)) != len(sweep):
             raise ValueError(f"t_agg_on_sweep_ns contains duplicates: {sweep}")
         object.__setattr__(self, "t_agg_on_sweep_ns", sweep)
+        if self.device is not None:
+            device_for(self.device)  # fail fast on unknown specs
+
+    def system_config(self, **overrides) -> SystemConfig:
+        """A :class:`SystemConfig` carrying this scale's device timing.
+
+        Performance experiments build their configs through this
+        helper so ``--device`` reaches the simulator; explicit
+        ``timing=`` overrides still win, and with no device set the
+        result is exactly ``SystemConfig(**overrides)``.
+        """
+        if self.device is not None and "timing" not in overrides:
+            overrides["timing"] = device_for(self.device)
+        return SystemConfig(**overrides)
 
     def rows_for(self, label: str) -> int:
         """Bank row count for one module under this scale."""

@@ -260,7 +260,7 @@ class Fig12Experiment(Experiment):
         return sorted(self.defenses)
 
     def _config(self, scale: ExperimentScale) -> SystemConfig:
-        return self.system_config or SystemConfig(
+        return self.system_config or scale.system_config(
             requests_per_core=scale.requests_per_core,
             defense_epoch_ns=DEFENSE_EPOCH_NS,
         )

@@ -180,7 +180,7 @@ class Fig13Experiment(Experiment):
         self.system_config = system_config
 
     def _config(self, scale: ExperimentScale) -> SystemConfig:
-        return self.system_config or SystemConfig(
+        return self.system_config or scale.system_config(
             requests_per_core=max(scale.requests_per_core, 12_000),
             defense_epoch_ns=1_000_000.0,
         )

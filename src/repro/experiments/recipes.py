@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Tuple, Union
 
+from repro.dram.timing import device_for
 from repro.experiments.api import all_experiments
 from repro.experiments.common import ExperimentScale
 
@@ -90,6 +91,10 @@ class Recipe:
     #: Extra overrides applied on top for ``--smoke`` runs (tiny scale,
     #: used by ``make recipes-smoke`` to cross-check backends).
     smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: Device-generation axis: when non-empty, the whole grid runs once
+    #: per device spec (``ExperimentScale.device`` set per cell).
+    #: Empty keeps the single implicit DDR4-3200 run.
+    devices: Tuple[str, ...] = ()
     paper_ref: str = ""
 
     def __post_init__(self) -> None:
@@ -118,6 +123,17 @@ class Recipe:
                 self.smoke_overrides, f"recipe {self.name} (smoke)"
             ),
         )
+        devices = tuple(str(device) for device in self.devices)
+        if len(set(devices)) != len(devices):
+            raise RecipeError(
+                f"recipe {self.name}: duplicate devices {devices}"
+            )
+        for device in devices:
+            try:
+                device_for(device)
+            except ValueError as error:
+                raise RecipeError(f"recipe {self.name}: {error}")
+        object.__setattr__(self, "devices", devices)
 
     # ------------------------------------------------------------------
 
@@ -135,12 +151,16 @@ class Recipe:
                 f"known: {list(known)}"
             )
 
-    def scale(self, seed: int, *, smoke: bool = False) -> ExperimentScale:
+    def scale(
+        self, seed: int, *, smoke: bool = False, device: str = None
+    ) -> ExperimentScale:
         """The ExperimentScale for one cell of the seed matrix."""
         overrides = dict(self.overrides)
         if smoke:
             overrides.update(self.smoke_overrides)
         overrides["seed"] = int(seed)
+        if device is not None:
+            overrides["device"] = device
         try:
             return replace(ExperimentScale(), **overrides)
         except (KeyError, TypeError, ValueError) as error:
@@ -149,10 +169,16 @@ class Recipe:
             raise RecipeError(f"recipe {self.name}: invalid scale: {error}")
 
     def runs(self, *, smoke: bool = False) -> List[Tuple[str, int, ExperimentScale]]:
-        """Every ``(experiment, seed, scale)`` cell, in manifest order."""
+        """Every ``(experiment, seed, scale)`` cell, in manifest order.
+
+        With a ``devices`` axis the grid repeats per device (the spec
+        rides in ``scale.device``); without one, the single pass keeps
+        ``scale.device`` unset.
+        """
         return [
-            (experiment, seed, self.scale(seed, smoke=smoke))
+            (experiment, seed, self.scale(seed, smoke=smoke, device=device))
             for seed in self.seeds
+            for device in (self.devices or (None,))
             for experiment in self.experiments
         ]
 
@@ -177,6 +203,7 @@ class Recipe:
             "smoke_overrides": {
                 k: plain(v) for k, v in sorted(self.smoke_overrides.items())
             },
+            "devices": list(self.devices),
             "paper_ref": self.paper_ref,
         }
 
@@ -196,6 +223,7 @@ class Recipe:
                 overrides=data.get("overrides", {}),
                 seeds=tuple(data.get("seeds", (0,))),
                 smoke_overrides=data.get("smoke_overrides", {}),
+                devices=tuple(data.get("devices", ())),
                 paper_ref=data.get("paper_ref", ""),
             )
         except KeyError as error:
@@ -300,6 +328,34 @@ REPORT_SMOKE = register_recipe(Recipe(
         "modules": ("H1",),
     },
     paper_ref="Fig. 3 / Sec. 6.4",
+))
+
+#: The cross-generation defense grid: Fig 12-style cells replayed on
+#: DDR4-3200, LPDDR4-3200, and DDR5-4800 presets, answering how
+#: preventive-refresh overheads move with device timing (LPDDR4's
+#: slower single tRRD, DDR5's 32 ms refresh window).  Each device's
+#: cells land in their own report section and results subdirectory.
+DEFENSE_GRID_GENERATIONS = register_recipe(Recipe(
+    name="defense-grid-generations",
+    version=1,
+    description="Fig 12 defense grid across DDR4/LPDDR4/DDR5 presets",
+    experiments=("fig12",),
+    overrides={
+        "n_mixes": 2,
+        "hc_first_values": (1024, 64),
+        "svard_profiles": ("S0",),
+    },
+    seeds=(0,),
+    smoke_overrides={
+        "n_mixes": 1,
+        "rows_per_bank": 512,
+        "banks": (1,),
+        "requests_per_core": 600,
+        "hc_first_values": (64,),
+        "svard_profiles": ("S0",),
+    },
+    devices=("DDR4-3200", "LPDDR4-3200", "DDR5-4800"),
+    paper_ref="Fig. 12 (cross-generation)",
 ))
 
 #: RowPress beyond Fig 7's three points: a log-spaced tAggOn sweep

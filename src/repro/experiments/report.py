@@ -301,6 +301,12 @@ def _provenance(result_set: ResultSet) -> List[tuple]:
         if not isinstance(aggregate, dict):
             rows.append(("seed", _format_value(scale.get("seed"))))
         rows.append(("scale", stable_hash(scale)[:12]))
+        # Only device-axis cells carry the key (OMIT_IF_NONE leaves it
+        # out of DDR4-default scale echoes), so plain DDR4 reports --
+        # and their golden structure -- are unchanged.
+        device = scale.get("device")
+        if device:
+            rows.append(("device", _format_value(device)))
     provenance = meta.get("provenance")
     if isinstance(provenance, dict):
         backend = provenance.get("backend")

@@ -53,6 +53,7 @@ from repro.experiments.api import (
     all_experiments,
     display_table,
 )
+from repro.dram.timing import device_for
 from repro.experiments.common import ExperimentScale
 from repro.experiments.recipes import (
     Recipe,
@@ -101,6 +102,7 @@ _SCALE_FLAGS = (
     "modules",
     "t_agg_on_sweep_ns",
     "paper_rows",
+    "device",
 )
 
 
@@ -249,6 +251,13 @@ def _run_parser() -> argparse.ArgumentParser:
         help="characterize each module at its real ModuleSpec row count "
              "instead of the uniform --rows-per-bank",
     )
+    parser.add_argument(
+        "--device", default=None, metavar="SPEC",
+        help="override ExperimentScale.device: run the performance "
+             "experiments on a device-generation preset (DDR4-3200, "
+             "LPDDR4-3200, DDR5-4800, ...; default: the paper's "
+             "DDR4-3200)",
+    )
     return parser
 
 
@@ -279,6 +288,11 @@ def _parse_run_args(argv) -> argparse.Namespace:
                 "--t-agg-on must be comma-separated numbers, got "
                 f"{args.t_agg_on_sweep_ns!r}"
             )
+    if args.device is not None:
+        try:
+            device_for(args.device)
+        except ValueError as error:
+            parser.error(str(error))
     return args
 
 
@@ -976,6 +990,13 @@ def _check_timing_parser() -> argparse.ArgumentParser:
              "(2400, 2666, 2933, 3200; default: 3200)",
     )
     parser.add_argument(
+        "--device", default=None, metavar="SPEC",
+        help="device-generation preset for the timing rulebook and the "
+             "engine (DDR4-3200, LPDDR4-3200, DDR5-4800, ...); "
+             "overrides --speed and checks against that generation's "
+             "JEDEC rules",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
         help="workload seed (default: 0)",
     )
@@ -1004,7 +1025,7 @@ def _check_timing_parser() -> argparse.ArgumentParser:
 
 def _cmd_check_timing(argv) -> int:
     from repro.defenses import DEFENSE_CLASSES
-    from repro.dram.timing import timing_for_speed
+    from repro.dram.timing import device_for, timing_for_speed
     from repro.sim.config import SystemConfig
     from repro.sim.conformance import check_run
     from repro.sim.engine import MemorySystem
@@ -1026,9 +1047,15 @@ def _cmd_check_timing(argv) -> int:
     if args.clock_ns is not None and args.trace is None:
         parser.error("--clock-ns requires --trace")
     try:
-        timing = timing_for_speed(args.speed)
+        if args.device is not None:
+            timing = device_for(args.device)
+        else:
+            timing = timing_for_speed(args.speed)
     except ValueError as error:
         parser.error(str(error))
+    device_label = (
+        args.device if args.device is not None else f"DDR4-{args.speed}"
+    )
     defense_name = args.defense
     if defense_name is not None and defense_name not in DEFENSE_CLASSES:
         parser.error(
@@ -1104,11 +1131,16 @@ def _cmd_check_timing(argv) -> int:
             "row_hit_rate": result.row_hit_rate,
             "conformance": report.to_json_dict(),
         }
+        if args.device is not None:
+            # Key only present for --device runs: the DDR4 --speed
+            # document stays byte-identical to the pre-generation one
+            # (generations-smoke byte-diffs it against a golden).
+            document["device"] = args.device
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(
             f"simulated {config.requests_per_core * config.cores} requests "
-            f"on {config.cores} core(s), DDR4-{args.speed}, "
+            f"on {config.cores} core(s), {device_label}, "
             f"defense: {defense_name or 'none'} ({workload})"
         )
         print(
@@ -1206,10 +1238,11 @@ def _cmd_recipe_show(argv) -> int:
     )
     experiments = ",".join(recipe.experiments)
     for seed in recipe.seeds:
-        relative = _recipe_out_dir(Path("DIR"), recipe, seed)
-        print(
-            f"  {relative}/{{{experiments}}}.<fmt>", file=sys.stderr,
-        )
+        for device in recipe.devices or (None,):
+            relative = _recipe_out_dir(Path("DIR"), recipe, seed, device=device)
+            print(
+                f"  {relative}/{{{experiments}}}.<fmt>", file=sys.stderr,
+            )
     print(
         "  DIR/report.html            (with --report: aggregated "
         "across the seed matrix)",
@@ -1276,11 +1309,13 @@ def _cmd_recipe_run(argv) -> int:
     html_sections: List = []
     json_stdout = args.format_name == "json" and out_dir is None
     failed: List[str] = []
-    completed: List[tuple] = []  # (experiment, seed, ResultSet)
+    completed: List[tuple] = []  # (experiment, seed, device, ResultSet)
 
     with build_context(args) as orch:
         for experiment_name, seed, scale in runs:
             cell = f"{experiment_name}@seed{seed}"
+            if scale.device is not None:
+                cell = f"{cell}/{scale.device}"
             print(f"[recipe {recipe.name} v{recipe.version}] {cell}",
                   file=sys.stderr)
             before = _stats_snapshot(orch)
@@ -1295,6 +1330,8 @@ def _cmd_recipe_run(argv) -> int:
                 print(f"error: {cell}: {error}", file=sys.stderr)
                 failed.append(cell)
                 continue
+            if scale.device is not None:
+                result_set.title = f"{result_set.title} [{scale.device}]"
             result_set.meta["recipe"] = {
                 "name": recipe.name,
                 "version": recipe.version,
@@ -1305,13 +1342,13 @@ def _cmd_recipe_run(argv) -> int:
             if args.report:
                 # Only the report consumes these; retaining a whole
                 # paper-scale grid in memory otherwise is waste.
-                completed.append((experiment_name, seed, result_set))
+                completed.append((experiment_name, seed, scale.device, result_set))
             code = _emit_result_set(
                 result_set,
                 renderer,
                 args.format_name,
                 None if out_dir is None
-                else _recipe_out_dir(out_dir, recipe, seed),
+                else _recipe_out_dir(out_dir, recipe, seed, device=scale.device),
                 json_documents, html_sections,
             )
             if code is not None:

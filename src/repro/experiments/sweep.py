@@ -15,6 +15,7 @@ recipe run from the command line.
 Artifact layout under a sweep's output directory::
 
     <out>/seed<seed>/<experiment>.json     one ResultSet per cell
+    <out>/seed<seed>/<device>/...          with a recipe `devices` axis
     <out>/report.html                      aggregated across seeds
 
 All files are published with atomic renames
@@ -112,9 +113,19 @@ def stamp_provenance(
     result_set.meta["provenance"] = provenance
 
 
-def recipe_out_dir(out_dir: Path, recipe: Recipe, seed: int) -> Path:
-    """Deterministic artifact layout: one subdirectory per seed."""
-    return out_dir / f"seed{seed}"
+def recipe_out_dir(
+    out_dir: Path, recipe: Recipe, seed: int, *, device: Optional[str] = None
+) -> Path:
+    """Deterministic artifact layout: one subdirectory per seed.
+
+    Recipes with a ``devices`` axis nest one more level
+    (``seed0/lpddr4-3200/...``) so a multi-generation sweep never
+    collides the same experiment's artifacts.
+    """
+    seed_dir = out_dir / f"seed{seed}"
+    if device is None:
+        return seed_dir
+    return seed_dir / device.lower()
 
 
 def write_recipe_report(
@@ -122,31 +133,35 @@ def write_recipe_report(
 ) -> Path:
     """``<out>/report.html`` for the cells of one recipe run.
 
-    The cells aggregate **in memory** (per experiment, across the seed
-    matrix), so the report works with any ``--format`` -- the on-disk
-    artifacts need not be JSON.  ``completed`` holds
-    ``(experiment_name, seed, result_set)`` triples.  The page is
-    published atomically so an HTTP reader never sees half a report.
+    The cells aggregate **in memory** (per experiment and device,
+    across the seed matrix), so the report works with any ``--format``
+    -- the on-disk artifacts need not be JSON.  ``completed`` holds
+    ``(experiment_name, seed, device, result_set)`` tuples (``device``
+    is ``None`` without a devices axis).  The page is published
+    atomically so an HTTP reader never sees half a report.
     """
     from repro.experiments.aggregate import ResultSetAggregate
     from repro.experiments.report import build_report
 
     sections = []
     for experiment_name in recipe.experiments:
-        members = [
-            (seed, result_set)
-            for name, seed, result_set in completed
-            if name == experiment_name
-        ]
-        if not members:
-            continue  # every seed of this experiment failed
-        if len(members) == 1:
-            sections.append(members[0][1])
-        else:
-            sections.append(ResultSetAggregate.from_result_sets(
-                [result_set for _, result_set in members],
-                [seed for seed, _ in members],
-            ).to_result_set())
+        # One section per (experiment, device) cell group: a devices
+        # axis must not aggregate DDR4 numbers with DDR5 numbers.
+        for device in recipe.devices or (None,):
+            members = [
+                (seed, result_set)
+                for name, seed, cell_device, result_set in completed
+                if name == experiment_name and cell_device == device
+            ]
+            if not members:
+                continue  # every seed of this cell group failed
+            if len(members) == 1:
+                sections.append(members[0][1])
+            else:
+                sections.append(ResultSetAggregate.from_result_sets(
+                    [result_set for _, result_set in members],
+                    [seed for seed, _ in members],
+                ).to_result_set())
     seeds = ", ".join(str(seed) for seed in recipe.seeds)
     html = build_report(
         sections,
@@ -209,13 +224,15 @@ def run_recipe_sweep(
     renderer.check_available()
     out_dir = Path(out_dir)
     outcome = SweepOutcome()
-    completed: List[Tuple[str, int, object]] = []
+    completed: List[Tuple[str, int, Optional[str], object]] = []
     cells_total = len(runs)
     if progress is not None:
         progress(0, cells_total)
 
     for cells_done, (experiment_name, seed, scale) in enumerate(runs, 1):
         cell = f"{experiment_name}@seed{seed}"
+        if scale.device is not None:
+            cell = f"{cell}/{scale.device}"
         log(f"[recipe {recipe.name} v{recipe.version}] {cell}")
         before = stats_snapshot(orch)
         try:
@@ -228,6 +245,8 @@ def run_recipe_sweep(
             if progress is not None:
                 progress(cells_done, cells_total)
             continue
+        if scale.device is not None:
+            result_set.title = f"{result_set.title} [{scale.device}]"
         result_set.meta["recipe"] = {
             "name": recipe.name,
             "version": recipe.version,
@@ -236,10 +255,13 @@ def run_recipe_sweep(
         }
         stamp_provenance(result_set, orch, before)
         outcome.artifacts.extend(
-            renderer.write(result_set, recipe_out_dir(out_dir, recipe, seed))
+            renderer.write(
+                result_set,
+                recipe_out_dir(out_dir, recipe, seed, device=scale.device),
+            )
         )
         if report:
-            completed.append((experiment_name, seed, result_set))
+            completed.append((experiment_name, seed, scale.device, result_set))
         if progress is not None:
             progress(cells_done, cells_total)
 

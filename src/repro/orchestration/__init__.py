@@ -56,6 +56,7 @@ from repro.orchestration.worker import (
     WorkerStats,
 )
 from repro.orchestration.hashing import (
+    OMIT_IF_NONE,
     canonicalize,
     code_version,
     derive_task_seed,
@@ -103,6 +104,7 @@ __all__ = [
     "create_backend",
     "default_backend",
     "default_queue_dir",
+    "OMIT_IF_NONE",
     "canonicalize",
     "code_version",
     "default_cache_dir",

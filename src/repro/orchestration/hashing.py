@@ -21,6 +21,15 @@ from typing import Optional, Tuple, Union
 
 TaskKey = Tuple[object, ...]
 
+#: Dataclass field metadata flag: a field marked
+#: ``field(metadata={OMIT_IF_NONE: True})`` is left out of the
+#: canonical form while its value is ``None``.  This lets a dataclass
+#: grow an *optional* dimension (e.g. ``ExperimentScale.device``)
+#: without renaming every cache entry keyed under the old shape: the
+#: default-``None`` rendering is byte-identical to the pre-field one,
+#: and only runs that actually set the field get fresh keys.
+OMIT_IF_NONE = "canonicalize_omit_if_none"
+
 
 def canonicalize(value: object) -> str:
     """A deterministic, repr-like rendering of ``value``.
@@ -28,10 +37,16 @@ def canonicalize(value: object) -> str:
     Supports the types experiment parameters are made of: dataclasses
     (rendered as sorted field maps), mappings, sequences, sets, enums,
     and primitives.  Floats use ``repr``, which round-trips exactly.
+    Fields flagged with :data:`OMIT_IF_NONE` are skipped while unset.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = {
-            f.name: getattr(value, f.name) for f in dataclasses.fields(value)
+            f.name: getattr(value, f.name)
+            for f in dataclasses.fields(value)
+            if not (
+                f.metadata.get(OMIT_IF_NONE)
+                and getattr(value, f.name) is None
+            )
         }
         body = ",".join(
             f"{name}={canonicalize(fields[name])}" for name in sorted(fields)

@@ -79,7 +79,7 @@ class MitigationCosts:
 
     @property
     def migration_ns(self) -> float:
-        burst = self.columns_per_row * self.timing.tCCD_L
+        burst = self.columns_per_row * self.timing.column_to_column_ns
         return 2 * self.timing.tRC + 2 * burst
 
     @property

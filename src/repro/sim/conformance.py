@@ -94,22 +94,30 @@ _COLUMN_KINDS = (CommandKind.RD, CommandKind.WR)
 def timing_rules(timing: TimingParameters) -> Tuple[TimingRule, ...]:
     """The pairwise rulebook derived from one timing preset.
 
+    The rulebook comes from the preset's *generation* -- each
+    :class:`~repro.dram.timing.RuleSpec` row of
+    ``timing.rule_table`` names the command pair, the scope, and the
+    parameter holding the delay -- so LPDDR4 runs are checked against
+    tRFCpb and the single tRRD, and DDR5 against tRFCsb, without this
+    module re-listing any generation's rules.
+
     The two window/cadence constraints that are not command *pairs* --
     the rolling four-activate window (tFAW) and the refresh cadence
     (tREFI) -- are handled by :class:`TimingChecker` directly, driven
-    by the same :class:`TimingParameters` fields.
+    by the same :class:`TimingParameters` fields.  (The per-bank tREFI
+    cadence check holds for sliced refresh too: per-bank and same-bank
+    rotation still refresh each bank exactly once per tREFI.)
     """
-    rules = [
-        TimingRule("tRCD", CommandKind.ACT, CommandKind.RD, "bank", timing.tRCD),
-        TimingRule("tRCD", CommandKind.ACT, CommandKind.WR, "bank", timing.tRCD),
-        TimingRule("tRAS", CommandKind.ACT, CommandKind.PRE, "bank", timing.tRAS),
-        TimingRule("tRP", CommandKind.PRE, CommandKind.ACT, "bank", timing.tRP),
-        TimingRule("tRC", CommandKind.ACT, CommandKind.ACT, "bank", timing.tRC),
-        TimingRule("tRRD_S", CommandKind.ACT, CommandKind.ACT, "rank", timing.tRRD_S),
-        TimingRule("tRFC", CommandKind.REF, CommandKind.ACT, "bank", timing.tRFC),
-        TimingRule("tRFC", CommandKind.REF, CommandKind.REF, "bank", timing.tRFC),
-    ]
-    return tuple(rules)
+    return tuple(
+        TimingRule(
+            spec.name,
+            CommandKind[spec.prev],
+            CommandKind[spec.curr],
+            spec.scope,
+            getattr(timing, spec.parameter),
+        )
+        for spec in timing.rule_table
+    )
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ from repro.dram.commands import (
     rd as _rd,
     wr as _wr,
 )
+from repro.dram.timing import REFRESH_PER_BANK
 from repro.sim.config import MitigationCosts, SystemConfig
 from repro.sim.request import MemoryRequest
 
@@ -196,8 +197,40 @@ class MemorySystem:
                 issued[core] += 1
                 push(step.gap_ns, "arrival", (core, chain, step))
 
-        # Periodic refresh and defense epochs.
-        push(timing.tREFI, "refresh", ())
+        # Periodic refresh and defense epochs.  All-bank generations
+        # (DDR4) issue one REF per tREFI; sliced generations rotate --
+        # LPDDR4 REFpb over the rank's banks, DDR5 REFsb over the bank
+        # index within each group -- spacing slices tREFI / slices
+        # apart so every bank still refreshes once per tREFI.
+        refresh_slices = timing.refresh_slices(
+            banks_per_rank=config.banks_per_rank,
+            banks_per_group=config.banks_per_group,
+        )
+        if refresh_slices == 1:
+            push(timing.tREFI, "refresh", ())
+        else:
+            refresh_interval = timing.tREFI / refresh_slices
+            refresh_latency = timing.refresh_latency_ns
+            if timing.refresh_granularity == REFRESH_PER_BANK:
+                refresh_targets = [
+                    [
+                        rank * config.banks_per_rank + k
+                        for rank in range(config.ranks)
+                    ]
+                    for k in range(refresh_slices)
+                ]
+            else:
+                refresh_targets = [
+                    [
+                        rank * config.banks_per_rank
+                        + group * config.banks_per_group
+                        + k
+                        for rank in range(config.ranks)
+                        for group in range(config.bank_groups)
+                    ]
+                    for k in range(refresh_slices)
+                ]
+            push(refresh_interval, "refresh", (0,))
         epoch_ns = config.defense_epoch_ns or timing.tREFW
         if self.defense is not None:
             push(epoch_ns, "epoch", ())
@@ -287,6 +320,33 @@ class MemorySystem:
                     _, _, _, next_payload = heapq.heappop(heap)
                     wake_at[next_payload[0]] = np.inf
                     try_schedule(next_payload[0], time)
+            elif kind == "refresh" and refresh_slices > 1:
+                # Sliced refresh (LPDDR4 per-bank / DDR5 same-bank):
+                # each REF locks only its slice's banks, scalar path.
+                refreshes += 1
+                slice_index = payload[0]
+                for bank_id in refresh_targets[slice_index]:
+                    ref_start = max(float(busy_until[bank_id]), time)
+                    if command_log is not None:
+                        command_log.append(TimedCommand(
+                            ref_start,
+                            Command(
+                                CommandKind.REF,
+                                rank=rank_of(bank_id),
+                                bank=bank_id,
+                            ),
+                        ))
+                    busy_until[bank_id] = ref_start + refresh_latency
+                    banks[bank_id].open_row = None
+                    if has_queue[bank_id] and busy_until[bank_id] < wake_at[bank_id]:
+                        wake_at[bank_id] = busy_until[bank_id]
+                        push(float(busy_until[bank_id]), "bank_free", (bank_id,))
+                if total_completed < total_requests:
+                    push(
+                        time + refresh_interval,
+                        "refresh",
+                        ((slice_index + 1) % refresh_slices,),
+                    )
             elif kind == "refresh":
                 refreshes += 1
                 if command_log is not None:
@@ -381,7 +441,7 @@ class MemorySystem:
             # hoisted: float addition is order-sensitive and these
             # results are golden-protected bit-for-bit.
             finish = data_start + tCL + tBL
-            busy_until[bank_id] = data_start + timing.tCCD_L
+            busy_until[bank_id] = data_start + timing.column_to_column_ns
             bank.hits_in_row += 1
             if log is not None:
                 column_cmd = _wr if request.is_write else _rd
@@ -391,8 +451,11 @@ class MemorySystem:
                 ))
             return finish
 
-        # Row miss: precharge (if open) + activate.
-        tRRD_S = timing.tRRD_S
+        # Row miss: precharge (if open) + activate.  The scheduler
+        # does not track bank-group adjacency, so it paces ACTs at the
+        # generation's rank-level minimum (tRRD_S with bank groups,
+        # the single tRRD without).
+        tRRD_S = timing.act_to_act_ns
         tFAW = timing.tFAW
         rank = rank_of(bank_id)
         self._stat_row_misses += 1
@@ -474,7 +537,7 @@ class MemorySystem:
         burst for each half of a migration/swap.
         """
         costs = self.costs
-        burst = self.config.columns_per_row * self.config.timing.tCCD_L
+        burst = self.config.columns_per_row * self.config.timing.column_to_column_ns
         delay = 0.0
         preventive: List[float] = []
         for mitigation in mitigations:

@@ -13,7 +13,8 @@ reproduce the memory behaviour classes those suites cover.
 * :mod:`repro.workloads.mixes` -- seeded construction of the 120
   8-core mixes.
 * :mod:`repro.workloads.adversarial` -- the Fig 13 adversarial
-  patterns against Hydra and RRS.
+  patterns against Hydra and RRS, plus many-sided (N-aggressor)
+  hammering.
 * :mod:`repro.workloads.tracefile` -- streamed ingestion of recorded
   ramulator/DRAMsim-style request traces (plain or gzip).
 """
@@ -23,6 +24,7 @@ from repro.workloads.suites import SUITE_PROFILES, profile_by_name
 from repro.workloads.mixes import WorkloadMix, generate_mixes, build_traces
 from repro.workloads.adversarial import (
     HydraAdversarialTrace,
+    ManySidedHammerTrace,
     RrsAdversarialTrace,
 )
 from repro.workloads.tracefile import (
@@ -41,6 +43,7 @@ __all__ = [
     "generate_mixes",
     "build_traces",
     "HydraAdversarialTrace",
+    "ManySidedHammerTrace",
     "RrsAdversarialTrace",
     "TraceExhausted",
     "TraceFileReader",

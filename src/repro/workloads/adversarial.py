@@ -1,10 +1,14 @@
-"""Adversarial access patterns (Fig 13).
+"""Adversarial access patterns (Fig 13 and the attack experiments).
 
 * Against Hydra: cycle through more escalated rows than the row-count
   cache holds, so every activation misses the cache and triggers an
   extra DRAM counter access in steady state.
 * Against RRS: hammer a single row as fast as possible, maximizing the
   number of row-swap operations.
+* Many-sided hammering: round-robin over N aggressor rows in one bank,
+  the classic N-sided RowHammer shape (TRRespass-style), stressing
+  probabilistic defenses whose per-activation mitigation chance decays
+  as the attacker spreads activations over more aggressors.
 """
 
 from __future__ import annotations
@@ -63,4 +67,39 @@ class RrsAdversarialTrace:
     def next_step(self, chain: int) -> TraceStep:
         self._toggle = not self._toggle
         row = self.target_row if self._toggle else self.scratch_row
+        return TraceStep(bank=self.bank, row=row, column=0, gap_ns=self.gap_ns)
+
+
+@dataclass
+class ManySidedHammerTrace:
+    """N-sided hammering: round-robin over N aggressor rows in a bank.
+
+    Aggressors sit ``row_stride`` apart (stride 2 is the classic
+    double-sided sandwich generalized to N victims); visiting them in
+    strict rotation keeps every activation a row-buffer miss while
+    spreading the activation count evenly, which is what defeats
+    sampling defenses tuned for one or two hot rows.  ``start_offset``
+    phases multiple attacking cores within the rotation.
+    """
+
+    n_sides: int = 8
+    base_row: int = 1000
+    row_stride: int = 2
+    bank: int = 0
+    rows_per_bank: int = 128 * 1024
+    gap_ns: float = 5.0
+    start_offset: int = 0
+    _position: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sides < 2:
+            raise ValueError("many-sided hammering needs at least 2 sides")
+        self._position = self.start_offset
+
+    def next_step(self, chain: int) -> TraceStep:
+        index = self._position
+        self._position += 1
+        row = (
+            self.base_row + (index % self.n_sides) * self.row_stride
+        ) % self.rows_per_bank
         return TraceStep(bank=self.bank, row=row, column=0, gap_ns=self.gap_ns)

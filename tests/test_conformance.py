@@ -20,7 +20,13 @@ import pytest
 
 from repro.defenses import DEFENSE_CLASSES
 from repro.dram.commands import CommandKind, TimedCommand, act, pre, rd, ref, wr
-from repro.dram.timing import DDR4_2666, DDR4_3200, timing_for_speed
+from repro.dram.timing import (
+    DDR4_2666,
+    DDR4_3200,
+    DDR5_4800,
+    LPDDR4_3200,
+    timing_for_speed,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.conformance import (
     REFRESH_POSTPONE_LIMIT,
@@ -92,6 +98,32 @@ class TestTimingRules:
             TimingChecker(T, tolerance_ns=-1.0)
         with pytest.raises(ValueError):
             TimingChecker(T, refresh_postpone_limit=0)
+
+    def test_rulebook_follows_generation_rule_table(self):
+        # The checker derives its rulebook from the preset's declarative
+        # rule table, so each generation gets its own JEDEC vocabulary.
+        for preset in (T, LPDDR4_3200, DDR5_4800):
+            rules = timing_rules(preset)
+            assert len(rules) == len(preset.rule_table)
+            for rule, spec in zip(rules, preset.rule_table):
+                assert rule.name == spec.name
+                assert rule.prev is CommandKind[spec.prev]
+                assert rule.curr is CommandKind[spec.curr]
+                assert rule.scope == spec.scope
+                assert rule.delay_ns == getattr(preset, spec.parameter)
+
+    def test_lpddr4_rulebook_uses_per_bank_refresh_and_flat_trrd(self):
+        names = {rule.name for rule in timing_rules(LPDDR4_3200)}
+        assert "tRFCpb" in names
+        assert "tRRD" in names
+        assert "tRRD_S" not in names
+        assert "tRFC" not in names
+
+    def test_ddr5_rulebook_uses_same_bank_refresh(self):
+        names = {rule.name for rule in timing_rules(DDR5_4800)}
+        assert "tRFCsb" in names
+        assert "tRRD_S" in names
+        assert "tRFC" not in names
 
     def test_rule_and_report_render(self):
         rule = timing_rules(T)[0]
@@ -261,6 +293,23 @@ class TestEngineConformance:
         )
         _, report = check_run(system)
         assert report.ok, report.render_text()
+
+    @pytest.mark.parametrize("timing", [LPDDR4_3200, DDR5_4800],
+                             ids=lambda t: t.generation)
+    def test_other_generations_are_conformant(self, timing):
+        # LPDDR4's per-bank and DDR5's same-bank refresh, replayed
+        # against rulebooks derived from their own rule tables.
+        config = small_config(
+            cores=2, requests_per_core=400, timing=timing
+        )
+        system = MemorySystem(config, synthetic_traces(config))
+        result, report = check_run(system)
+        assert report.ok, report.render_text()
+        assert result.refreshes_issued > 0
+        refresh_rule = (
+            "tRFCpb" if timing is LPDDR4_3200 else "tRFCsb"
+        )
+        assert report.checks[refresh_rule] > 0
 
     def test_adversarial_traces_are_conformant(self):
         config = small_config(cores=2, requests_per_core=300)

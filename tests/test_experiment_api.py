@@ -23,6 +23,7 @@ import pytest
 
 from repro.experiments import (
     ablation_bins,
+    attack_manysided,
     fig3_ber_distribution,
     fig4_ber_location,
     fig5_hcfirst_distribution,
@@ -86,6 +87,10 @@ FIG13_SCALE = ExperimentScale(
     rows_per_bank=1024, banks=(1,), svard_profiles=("S0",),
     requests_per_core=6000, seed=3,
 )
+MANYSIDED_SCALE = ExperimentScale(
+    rows_per_bank=1024, banks=(1,), svard_profiles=("S0",),
+    requests_per_core=3000, seed=3,
+)
 ABLATION_SCALE = ExperimentScale(
     rows_per_bank=1024, banks=(1, 4), requests_per_core=1200, seed=3
 )
@@ -105,6 +110,7 @@ PARITY_RUNS = {
         PERF_SCALE, defenses=("PARA", "RRS")
     ),
     "fig13": lambda: fig13_adversarial.run(FIG13_SCALE),
+    "attack-manysided": lambda: attack_manysided.run(MANYSIDED_SCALE),
     "table3": lambda: table3_features.run(FEATURE_SCALE),
     "table5": lambda: table5_modules.run(ONE_MODULE),
     "sec64": lambda: sec64_hardware_cost.run(),
@@ -144,7 +150,7 @@ class TestRegistry:
                 f"got {by_module.get(module_name, [])}"
             )
 
-    def test_all_fourteen_present(self):
+    def test_all_fifteen_present(self):
         assert sorted(all_experiments()) == sorted(PARITY_RUNS)
 
     def test_metadata_complete(self):

@@ -7,6 +7,7 @@ cache; and the cache never serves an entry across scales, code
 versions, or corrupted files.
 """
 
+import dataclasses
 import os
 import pickle
 import shutil
@@ -30,6 +31,7 @@ from repro.orchestration import (
     shard_name,
     stable_hash,
 )
+from repro.sim.config import SystemConfig
 
 #: Small enough that the three-way fig12 comparison stays in seconds:
 #: 1 baseline + (No Svärd, Svärd-S0) x 1 HC x 1 mix = 3 tasks.
@@ -367,6 +369,31 @@ class TestHashing:
     def test_unsupported_type_rejected(self):
         with pytest.raises(TypeError, match="canonicalize"):
             canonicalize(object())
+
+    def test_omit_if_none_fields_are_invisible_when_unset(self):
+        # The device dimension rides on ExperimentScale behind an
+        # OMIT_IF_NONE field: leaving it unset must not perturb any
+        # pre-existing cache key.
+        base = ExperimentScale()
+        assert "device" not in canonicalize(base)
+        assert "device" in canonicalize(
+            dataclasses.replace(base, device="DDR4-3200")
+        )
+        assert stable_hash(base) != stable_hash(
+            dataclasses.replace(base, device="LPDDR4-3200")
+        )
+
+    def test_pinned_cache_keys_for_default_configs(self):
+        # Frozen hashes of the two central dataclasses, captured before
+        # the device-generation refactor.  If either moves, every
+        # cached DDR4 artifact silently invalidates -- do not update
+        # these without meaning to.
+        assert stable_hash(ExperimentScale()) == (
+            "e6768f8dd8f7950c4bd054525e81a73c6ca6c0f1904a08e36594c355cdaac886"
+        )
+        assert stable_hash(SystemConfig()) == (
+            "4e943bfcfa900302845bf9338ace0e850ec5eb8d69443ad69f6ba2b577742a15"
+        )
 
     def test_progress_callback_sees_every_task(self, tmp_path):
         seen = []

@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.recipes import (
+    DEFENSE_GRID_GENERATIONS,
     FIG7_TAGGON_SWEEP,
     FIG12_PAPER_GRID,
     Recipe,
@@ -44,6 +45,27 @@ class TestCheckedInRecipes:
             assert smoke.rows_per_bank <= 512
             assert smoke.n_mixes <= 1 or smoke.n_mixes == smoke.n_mixes
 
+    def test_generation_grid_sweeps_the_three_devices(self):
+        assert "defense-grid-generations" in all_recipes()
+        assert DEFENSE_GRID_GENERATIONS.devices == (
+            "DDR4-3200", "LPDDR4-3200", "DDR5-4800",
+        )
+        runs = DEFENSE_GRID_GENERATIONS.runs()
+        assert [scale.device for _, _, scale in runs] == [
+            "DDR4-3200", "LPDDR4-3200", "DDR5-4800",
+        ]
+
+    def test_runs_matrix_crosses_devices_with_seeds(self):
+        recipe = Recipe(
+            name="x", version=1, description="", experiments=("fig12",),
+            seeds=(0, 1), devices=("DDR4-3200", "DDR5-4800"),
+        )
+        runs = recipe.runs()
+        assert [(seed, scale.device) for _, seed, scale in runs] == [
+            (0, "DDR4-3200"), (0, "DDR5-4800"),
+            (1, "DDR4-3200"), (1, "DDR5-4800"),
+        ]
+
     def test_runs_matrix_applies_seeds(self):
         recipe = Recipe(
             name="x", version=1, description="", experiments=("fig12",),
@@ -77,6 +99,17 @@ class TestRecipeValidation:
         with pytest.raises(RecipeError, match="duplicate seeds"):
             Recipe(name="x", version=1, description="",
                    experiments=("fig12",), seeds=(1, 1))
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(RecipeError, match="unknown device"):
+            Recipe(name="x", version=1, description="",
+                   experiments=("fig12",), devices=("DDR3-1600",))
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(RecipeError, match="duplicate devices"):
+            Recipe(name="x", version=1, description="",
+                   experiments=("fig12",),
+                   devices=("DDR4-3200", "DDR4-3200"))
 
     def test_invalid_override_value_surfaces_cleanly(self):
         recipe = Recipe(name="x", version=1, description="",

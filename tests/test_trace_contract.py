@@ -5,7 +5,7 @@ but the experiments lean on an implicit contract: a trace constructed
 from the same parameters (seed, file, pattern) must yield the *same*
 step sequence for the same chain schedule, and every step must stay
 inside the configured geometry.  These tests pin that contract across
-SyntheticTrace, both adversarial traces, and TraceFileReader (plain
+SyntheticTrace, the adversarial traces, and TraceFileReader (plain
 and gzip, via the fixtures in ``tests/data/``), then cover the
 streaming reader's parsing, looping, and bounded-memory behaviour.
 """
@@ -25,7 +25,11 @@ from repro.workloads import (
     TraceParseError,
     readers_for_cores,
 )
-from repro.workloads.adversarial import HydraAdversarialTrace, RrsAdversarialTrace
+from repro.workloads.adversarial import (
+    HydraAdversarialTrace,
+    ManySidedHammerTrace,
+    RrsAdversarialTrace,
+)
 from repro.workloads.suites import profile_by_name
 
 DATA = Path(__file__).parent / "data"
@@ -45,6 +49,10 @@ TRACE_FACTORIES = {
     ),
     "rrs-adversarial": lambda: RrsAdversarialTrace(
         target_row=100, scratch_row=200,
+    ),
+    "manysided-hammer": lambda: ManySidedHammerTrace(
+        n_sides=6, base_row=100, rows_per_bank=GEOMETRY["rows_per_bank"],
+        start_offset=3,
     ),
     "tracefile-plain": lambda: TraceFileReader(PLAIN_FIXTURE, **GEOMETRY),
     "tracefile-gzip": lambda: TraceFileReader(GZIP_FIXTURE, **GEOMETRY),
@@ -71,6 +79,15 @@ class TestTraceContract:
             assert 0 <= step.row < GEOMETRY["rows_per_bank"]
             assert 0 <= step.column < GEOMETRY["columns_per_row"]
             assert step.gap_ns >= 0.0
+
+    def test_manysided_rotation_and_validation(self):
+        trace = ManySidedHammerTrace(
+            n_sides=4, base_row=10, row_stride=2, rows_per_bank=256,
+        )
+        rows = [trace.next_step(0).row for _ in range(8)]
+        assert rows == [10, 12, 14, 16] * 2  # strict N-row rotation
+        with pytest.raises(ValueError):
+            ManySidedHammerTrace(n_sides=1)
 
     def test_plain_and_gzip_fixture_yield_identical_streams(self):
         plain = TraceFileReader(PLAIN_FIXTURE, **GEOMETRY)
